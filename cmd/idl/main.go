@@ -1,0 +1,246 @@
+// Command idl is an interactive shell and script runner for the IDL
+// engine.
+//
+// Usage:
+//
+//	idl [flags]                 interactive shell
+//	idl -script file.idl        run a script, print results
+//	idl -e '?.euter.r(.x=1)'    run one statement
+//
+// Flags:
+//
+//	-snapshot path   load the universe from a snapshot at start and save
+//	                 it back on exit (created if missing)
+//	-demo            preload the paper's three stock databases
+//	-tokens          with -e: dump the token stream (debugging)
+//
+// Shell meta-commands:
+//
+//	\dbs               list databases
+//	\rels <db>         list relations in a database
+//	\stats             catalog statistics (tuples, attributes)
+//	\views             registered view rules
+//	\programs          registered update programs and binding signatures
+//	\save <path>       save a snapshot
+//	\estats            evaluator counters
+//	\explain <query>   show the evaluation plan
+//	\help              this list
+//	\quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idl"
+	"idl/internal/lex"
+	"idl/internal/stocks"
+)
+
+func main() {
+	var (
+		snapshot = flag.String("snapshot", "", "load/save the universe snapshot at this path")
+		script   = flag.String("script", "", "run an IDL script file and exit")
+		expr     = flag.String("e", "", "run one statement and exit")
+		demo     = flag.Bool("demo", false, "preload the paper's three stock databases")
+		tokens   = flag.Bool("tokens", false, "with -e: print the token stream instead of evaluating")
+	)
+	flag.Parse()
+	if err := run(*snapshot, *script, *expr, *demo, *tokens); err != nil {
+		fmt.Fprintln(os.Stderr, "idl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(snapshot, script, expr string, demo, tokens bool) error {
+	db, err := openDB(snapshot, demo)
+	if err != nil {
+		return err
+	}
+	switch {
+	case tokens && expr != "":
+		fmt.Println(lex.Describe(lex.Tokens(expr)))
+		return nil
+	case expr != "":
+		if err := execute(db, expr); err != nil {
+			return err
+		}
+	case script != "":
+		src, err := os.ReadFile(script)
+		if err != nil {
+			return err
+		}
+		if err := execute(db, string(src)); err != nil {
+			return err
+		}
+	default:
+		repl(db)
+	}
+	if snapshot != "" {
+		if err := db.Save(snapshot); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+func openDB(snapshot string, demo bool) (*idl.DB, error) {
+	var db *idl.DB
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			loaded, err := idl.OpenSnapshot(snapshot)
+			if err != nil {
+				return nil, err
+			}
+			db = loaded
+		}
+	}
+	if db == nil {
+		db = idl.Open()
+	}
+	if demo {
+		u := db.Engine().Base()
+		ds := stocks.Generate(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
+		ds.Populate(u)
+		db.Engine().Invalidate()
+	}
+	return db, nil
+}
+
+// execute runs a script chunk and prints each statement's outcome.
+func execute(db *idl.DB, src string) error {
+	results, err := db.Load(src)
+	for _, r := range results {
+		printResult(r)
+	}
+	return err
+}
+
+func printResult(r *idl.ScriptResult) {
+	switch r.Kind {
+	case "rule":
+		fmt.Printf("defined view rule: %s\n", r.Statement)
+	case "clause":
+		fmt.Printf("defined update program clause: %s\n", r.Statement)
+	case "exec":
+		fmt.Printf("ok: +%d tuples, -%d tuples, +%d attrs, -%d attrs, %d values set (%d bindings)\n",
+			r.Exec.ElemsInserted, r.Exec.ElemsDeleted, r.Exec.AttrsCreated,
+			r.Exec.AttrsDeleted, r.Exec.ValuesSet, r.Exec.Bindings)
+	case "query":
+		fmt.Println(r.Answer.String())
+		if len(r.Answer.Vars) > 0 {
+			fmt.Printf("(%d rows)\n", r.Answer.Len())
+		}
+	}
+}
+
+func repl(db *idl.DB) {
+	fmt.Println("IDL shell — Interoperable Database Language (SIGMOD 1991 reproduction)")
+	fmt.Println(`type statements ending with ';', or \help for meta-commands`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("idl> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+			src := pending.String()
+			pending.Reset()
+			if strings.TrimSpace(src) != "" {
+				if err := execute(db, src); err != nil {
+					fmt.Println("error:", err)
+				}
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles a \command; returns false to exit the shell.
+func meta(db *idl.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\help`:
+		fmt.Println(`\dbs \rels <db> \stats \views \programs \estats \explain <query> \save <path> \quit`)
+	case `\explain`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\explain <query>")
+			break
+		}
+		plan, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`)))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(plan)
+	case `\dbs`:
+		for _, d := range db.Catalog().Databases() {
+			fmt.Println(d)
+		}
+	case `\rels`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\rels <db>")
+			break
+		}
+		rels, err := db.Catalog().Relations(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		for _, r := range rels {
+			fmt.Println(r)
+		}
+	case `\stats`:
+		for _, s := range db.Catalog().Stats() {
+			fmt.Printf("%s.%s\t%d tuples\tattrs: %s\n", s.Database, s.Relation, s.Tuples, strings.Join(s.Attributes, ","))
+		}
+	case `\views`:
+		for _, v := range db.Views() {
+			fmt.Println(v)
+		}
+	case `\programs`:
+		for _, p := range db.Programs() {
+			fmt.Printf(".%s.%s  params: %s  required: %s\n",
+				p.DB, p.Name, strings.Join(p.Params(), ","), strings.Join(p.Required(), ","))
+		}
+	case `\estats`:
+		st := db.Stats()
+		fmt.Printf("scanned=%d indexProbes=%d indexBuilds=%d attrEnums=%d\n",
+			st.ElementsScanned, st.IndexProbes, st.IndexBuilds, st.AttrEnums)
+	case `\save`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\save <path>")
+			break
+		}
+		if err := db.Save(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("saved", fields[1])
+		}
+	default:
+		fmt.Println("unknown meta-command; try \\help")
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idl"
+)
+
+func TestOpenDBDemo(t *testing.T) {
+	db, err := openDB("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("?.X")
+	if err != nil || res.Len() != 3 {
+		t.Fatalf("demo databases = %v, %v", res, err)
+	}
+}
+
+func TestOpenDBSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.idl")
+	db, err := openDB(path, true) // missing snapshot: start fresh + demo
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := openDB(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Query("?.euter.r(.stkCode=S)")
+	if err != nil || !res.Bool() {
+		t.Fatalf("restored universe: %v, %v", res, err)
+	}
+}
+
+func TestExecuteScript(t *testing.T) {
+	silenceStdout(t)
+	db := idl.Open()
+	db.Catalog().Insert("d", "r", idl.Tup("x", 1))
+	script := `
+		.v.p+(.x=X) <- .d.r(.x=X);
+		?.v.p(.x=X);
+		?.d.r+(.x=2)
+	`
+	if err := execute(db, script); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("?.d.r(.x=X)")
+	if res.Len() != 2 {
+		t.Errorf("rows after script = %d", res.Len())
+	}
+	if err := execute(db, "?.broken("); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	out := captureStdout(t, func() {
+		db, _ := openDB("", true)
+		for _, cmd := range []string{
+			`\help`, `\dbs`, `\rels euter`, `\rels`, `\rels nosuch`,
+			`\stats`, `\views`, `\programs`, `\estats`, `\save`, `\bogus`,
+		} {
+			if !meta(db, cmd) {
+				t.Errorf("%s should not exit", cmd)
+			}
+		}
+		if meta(db, `\quit`) {
+			t.Error(`\quit should exit`)
+		}
+	})
+	for _, want := range []string{"euter", "chwab", "ource", "usage:", "unknown meta-command"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("meta output missing %q", want)
+		}
+	}
+}
+
+func TestMetaSave(t *testing.T) {
+	silenceStdout(t)
+	db, _ := openDB("", true)
+	path := filepath.Join(t.TempDir(), "s.idl")
+	if !meta(db, `\save `+path) {
+		t.Fatal("save should not exit")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("snapshot not written: %v", err)
+	}
+}
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devNull.Close()
+	})
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out
+}
+
+func TestShippedDemoScript(t *testing.T) {
+	silenceStdout(t)
+	db, err := openDB("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("../../scripts/stocks.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(db, string(src)); err != nil {
+		t.Fatalf("demo script failed: %v", err)
+	}
+	// The script's final state: newco present in every schema.
+	res, err := db.Query("?.ource.newco(.clsPrice=P)")
+	if err != nil || !res.Bool() {
+		t.Errorf("script end state: %v, %v", res, err)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every paper experiment E1–E12 and fails
+// on any error — the integration test behind `go run ./cmd/idlexp`.
+func TestAllExperimentsRun(t *testing.T) {
+	silence(t)
+	// E1–E12 from the paper plus the X1–X3 extension experiments.
+	if len(experiments) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(experiments))
+	}
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if err := e.run(); err != nil {
+			t.Errorf("%s (%s): %v", e.id, e.title, err)
+		}
+	}
+}
+
+func TestFixtureShape(t *testing.T) {
+	db := fixture()
+	res, err := db.Query("?.euter.r(.date=D,.stkCode=S,.clsPrice=P)")
+	if err != nil || res.Len() != 9 {
+		t.Fatalf("fixture euter rows = %v, %v", res, err)
+	}
+	res, err = db.Query("?.ource.Y")
+	if err != nil || res.Len() != 3 {
+		t.Fatalf("fixture ource relations = %v, %v", res, err)
+	}
+}
+
+// silence redirects stdout for the duration of the test so experiment
+// prints don't clutter test output.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devNull.Close()
+	})
+}

@@ -1,0 +1,115 @@
+package idl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The DB (and the underlying Engine) serialize all operations behind one
+// mutex; these tests exercise mixed workloads under the race detector
+// and check the end state is coherent.
+
+func TestConcurrentQueries(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	if err := db.DefineViews(
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := db.Query("?.dbI.p(.stk=S, .price>200)")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != 1 {
+					t.Errorf("rows = %d", res.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 25
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				src := fmt.Sprintf("?.euter.r+(.date=4/1/85, .stkCode=w%dn%d, .clsPrice=%d)", w, i, i)
+				if _, err := db.Exec(src); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Query("?.euter.r(.stkCode=S, .clsPrice>100)"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, err := db.Query("?.euter.r(.date=4/1/85, .stkCode=S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != writers*perWriter {
+		t.Errorf("inserted rows = %d, want %d", res.Len(), writers*perWriter)
+	}
+}
+
+func TestConcurrentProgramCalls(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	if err := db.DefinePrograms(
+		".dbU.ins(.stk=S, .date=D, .price=P) -> .euter.r+(.stkCode=S, .date=D, .clsPrice=P)",
+	); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := db.Call("dbU", "ins", map[string]any{
+					"S": fmt.Sprintf("g%dn%d", g, i),
+					"D": Date(85, 5, 1),
+					"P": i,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, _ := db.Query("?.euter.r(.date=5/1/85, .stkCode=S)")
+	if res.Len() != 120 {
+		t.Errorf("rows = %d, want 120", res.Len())
+	}
+}

@@ -1,0 +1,149 @@
+// Federation shows schematic discrepancies outside the stock-market
+// domain: three hospital admission databases, each administered
+// autonomously, where one hospital's data (ward names) are another's
+// metadata. A health authority unifies them, queries across them, and
+// reconciles conflicting conventions with name mappings — the paper's §6
+// machinery on a different workload.
+//
+//	general:  admissions{(day, ward, patients)}     ward as data
+//	mercy:    admissions{(day, icu, er, surgery)}   ward as attribute
+//	stVitus:  icu{(day, patients)}, er{…}, …        ward as relation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idl"
+)
+
+func main() {
+	db := idl.Open()
+	seed(db)
+
+	fmt.Println("== Which hospitals track an ICU? (pure metadata question) ==")
+	// In mercy the ICU is an attribute; in stVitus a relation; in
+	// general a data value. Three different higher-order queries expose
+	// where the concept lives in each schema:
+	fmt.Printf("  as a relation:        %v\n", column(db, "?.H.icu", "H"))
+	fmt.Printf("  as an attribute:      %v\n", column(db, "?.H.R(.icu), H != stVitus", "H"))
+	fmt.Printf("  as data:              %v\n", column(db, "?.H.R(.ward=icu)", "H"))
+
+	fmt.Println("\n== Unified admissions view ==")
+	// stVitus calls the emergency room "casualty"; a name mapping fixes
+	// the vocabulary (paper §6's mapOE).
+	must(db.DefineViews(
+		".authority.adm+(.hospital=general, .day=D, .ward=W, .patients=N) <- .general.admissions(.day=D, .ward=W, .patients=N)",
+		".authority.adm+(.hospital=mercy, .day=D, .ward=W, .patients=N) <- .mercy.admissions(.day=D, .W=N), W != day",
+		".authority.adm+(.hospital=stVitus, .day=D, .ward=W, .patients=N) <- .stVitus.WV(.day=D, .patients=N), .maps.wardMap(.from=WV, .to=W)",
+	))
+	fmt.Println(render(db, "?.authority.adm(.hospital=H, .day=1, .ward=W, .patients=N)"))
+
+	fmt.Println("\n== Cross-hospital analytics through the unified view ==")
+	fmt.Println("  busiest ward per day (negation over the view):")
+	fmt.Println(render(db, "?.authority.adm(.day=D, .hospital=H, .ward=W, .patients=N), .authority.adm~(.day=D, .patients>N)"))
+	fmt.Println("  wards that were over 20 patients anywhere:")
+	fmt.Println(render(db, "?.authority.adm(.ward=W, .patients>20)"))
+
+	fmt.Println("\n== Per-hospital customized views (higher-order heads) ==")
+	// Every hospital gets a stVitus-style rendering of the whole
+	// federation: one relation per ward, created on demand.
+	must(db.DefineView(".perWard.W+(.hospital=H, .day=D, .patients=N) <- .authority.adm(.hospital=H, .day=D, .ward=W, .patients=N)"))
+	fmt.Printf("  perWard relations (data dependent): %v\n", column(db, "?.perWard.W", "W"))
+	fmt.Println(render(db, "?.perWard.icu(.hospital=H, .day=D, .patients=N)"))
+
+	fmt.Println("\n== Updatability: the authority closes a ward federation-wide ==")
+	must(db.DefinePrograms(
+		".ops.closeWard(.ward=W) -> .general.admissions-(.ward=W)",
+		".ops.closeWard(.ward=W) -> .mercy.admissions(-.W)",
+		".ops.closeWard(.ward=W) -> .maps.wardMap(.from=WV, .to=W), .stVitus-.WV",
+	))
+	if _, err := db.Exec("?.ops.closeWard(.ward=er)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after closeWard(er): perWard relations = %v\n", column(db, "?.perWard.W", "W"))
+	fmt.Printf("  stVitus relations = %v (casualty dropped via the name mapping)\n",
+		column(db, "?.stVitus.R", "R"))
+}
+
+func seed(db *idl.DB) {
+	cat := db.Catalog()
+	// patients[ward][day], identical facts in all three hospitals' areas
+	// of overlap; each hospital also has quirks of its own.
+	wards := []string{"icu", "er", "surgery"}
+	patients := map[string][]int{
+		"icu":     {12, 15, 9},
+		"er":      {25, 19, 31},
+		"surgery": {7, 8, 6},
+	}
+	for day := 1; day <= 3; day++ {
+		for _, w := range wards {
+			cat.Insert("general", "admissions",
+				idl.Tup("day", day, "ward", w, "patients", patients[w][day-1]))
+		}
+		row := idl.Tup("day", day)
+		for _, w := range wards {
+			row.Put(w, idl.Int(patients[w][day-1]+1)) // mercy is always one busier
+		}
+		cat.Insert("mercy", "admissions", row)
+	}
+	// stVitus: one relation per ward, with "casualty" for the ER.
+	local := map[string]string{"icu": "icu", "er": "casualty", "surgery": "surgery"}
+	for day := 1; day <= 3; day++ {
+		for _, w := range wards {
+			cat.Insert("stVitus", local[w],
+				idl.Tup("day", day, "patients", patients[w][day-1]+2))
+		}
+	}
+	for from, to := range map[string]string{"icu": "icu", "casualty": "er", "surgery": "surgery"} {
+		cat.Insert("maps", "wardMap", idl.Tup("from", from, "to", to))
+	}
+}
+
+func render(db *idl.DB, src string) string {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	out := "  " + src + "\n"
+	for _, line := range splitLines(res.String()) {
+		out += "    | " + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func column(db *idl.DB, src, v string) []string {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	res.Sort()
+	var out []string
+	seen := map[string]bool{}
+	for _, val := range res.Column(v) {
+		s := val.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: create two schematically different databases, pose the same
+// question to both with one kind of expression, unify them with a view,
+// and make the view updatable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idl"
+)
+
+func main() {
+	db := idl.Open()
+	cat := db.Catalog()
+
+	// Two databases holding the same kind of fact under different
+	// schemas: in `rows` the city is data; in `cols` it is metadata (an
+	// attribute name).
+	cat.Insert("rows", "temps",
+		idl.Tup("day", 1, "city", "paris", "celsius", 21),
+		idl.Tup("day", 1, "city", "oslo", "celsius", 11),
+		idl.Tup("day", 2, "city", "paris", "celsius", 24),
+		idl.Tup("day", 2, "city", "oslo", "celsius", 9),
+	)
+	cat.Insert("cols", "temps",
+		idl.Tup("day", 1, "paris", 21, "oslo", 11),
+		idl.Tup("day", 2, "paris", 24, "oslo", 9),
+	)
+
+	// One intention, two schemas. The second query's variable C ranges
+	// over *attribute names* — a higher-order variable.
+	warmRows := query(db, "?.rows.temps(.city=C, .celsius>20)")
+	warmCols := query(db, "?.cols.temps(.C>20), C != day")
+	fmt.Println("cities above 20°C (row schema):\n" + warmRows)
+	fmt.Println("cities above 20°C (column schema):\n" + warmCols)
+
+	// A unified view over both databases…
+	must(db.DefineViews(
+		".u.t+(.day=D, .city=C, .celsius=T) <- .rows.temps(.day=D, .city=C, .celsius=T)",
+		".u.t+(.day=D, .city=C, .celsius=T) <- .cols.temps(.day=D, .C=T), C != day",
+	))
+	fmt.Println("unified view:\n" + query(db, "?.u.t(.day=D, .city=C, .celsius=T)"))
+
+	// …made updatable by an administrator-supplied translation.
+	must(db.DefineProgram(".u.t+(.day=D, .city=C, .celsius=T) -> .rows.temps+(.day=D, .city=C, .celsius=T)"))
+	if _, err := db.Exec("?.u.t+(.day=3, .city=rome, .celsius=28)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after inserting through the view:\n" + query(db, "?.u.t(.city=rome, .celsius=T)"))
+}
+
+func query(db *idl.DB, src string) string {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	return res.String()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Stockmarket walks through the paper's running example end to end at a
+// larger, generated scale: three stock databases with schematic
+// discrepancies (euter / chwab / ource), higher-order queries, the
+// unified view with value reconciliation, the customized higher-order
+// views of Figure 1, and the delStk/rmStk/insStk update programs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idl"
+)
+
+const (
+	numStocks = 8
+	numDays   = 6
+)
+
+func main() {
+	db := idl.Open()
+	seed(db)
+
+	fmt.Println("== The three schemas (catalog view) ==")
+	for _, s := range db.Catalog().Stats() {
+		fmt.Printf("  %s.%-8s %3d tuples   attrs: %v\n", s.Database, s.Relation, s.Tuples, s.Attributes)
+	}
+
+	fmt.Println("\n== One intention, three schemas: which stocks ever closed above 100? ==")
+	for _, q := range []string{
+		"?.euter.r(.stkCode=S, .clsPrice>100)", // stock as data
+		"?.chwab.r(.S>100)",                    // stock as attribute name
+		"?.ource.S(.clsPrice>100)",             // stock as relation name
+	} {
+		fmt.Printf("  %s\n    -> %v\n", q, column(db, q, "S"))
+	}
+
+	fmt.Println("\n== Metadata queries ==")
+	fmt.Printf("  databases:            %v\n", column(db, "?.X", "X"))
+	fmt.Printf("  relations of ource:   %v\n", column(db, "?.ource.Y", "Y"))
+	fmt.Printf("  relations w/ stkCode: %v\n", column(db, "?.X.Y(.stkCode)", "Y"))
+
+	fmt.Println("\n== Unified view (database transparency) ==")
+	must(db.DefineViews(
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date",
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)",
+		// pnew: reconcile discrepant quotes by keeping the highest.
+		".dbI.pnew+(.date=D,.stk=S,.price=P) <- .dbI.p(.date=D,.stk=S,.price=P), .dbI.p~(.date=D,.stk=S,.price>P)",
+	))
+	res := mustQuery(db, "?.dbI.p(.date=D,.stk=S,.price=P)")
+	resNew := mustQuery(db, "?.dbI.pnew(.date=D,.stk=S,.price=P)")
+	fmt.Printf("  dbI.p: %d quotes (chwab discrepancies included twice)\n", res.Len())
+	fmt.Printf("  dbI.pnew: %d reconciled quotes (one per stock per day)\n", resNew.Len())
+
+	fmt.Println("\n== Customized views (integration transparency, Figure 1) ==")
+	must(db.DefineViews(
+		".dbE.r+(.date=D, .stkCode=S, .clsPrice=P) <- .dbI.pnew(.date=D, .stk=S, .price=P)",
+		".dbC.r+(.date=D, .S=P) <- .dbI.pnew(.date=D, .stk=S, .price=P)",
+		".dbO.S+(.date=D, .clsPrice=P) <- .dbI.pnew(.date=D, .stk=S, .price=P)",
+	))
+	fmt.Printf("  dbO's schema is data dependent: relations = %v\n", column(db, "?.dbO.Y", "Y"))
+	fmt.Printf("  a chwab-style user sees one row per day: %d rows\n",
+		mustQuery(db, "?.dbC.r(.date=D)").Len())
+
+	fmt.Println("\n== Update programs (§7) ==")
+	must(db.DefinePrograms(
+		".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S,.date=D)",
+		".dbU.delStk(.stk=S, .date=D) -> .chwab.r(.date=D, .S-=X)",
+		".dbU.delStk(.stk=S, .date=D) -> .ource.S-(.date=D)",
+		".dbU.rmStk(.stk=S) -> .euter.r-(.stkCode=S)",
+		".dbU.rmStk(.stk=S) -> .chwab.r(-.S)",
+		".dbU.rmStk(.stk=S) -> .ource-.S",
+		".dbU.insStk(.stk=S, .date=D, .price=P) -> .euter.r+(.stkCode=S,.date=D,.clsPrice=P)",
+		".dbU.insStk(.stk=S, .date=D, .price=P) -> .chwab.r(.date=D, +.S=P)",
+		".dbU.insStk(.stk=S, .date=D, .price=P) -> .ource.S+(.date=D,.clsPrice=P)",
+	))
+	for _, p := range db.Programs() {
+		fmt.Printf("  .%s.%-7s params %v required %v\n", p.DB, p.Name, p.Params(), p.Required())
+	}
+
+	// Remove one stock from ALL schemas: deletes tuples in euter, an
+	// attribute in chwab, a relation in ource.
+	if _, err := db.Exec("?.dbU.rmStk(.stk=stk001)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after rmStk(stk001): ource relations = %v\n", column(db, "?.ource.Y", "Y"))
+	fmt.Printf("  dbO followed automatically: %v\n", column(db, "?.dbO.Y", "Y"))
+
+	// Insert a brand-new listing everywhere with one call.
+	if _, err := db.Exec("?.dbU.insStk(.stk=newco, .date=1/2/85, .price=42)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after insStk(newco): chwab columns now include newco -> %v\n",
+		column(db, "?.chwab.r(.newco=P)", "P"))
+}
+
+// seed builds the three schemas from one deterministic price table.
+func seed(db *idl.DB) {
+	cat := db.Catalog()
+	prices := make([][]int, numStocks)
+	state := uint64(1991)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	for s := range prices {
+		prices[s] = make([]int, numDays)
+		p := 40 + next(160)
+		for d := range prices[s] {
+			p += next(9) - 4
+			if p < 1 {
+				p = 1
+			}
+			prices[s][d] = p
+		}
+	}
+	name := func(s int) string { return fmt.Sprintf("stk%03d", s+1) }
+	for s := 0; s < numStocks; s++ {
+		for d := 0; d < numDays; d++ {
+			date := idl.Date(85, 1, 2+d)
+			cat.Insert("euter", "r", idl.Tup("date", date, "stkCode", name(s), "clsPrice", prices[s][d]))
+			cat.Insert("ource", name(s), idl.Tup("date", date, "clsPrice", prices[s][d]))
+		}
+	}
+	for d := 0; d < numDays; d++ {
+		row := idl.Tup("date", idl.Date(85, 1, 2+d))
+		for s := 0; s < numStocks; s++ {
+			p := prices[s][d]
+			if s == 0 && d == 0 {
+				p++ // one injected discrepancy for pnew to reconcile
+			}
+			row.Put(name(s), idl.Int(p))
+		}
+		cat.Insert("chwab", "r", row)
+	}
+}
+
+func mustQuery(db *idl.DB, src string) *idl.Result {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	return res
+}
+
+func column(db *idl.DB, src, v string) []string {
+	res := mustQuery(db, src)
+	res.Sort()
+	var out []string
+	for _, val := range res.Column(v) {
+		out = append(out, val.String())
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Viewupdate demonstrates the paper's §7 view-updatability story end to
+// end: a user who only knows the ource-style schema works entirely
+// through the customized higher-order view dbO — reads AND writes — while
+// the schema administrator's update programs translate every write into
+// base updates across all three real databases (Figure 1's two-level
+// mapping, round trip included).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idl"
+)
+
+func main() {
+	db := idl.Open()
+	seed(db)
+
+	// --- The administrator's setup (two-level mapping) ---
+	must(db.DefineViews(
+		// D_i -> U: the unified view.
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date",
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)",
+		// U -> D_i': the ource user's customized (higher-order) view.
+		".dbO.S+(.date=D, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+	))
+	must(db.DefinePrograms(
+		// The unified view's update translations (the administrator's
+		// unambiguous choice among the many possible ones, §7.2).
+		".dbI.p+(.date=D, .stk=S, .price=P) -> .euter.r+(.date=D, .stkCode=S, .clsPrice=P), .chwab.r(.date=D, +.S=P), .ource.S+(.date=D, .clsPrice=P)",
+		".dbI.p-(.date=D, .stk=S, .price=P) -> .euter.r-(.date=D, .stkCode=S), .chwab.r(.date=D, .S-=X), .ource.S-(.date=D)",
+		// The customized view's updates reuse them (programs built from
+		// programs, nonrecursively).
+		".dbO.S+(.date=D, .clsPrice=P) -> .dbI.p+(.date=D, .stk=S, .price=P)",
+		".dbO.S-(.date=D, .clsPrice=P) -> .dbI.p-(.date=D, .stk=S, .price=P)",
+	))
+
+	// --- The ource user's session: reads and writes on dbO only ---
+	fmt.Println("The user sees one relation per stock (data-dependent schema):")
+	fmt.Println("   ", column(db, "?.dbO.Y", "Y"))
+
+	fmt.Println("\nRead through the view:")
+	fmt.Println(render(db, "?.dbO.hp(.date=D, .clsPrice=P)"))
+
+	fmt.Println("\nInsert through the view (a relation that does not exist yet!):")
+	if _, err := db.Exec("?.dbO.tandem+(.date=3/1/85, .clsPrice=33)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("    view now:", column(db, "?.dbO.Y", "Y"))
+	fmt.Println(render(db, "?.dbO.tandem(.date=D, .clsPrice=P)"))
+
+	fmt.Println("\nAll three base databases received the translated insert:")
+	fmt.Println(render(db, "?.euter.r(.stkCode=tandem, .clsPrice=P)"))
+	fmt.Println(render(db, "?.chwab.r(.date=3/1/85, .tandem=P)"))
+	fmt.Println(render(db, "?.ource.tandem(.clsPrice=P)"))
+
+	fmt.Println("\nDelete through the view:")
+	if _, err := db.Exec("?.dbO.hp-(.date=3/1/85)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(render(db, "?.dbO.hp(.date=D, .clsPrice=P)"))
+	fmt.Println("    base euter rows for hp:", countRows(db, "?.euter.r(.stkCode=hp, .date=D)"))
+
+	fmt.Println("\nA view without a registered translation refuses updates:")
+	must(db.DefineView(".dbX.watch+(.stk=S) <- .dbI.p(.stk=S, .price>100)"))
+	if _, err := db.Exec("?.dbX.watch+(.stk=ghost)"); err != nil {
+		fmt.Println("    error (as required):", err)
+	} else {
+		log.Fatal("update of untranslatable view should have failed")
+	}
+
+	fmt.Println("\nBinding signatures protect inserts (§7.1 insStk argument):")
+	if _, err := db.Exec("?.dbO.tandem+(.date=3/2/85)"); err != nil {
+		fmt.Println("    error (as required):", err)
+	} else {
+		log.Fatal("insert with unbound price should have failed")
+	}
+}
+
+func seed(db *idl.DB) {
+	cat := db.Catalog()
+	dates := []idl.DateValue{idl.Date(85, 3, 1), idl.Date(85, 3, 2)}
+	prices := map[string][]int{"hp": {50, 55}, "ibm": {140, 155}}
+	for s, ps := range prices {
+		for i, p := range ps {
+			cat.Insert("euter", "r", idl.Tup("date", dates[i], "stkCode", s, "clsPrice", p))
+			cat.Insert("ource", s, idl.Tup("date", dates[i], "clsPrice", p))
+		}
+	}
+	for i, d := range dates {
+		row := idl.Tup("date", d)
+		for s, ps := range prices {
+			row.Put(s, idl.Int(ps[i]))
+		}
+		cat.Insert("chwab", "r", row)
+	}
+}
+
+func render(db *idl.DB, src string) string {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	out := "    " + src + "\n"
+	cur := ""
+	for _, r := range res.String() {
+		if r == '\n' {
+			out += "      | " + cur + "\n"
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	out += "      | " + cur
+	return out
+}
+
+func column(db *idl.DB, src, v string) []string {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	res.Sort()
+	var out []string
+	for _, val := range res.Column(v) {
+		out = append(out, val.String())
+	}
+	return out
+}
+
+func countRows(db *idl.DB, src string) int {
+	res, err := db.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", src, err)
+	}
+	return res.Len()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

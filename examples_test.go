@@ -1,0 +1,40 @@
+package idl
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program end to end and
+// checks each produces its expected landmark output. Guarded by -short
+// because it shells out to the Go toolchain.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test shells out to go run")
+	}
+	landmarks := map[string][]string{
+		"quickstart":     {"cities above 20°C", "after inserting through the view"},
+		"stockmarket":    {"One intention, three schemas", "after insStk(newco)"},
+		"federation":     {"Which hospitals track an ICU?", "casualty dropped via the name mapping"},
+		"viewupdate":     {"a relation that does not exist yet", "error (as required)"},
+		"administration": {"duplicate key rejected", "Checksummed snapshot round trip"},
+	}
+	for name, wants := range landmarks {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", name, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module idl
+
+go 1.22

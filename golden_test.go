@@ -1,0 +1,76 @@
+package idl
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestGoldenScripts runs every testdata/scripts/*.idl against the paper
+// fixture and compares the rendered results to the .golden file next to
+// it. Regenerate with `go test -run TestGoldenScripts -update-golden`.
+func TestGoldenScripts(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("testdata", "scripts", "*.idl"))
+	if err != nil || len(scripts) == 0 {
+		t.Fatalf("no golden scripts found: %v", err)
+	}
+	for _, script := range scripts {
+		script := script
+		t.Run(filepath.Base(script), func(t *testing.T) {
+			src, err := os.ReadFile(script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := Open()
+			seedStocks(t, db)
+			results, err := db.Load(string(src))
+			if err != nil {
+				t.Fatalf("script failed: %v", err)
+			}
+			got := renderScriptResults(results)
+			goldenPath := strings.TrimSuffix(script, ".idl") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drift for %s:\n--- got ---\n%s\n--- want ---\n%s", script, got, want)
+			}
+		})
+	}
+}
+
+// renderScriptResults renders statement outcomes deterministically
+// (answers sorted canonically).
+func renderScriptResults(results []*ScriptResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, ">> %s\n", r.Statement)
+		switch r.Kind {
+		case "rule":
+			b.WriteString("rule registered\n")
+		case "clause":
+			b.WriteString("clause registered\n")
+		case "exec":
+			fmt.Fprintf(&b, "exec: +%dt -%dt +%da -%da %dv\n",
+				r.Exec.ElemsInserted, r.Exec.ElemsDeleted,
+				r.Exec.AttrsCreated, r.Exec.AttrsDeleted, r.Exec.ValuesSet)
+		case "query":
+			r.Answer.Sort()
+			b.WriteString(r.Answer.String())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,398 @@
+// Package idl is an implementation of IDL — the Interoperable Database
+// Language of Krishnamurthy, Litwin & Kent (SIGMOD 1991) — a higher-order
+// Horn-clause language that makes databases with schematic discrepancies
+// interoperable: variables may range over data AND metadata (attribute,
+// relation and database names), views may define a data-dependent number
+// of relations, and update programs give views updatability.
+//
+// A DB owns a universe of databases (a nested tuple: database → relations
+// → sets of tuples) and evaluates queries, update requests, view rules
+// and update programs against it:
+//
+//	db := idl.Open()
+//	db.Catalog().Insert("euter", "r",
+//	    idl.Tup("date", idl.Date(1985, 3, 3), "stkCode", "hp", "clsPrice", 50))
+//	res, err := db.Query("?.euter.r(.stkCode=S, .clsPrice>40)")
+//	// res.Rows[0]["S"] == idl.Str("hp")
+//
+// See README.md for the language tour and DESIGN.md for how this
+// implementation maps to the paper.
+package idl
+
+import (
+	"fmt"
+	"sync"
+
+	"idl/internal/ast"
+	"idl/internal/catalog"
+	"idl/internal/core"
+	"idl/internal/object"
+	"idl/internal/parser"
+	"idl/internal/schema"
+	"idl/internal/storage"
+)
+
+// Re-exported value types. Objects are value-based: atoms, tuples of
+// named objects, and sets (paper §3).
+type (
+	// Value is any IDL object.
+	Value = object.Object
+	// Tuple is an ordered collection of named objects.
+	Tuple = object.Tuple
+	// Set is a value-based collection of objects.
+	Set = object.Set
+	// Str is a string atom.
+	Str = object.Str
+	// Int is an integer atom.
+	Int = object.Int
+	// Float is a floating-point atom.
+	Float = object.Float
+	// Bool is a boolean atom.
+	Bool = object.Bool
+	// Null is the null atomic object; it satisfies no atomic expression.
+	Null = object.Null
+	// DateValue is a calendar-date atom.
+	DateValue = object.Date
+)
+
+// Result is a query answer: the set of grounding substitutions for the
+// query's free variables.
+type Result = core.Answer
+
+// Row is one answer substitution.
+type Row = core.Row
+
+// ExecInfo tallies what an update request changed.
+type ExecInfo = core.ExecResult
+
+// Stats counts evaluator work (scans, index probes, enumerations).
+type Stats = core.Stats
+
+// Options tune the engine (index use, semi-naive evaluation, iteration
+// bound).
+type Options = core.Options
+
+// Program describes a registered update program.
+type Program = core.Program
+
+// Date builds a date value; two-digit years are interpreted as 19xx the
+// way the paper writes them.
+func Date(year, month, day int) DateValue { return object.NewDate(year, month, day) }
+
+// Tup builds a tuple from alternating attribute/value pairs; values may
+// be Go literals (bool, int, float64, string) or Values.
+func Tup(pairs ...any) *Tuple { return object.TupleOf(pairs...) }
+
+// SetOf builds a set from values.
+func SetOf(values ...any) *Set { return object.SetOf(values...) }
+
+// Schema constraint types (the paper's §8 metadata extension: types,
+// keys, referential integrity).
+type (
+	// SchemaRegistry holds relation constraint declarations.
+	SchemaRegistry = schema.Registry
+	// RelDecl declares constraints for one relation.
+	RelDecl = schema.RelDecl
+	// AttrDecl declares one attribute's type and nullability.
+	AttrDecl = schema.AttrDecl
+	// ForeignKey declares referential integrity across relations (and
+	// databases).
+	ForeignKey = schema.ForeignKey
+)
+
+// Attribute type constants for AttrDecl.
+const (
+	AnyType    = schema.AnyType
+	IntType    = schema.IntType
+	FloatType  = schema.FloatType
+	NumberType = schema.NumberType
+	StringType = schema.StringType
+	DateType   = schema.DateType
+	BoolType   = schema.BoolType
+)
+
+// DB is a universe of databases with an IDL engine over it. All methods
+// are safe for concurrent use.
+type DB struct {
+	mu     sync.Mutex
+	engine *core.Engine
+	cat    *catalog.Catalog
+	schema *schema.Registry
+}
+
+// Open creates an empty universe with default engine options.
+func Open() *DB { return OpenWithOptions(core.DefaultOptions()) }
+
+// OpenWithOptions creates an empty universe with explicit options.
+func OpenWithOptions(opts Options) *DB {
+	engine := core.NewEngineWithOptions(opts)
+	return &DB{
+		engine: engine,
+		cat:    catalog.New(engine.Base(), engine.Invalidate),
+	}
+}
+
+// OpenSnapshot loads a universe previously written by Save.
+func OpenSnapshot(path string) (*DB, error) {
+	u, err := storage.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db := Open()
+	u.Each(func(name string, v Value) bool {
+		db.engine.Base().Put(name, v)
+		return true
+	})
+	db.engine.Invalidate()
+	return db, nil
+}
+
+// Save writes the base universe (not derived views) to path atomically.
+func (db *DB) Save(path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return storage.SaveFile(path, db.engine.Base())
+}
+
+// Catalog exposes DDL and metadata introspection.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Engine exposes the underlying evaluation engine for advanced use
+// (statistics, AST-level queries).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Query evaluates a pure query (the leading `?` is optional) against the
+// effective universe — base databases plus materialized views.
+func (db *DB) Query(src string) (*Result, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	if ast.HasUpdate(q.Body) {
+		return nil, fmt.Errorf("idl: %q is an update request; use Exec", src)
+	}
+	return db.engine.Query(q)
+}
+
+// Exec runs an update request: a conjunction of query expressions, update
+// expressions, and update-program calls, executed left to right under a
+// shared substitution bag. Requests are atomic.
+func (db *DB) Exec(src string) (*ExecInfo, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Execute(q)
+}
+
+// DefineView registers one view rule, e.g.
+//
+//	.dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)
+func (db *DB) DefineView(src string) error {
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		return err
+	}
+	return db.engine.AddRule(r)
+}
+
+// DefineViews registers several view rules, stopping at the first error.
+func (db *DB) DefineViews(srcs ...string) error {
+	for _, src := range srcs {
+		if err := db.DefineView(src); err != nil {
+			return fmt.Errorf("idl: rule %q: %w", src, err)
+		}
+	}
+	return nil
+}
+
+// DefineProgram registers one update-program clause, e.g.
+//
+//	.dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S, .date=D)
+func (db *DB) DefineProgram(src string) error {
+	c, err := parser.ParseClause(src)
+	if err != nil {
+		return err
+	}
+	return db.engine.AddClause(c)
+}
+
+// DefinePrograms registers several clauses, stopping at the first error.
+func (db *DB) DefinePrograms(srcs ...string) error {
+	for _, src := range srcs {
+		if err := db.DefineProgram(src); err != nil {
+			return fmt.Errorf("idl: clause %q: %w", src, err)
+		}
+	}
+	return nil
+}
+
+// Call invokes a named update program with parameter bindings keyed by
+// the program's head variables. Values may be Go literals or Values.
+func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, error) {
+	converted := make(map[string]Value, len(params))
+	for k, v := range params {
+		switch x := v.(type) {
+		case Value:
+			converted[k] = x
+		case bool:
+			converted[k] = Bool(x)
+		case int:
+			converted[k] = Int(x)
+		case int64:
+			converted[k] = Int(x)
+		case float64:
+			converted[k] = Float(x)
+		case string:
+			converted[k] = Str(x)
+		default:
+			return nil, fmt.Errorf("idl: unsupported parameter type %T for %s", v, k)
+		}
+	}
+	return db.engine.Call(namespace, name, converted)
+}
+
+// Load runs a `;`-separated IDL script: rules and clauses register, and
+// queries / update requests execute in order. It returns the results of
+// the executed statements.
+func (db *DB) Load(src string) ([]*ScriptResult, error) {
+	stmts, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ScriptResult
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.Rule:
+			if err := db.engine.AddRule(s); err != nil {
+				return out, fmt.Errorf("idl: rule %q: %w", s.String(), err)
+			}
+			out = append(out, &ScriptResult{Statement: s.String(), Kind: "rule"})
+		case *ast.Clause:
+			if err := db.engine.AddClause(s); err != nil {
+				return out, fmt.Errorf("idl: clause %q: %w", s.String(), err)
+			}
+			out = append(out, &ScriptResult{Statement: s.String(), Kind: "clause"})
+		case *ast.Query:
+			if ast.HasUpdate(s.Body) || db.isProgramCall(s) {
+				info, err := db.engine.Execute(s)
+				if err != nil {
+					return out, fmt.Errorf("idl: request %q: %w", s.String(), err)
+				}
+				out = append(out, &ScriptResult{Statement: s.String(), Kind: "exec", Exec: info})
+			} else {
+				ans, err := db.engine.Query(s)
+				if err != nil {
+					return out, fmt.Errorf("idl: query %q: %w", s.String(), err)
+				}
+				out = append(out, &ScriptResult{Statement: s.String(), Kind: "query", Answer: ans})
+			}
+		}
+	}
+	return out, nil
+}
+
+// isProgramCall reports whether any conjunct targets a registered update
+// program (such statements route through Execute even without signs).
+func (db *DB) isProgramCall(q *ast.Query) bool {
+	for _, c := range q.Body.Conjuncts {
+		a, ok := c.(*ast.AttrExpr)
+		if !ok {
+			continue
+		}
+		dbName, ok := constStr(a.Name)
+		if !ok {
+			continue
+		}
+		te, ok := a.Expr.(*ast.TupleExpr)
+		if !ok || len(te.Conjuncts) != 1 {
+			continue
+		}
+		inner, ok := te.Conjuncts[0].(*ast.AttrExpr)
+		if !ok {
+			continue
+		}
+		name, ok := constStr(inner.Name)
+		if !ok {
+			continue
+		}
+		if _, found := db.engine.LookupProgram(dbName, name); found {
+			return true
+		}
+	}
+	return false
+}
+
+func constStr(t ast.Term) (string, bool) {
+	c, ok := t.(ast.Const)
+	if !ok {
+		return "", false
+	}
+	s, ok := c.Value.(Str)
+	return string(s), ok
+}
+
+// ScriptResult reports one executed script statement.
+type ScriptResult struct {
+	Statement string
+	Kind      string // "rule", "clause", "query", "exec"
+	Answer    *Result
+	Exec      *ExecInfo
+}
+
+// Schema returns the constraint registry, installing integrity
+// enforcement on first use: every subsequent mutating request is
+// validated against the declarations and rolled back on violation. Bulk
+// loads through the Catalog are not auto-validated; call ValidateSchema
+// after loading.
+func (db *DB) Schema() *SchemaRegistry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.schema == nil {
+		db.schema = schema.NewRegistry()
+		db.engine.SetValidator(db.schema.Validate)
+	}
+	return db.schema
+}
+
+// ValidateSchema checks the current base universe against all schema
+// declarations (nil if none are declared).
+func (db *DB) ValidateSchema() error {
+	db.mu.Lock()
+	reg := db.schema
+	db.mu.Unlock()
+	if reg == nil {
+		return nil
+	}
+	return reg.Validate(db.engine.Base())
+}
+
+// Explain returns the engine's evaluation plan for a query: scheduled
+// conjunct order, access paths (index/scan), and variable flow.
+func (db *DB) Explain(src string) (string, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.engine.ExplainQuery(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// Programs lists registered update programs.
+func (db *DB) Programs() []*Program { return db.engine.Programs() }
+
+// Views lists registered view rules (as source strings).
+func (db *DB) Views() []string {
+	rules := db.engine.Rules()
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Stats returns evaluator counters.
+func (db *DB) Stats() Stats { return db.engine.Stats() }

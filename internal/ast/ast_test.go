@@ -1,0 +1,243 @@
+package ast
+
+import (
+	"reflect"
+	"testing"
+
+	"idl/internal/object"
+)
+
+func TestRelOpString(t *testing.T) {
+	want := map[RelOp]string{
+		OpEQ: "=", OpNE: "!=", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=",
+		RelOp(99): "?op?",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if SignNone.String() != "" || SignPlus.String() != "+" || SignMinus.String() != "-" {
+		t.Error("sign rendering broken")
+	}
+}
+
+func TestBuildersAndPrinting(t *testing.T) {
+	// ?.euter.r(.stkCode=hp, .clsPrice>60)
+	q := &Query{Body: Conj(
+		Attr("euter", Conj(Attr("r", In(Conj(
+			Attr("stkCode", Eq("hp")),
+			Attr("clsPrice", Gt(60)),
+		))))),
+	)}
+	want := "?.euter.r(.stkCode=hp, .clsPrice>60)"
+	if got := q.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPathHelper(t *testing.T) {
+	p := Path([]string{"euter", "r"}, In(Conj(Attr("x", Eq(1)))))
+	if got := p.String(); got != ".euter.r(.x=1)" {
+		t.Errorf("Path = %q", got)
+	}
+	single := Path([]string{"euter"}, nil)
+	if got := single.String(); got != ".euter" {
+		t.Errorf("single Path = %q", got)
+	}
+	deep := Path([]string{"a", "b", "c"}, Eq(5))
+	if got := deep.String(); got != ".a.b.c=5" {
+		t.Errorf("deep Path = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Path should panic")
+		}
+	}()
+	Path(nil, nil)
+}
+
+func TestComparatorBuilders(t *testing.T) {
+	cases := []struct {
+		e    *Atomic
+		want string
+	}{
+		{Eq(1), "=1"}, {Ne(1), "!=1"}, {Lt(1), "<1"},
+		{Le(1), "<=1"}, {Gt(1), ">1"}, {Ge(1), ">=1"},
+		{Eq(V("X")), "=X"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%q != %q", got, c.want)
+		}
+	}
+}
+
+func TestVarsOrderAndDedup(t *testing.T) {
+	e := Conj(
+		Attr("a", Eq(V("X"))),
+		AttrVar("Y", Eq(V("X"))),
+		&Constraint{L: V("Z"), Op: OpGT, R: Arith{Op: '+', L: V("X"), R: C(1)}},
+	)
+	got := Vars(e)
+	want := []string{"X", "Y", "Z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestHigherOrderVars(t *testing.T) {
+	e := Conj(
+		AttrVar("X", Conj(AttrVar("Y", Eq(V("P"))))),
+		Attr("fixed", Eq(V("X"))),
+	)
+	got := HigherOrderVars(e)
+	if !reflect.DeepEqual(got, []string{"X", "Y"}) {
+		t.Errorf("HigherOrderVars = %v", got)
+	}
+}
+
+func TestPositiveVars(t *testing.T) {
+	// X positive, Y only under Not, Z in constraint under Not.
+	e := Conj(
+		Attr("a", Eq(V("X"))),
+		Neg(Attr("b", Conj(Attr("c", Eq(V("Y"))), &Constraint{L: V("Z"), Op: OpEQ, R: C(1)}))),
+	)
+	got := PositiveVars(e)
+	if !reflect.DeepEqual(got, []string{"X"}) {
+		t.Errorf("PositiveVars = %v", got)
+	}
+	// A variable both inside and outside negation is positive.
+	e2 := Conj(
+		Attr("a", Eq(V("P"))),
+		Neg(Attr("b", Gt(V("P")))),
+	)
+	if got := PositiveVars(e2); !reflect.DeepEqual(got, []string{"P"}) {
+		t.Errorf("PositiveVars = %v", got)
+	}
+	if PositiveVars(nil) != nil {
+		t.Error("nil expr should have no vars")
+	}
+}
+
+func TestHasUpdate(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Attr("a", Eq(1)), false},
+		{&Atomic{Sign: SignPlus, Op: OpEQ, Term: C(1)}, true},
+		{&AttrExpr{Sign: SignMinus, Name: C("a"), Expr: Epsilon{}}, true},
+		{&SetExpr{Sign: SignPlus, X: Epsilon{}}, true},
+		{Conj(Attr("a", Eq(1)), &SetExpr{Sign: SignMinus, X: Epsilon{}}), true},
+		{Neg(Attr("a", Eq(1))), false},
+	}
+	for i, c := range cases {
+		if got := HasUpdate(c.e); got != c.want {
+			t.Errorf("case %d: HasUpdate(%s) = %v, want %v", i, c.e.String(), got, c.want)
+		}
+	}
+}
+
+func TestIsSimpleAndGround(t *testing.T) {
+	simple := Conj(Attr("a", Eq(1)), Attr("b", In(Conj(Attr("c", Eq("x"))))))
+	if !IsSimple(simple) {
+		t.Error("should be simple")
+	}
+	if !IsGround(simple) {
+		t.Error("should be ground")
+	}
+	cases := []Expr{
+		Conj(Attr("a", Gt(1))),      // inequality
+		Conj(Neg(Attr("a", Eq(1)))), // negation
+		Conj(&AttrExpr{Sign: SignPlus, Name: Var{Name: "A"}, Expr: Eq(1)}), // sign
+		Conj(&Constraint{L: V("X"), Op: OpLT, R: C(1)}),                    // non-eq constraint
+	}
+	for i, e := range cases {
+		if IsSimple(e) {
+			t.Errorf("case %d should not be simple", i)
+		}
+	}
+	if IsGround(Conj(Attr("a", Eq(V("X"))))) {
+		t.Error("variable expr is not ground")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	e := Conj(Attr("a", In(Conj(Attr("b", Eq(1))))), Attr("c", Eq(2)))
+	var visited []string
+	Walk(e, func(node Expr) bool {
+		if a, ok := node.(*AttrExpr); ok {
+			name := a.Name.(Const).Value.String()
+			visited = append(visited, name)
+			return name != "a" // prune below .a
+		}
+		return true
+	})
+	if !reflect.DeepEqual(visited, []string{"a", "c"}) {
+		t.Errorf("visited = %v", visited)
+	}
+	Walk(nil, func(Expr) bool { t.Error("nil walk should not call fn"); return true })
+}
+
+func TestStatementStrings(t *testing.T) {
+	r := &Rule{
+		Head: Conj(Attr("v", Conj(Attr("p", &SetExpr{Sign: SignPlus, X: Conj(Attr("x", Eq(V("X"))))})))),
+		Body: Conj(Attr("b", Conj(Attr("s", In(Conj(Attr("x", Eq(V("X"))))))))),
+	}
+	if got := r.String(); got != ".v.p+(.x=X) <- .b.s(.x=X)" {
+		t.Errorf("rule String = %q", got)
+	}
+	c := &Clause{Head: r.Head, Body: r.Body}
+	if got := c.String(); got != ".v.p+(.x=X) -> .b.s(.x=X)" {
+		t.Errorf("clause String = %q", got)
+	}
+}
+
+func TestArithString(t *testing.T) {
+	a := Arith{Op: '+', L: V("C"), R: C(10)}
+	if got := a.String(); got != "(C + 10)" {
+		t.Errorf("Arith String = %q", got)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := &Constraint{L: V("X"), Op: OpNE, R: C("date")}
+	if got := c.String(); got != "X != date" {
+		t.Errorf("Constraint String = %q", got)
+	}
+}
+
+func TestVarExpr(t *testing.T) {
+	v := &VarExpr{Name: "R"}
+	if v.String() != "=R" {
+		t.Errorf("VarExpr String = %q", v.String())
+	}
+	if got := Vars(Conj(Attr("a", v))); !reflect.DeepEqual(got, []string{"R"}) {
+		t.Errorf("VarExpr vars = %v", got)
+	}
+}
+
+func TestToTermAndObjectConversions(t *testing.T) {
+	if !C(object.Int(5)).Value.Equal(object.Int(5)) {
+		t.Error("object passthrough")
+	}
+	if !C(nil).Value.Equal(object.Null{}) {
+		t.Error("nil -> null")
+	}
+	if !C(int64(7)).Value.Equal(object.Int(7)) {
+		t.Error("int64")
+	}
+	if !C(true).Value.Equal(object.Bool(true)) {
+		t.Error("bool")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsupported type should panic")
+		}
+	}()
+	C(struct{}{})
+}

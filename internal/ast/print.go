@@ -1,0 +1,68 @@
+package ast
+
+import (
+	"strings"
+)
+
+// String renderings produce valid IDL surface syntax: every AST re-parses
+// to an equal AST (tested in internal/parser round-trip tests).
+
+func (c Const) String() string { return c.Value.String() }
+
+func (v Var) String() string { return v.Name }
+
+func (a Arith) String() string {
+	return "(" + a.L.String() + " " + string(a.Op) + " " + a.R.String() + ")"
+}
+
+func (Epsilon) String() string { return "" }
+
+func (n *Not) String() string { return "~" + n.X.String() }
+
+func (a *Atomic) String() string {
+	return a.Sign.String() + a.Op.String() + a.Term.String()
+}
+
+func (a *AttrExpr) String() string {
+	var b strings.Builder
+	b.WriteString(a.Sign.String())
+	b.WriteByte('.')
+	b.WriteString(a.Name.String())
+	if a.Expr != nil {
+		if s := a.Expr.String(); s != "" {
+			// Path chains like `.euter.r(...)` need no space; atomic and
+			// negated suffixes read better with none either, except a
+			// bare relop needs no separator anyway.
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+func (t *TupleExpr) String() string {
+	parts := make([]string, len(t.Conjuncts))
+	for i, c := range t.Conjuncts {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (s *SetExpr) String() string {
+	return s.Sign.String() + "(" + s.X.String() + ")"
+}
+
+func (c *Constraint) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+func (v *VarExpr) String() string { return "=" + v.Name }
+
+func (q *Query) String() string { return "?" + q.Body.String() }
+
+func (r *Rule) String() string {
+	return r.Head.String() + " <- " + r.Body.String()
+}
+
+func (c *Clause) String() string {
+	return c.Head.String() + " -> " + c.Body.String()
+}

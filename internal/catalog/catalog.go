@@ -1,0 +1,233 @@
+// Package catalog manages the shape of a universe of databases: creating
+// and dropping databases and relations, bulk-loading tuples, and
+// introspecting metadata (the names that IDL's higher-order variables
+// range over).
+//
+// The catalog operates on the same object.Tuple universe the core engine
+// evaluates against; it is the API-level DDL counterpart to the
+// language-level metadata updates of paper §5 (which can also create and
+// destroy relations and attributes).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"idl/internal/object"
+)
+
+// Catalog wraps a universe tuple with DDL and introspection operations.
+// It does not serialize access; the owner (usually an idl.DB) does.
+type Catalog struct {
+	universe *object.Tuple
+	onChange func() // invoked after every mutation (engine invalidation)
+}
+
+// New wraps a universe tuple. onChange (optional) runs after each
+// mutation — wire it to the engine's Invalidate.
+func New(universe *object.Tuple, onChange func()) *Catalog {
+	if universe == nil {
+		universe = object.NewTuple()
+	}
+	return &Catalog{universe: universe, onChange: onChange}
+}
+
+// Universe returns the underlying universe tuple.
+func (c *Catalog) Universe() *object.Tuple { return c.universe }
+
+func (c *Catalog) changed() {
+	if c.onChange != nil {
+		c.onChange()
+	}
+}
+
+// CreateDatabase adds an empty database. It fails if the name is taken.
+func (c *Catalog) CreateDatabase(name string) error {
+	if name == "" {
+		return fmt.Errorf("catalog: database name must not be empty")
+	}
+	if c.universe.Has(name) {
+		return fmt.Errorf("catalog: database %q already exists", name)
+	}
+	c.universe.Put(name, object.NewTuple())
+	c.changed()
+	return nil
+}
+
+// DropDatabase removes a database and all its relations.
+func (c *Catalog) DropDatabase(name string) error {
+	if !c.universe.Delete(name) {
+		return fmt.Errorf("catalog: no database %q", name)
+	}
+	c.changed()
+	return nil
+}
+
+// database returns the tuple for a database.
+func (c *Catalog) database(name string) (*object.Tuple, error) {
+	v, ok := c.universe.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("catalog: no database %q", name)
+	}
+	t, ok := v.(*object.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("catalog: database %q is not a tuple of relations", name)
+	}
+	return t, nil
+}
+
+// CreateRelation adds an empty relation to a database.
+func (c *Catalog) CreateRelation(db, rel string) error {
+	d, err := c.database(db)
+	if err != nil {
+		return err
+	}
+	if rel == "" {
+		return fmt.Errorf("catalog: relation name must not be empty")
+	}
+	if d.Has(rel) {
+		return fmt.Errorf("catalog: relation %q already exists in %q", rel, db)
+	}
+	d.Put(rel, object.NewSet())
+	c.changed()
+	return nil
+}
+
+// DropRelation removes a relation.
+func (c *Catalog) DropRelation(db, rel string) error {
+	d, err := c.database(db)
+	if err != nil {
+		return err
+	}
+	if !d.Delete(rel) {
+		return fmt.Errorf("catalog: no relation %q in %q", rel, db)
+	}
+	c.changed()
+	return nil
+}
+
+// Relation returns a relation's set, creating the relation (and database)
+// on demand when create is true.
+func (c *Catalog) Relation(db, rel string, create bool) (*object.Set, error) {
+	d, err := c.database(db)
+	if err != nil {
+		if !create {
+			return nil, err
+		}
+		if cErr := c.CreateDatabase(db); cErr != nil {
+			return nil, cErr
+		}
+		d, _ = c.database(db)
+	}
+	v, ok := d.Get(rel)
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("catalog: no relation %q in %q", rel, db)
+		}
+		s := object.NewSet()
+		d.Put(rel, s)
+		c.changed()
+		return s, nil
+	}
+	s, ok := v.(*object.Set)
+	if !ok {
+		return nil, fmt.Errorf("catalog: %s.%s is not a relation", db, rel)
+	}
+	return s, nil
+}
+
+// Insert bulk-loads tuples into a relation (created on demand), skipping
+// duplicates, and returns how many were added.
+func (c *Catalog) Insert(db, rel string, tuples ...*object.Tuple) (int, error) {
+	s, err := c.Relation(db, rel, true)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range tuples {
+		if s.Add(t) {
+			n++
+		}
+	}
+	if n > 0 {
+		c.changed()
+	}
+	return n, nil
+}
+
+// Databases lists database names, sorted.
+func (c *Catalog) Databases() []string {
+	names := append([]string(nil), c.universe.Attrs()...)
+	sort.Strings(names)
+	return names
+}
+
+// Relations lists a database's relation names, sorted.
+func (c *Catalog) Relations(db string) ([]string, error) {
+	d, err := c.database(db)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), d.Attrs()...)
+	sort.Strings(names)
+	return names, nil
+}
+
+// Attributes lists the union of attribute names across a relation's
+// tuples, sorted. Heterogeneous relations report every name that occurs.
+func (c *Catalog) Attributes(db, rel string) ([]string, error) {
+	s, err := c.Relation(db, rel, false)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	s.Each(func(e object.Object) bool {
+		if t, ok := e.(*object.Tuple); ok {
+			for _, a := range t.Attrs() {
+				seen[a] = true
+			}
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Cardinality returns a relation's tuple count.
+func (c *Catalog) Cardinality(db, rel string) (int, error) {
+	s, err := c.Relation(db, rel, false)
+	if err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}
+
+// Stat describes one relation for catalog listings.
+type Stat struct {
+	Database   string
+	Relation   string
+	Tuples     int
+	Attributes []string
+}
+
+// Stats describes every relation in the universe, ordered by database
+// then relation name.
+func (c *Catalog) Stats() []Stat {
+	var out []Stat
+	for _, db := range c.Databases() {
+		rels, err := c.Relations(db)
+		if err != nil {
+			continue
+		}
+		for _, rel := range rels {
+			attrs, _ := c.Attributes(db, rel)
+			n, _ := c.Cardinality(db, rel)
+			out = append(out, Stat{Database: db, Relation: rel, Tuples: n, Attributes: attrs})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package catalog
+
+import (
+	"testing"
+
+	"idl/internal/object"
+)
+
+func TestCreateAndDropDatabase(t *testing.T) {
+	changes := 0
+	c := New(nil, func() { changes++ })
+	if err := c.CreateDatabase("euter"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("euter"); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := c.CreateDatabase(""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if got := c.Databases(); len(got) != 1 || got[0] != "euter" {
+		t.Errorf("databases = %v", got)
+	}
+	if err := c.DropDatabase("euter"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropDatabase("euter"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if changes != 2 {
+		t.Errorf("onChange fired %d times, want 2", changes)
+	}
+}
+
+func TestCreateAndDropRelation(t *testing.T) {
+	c := New(nil, nil)
+	if err := c.CreateRelation("nodb", "r"); err == nil {
+		t.Error("relation in missing database should fail")
+	}
+	if err := c.CreateDatabase("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("d", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("d", "r"); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+	if err := c.CreateRelation("d", ""); err == nil {
+		t.Error("empty relation name should fail")
+	}
+	rels, err := c.Relations("d")
+	if err != nil || len(rels) != 1 || rels[0] != "r" {
+		t.Errorf("relations = %v, %v", rels, err)
+	}
+	if err := c.DropRelation("d", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropRelation("d", "r"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestRelationOnDemand(t *testing.T) {
+	c := New(nil, nil)
+	if _, err := c.Relation("d", "r", false); err == nil {
+		t.Error("missing relation without create should fail")
+	}
+	s, err := c.Relation("d", "r", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(object.TupleOf("x", 1))
+	again, err := c.Relation("d", "r", false)
+	if err != nil || again.Len() != 1 {
+		t.Errorf("relation not shared: %v %v", again, err)
+	}
+}
+
+func TestInsertAndStats(t *testing.T) {
+	c := New(nil, nil)
+	n, err := c.Insert("euter", "r",
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 2), "stkCode", "hp", "clsPrice", 55),
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50), // dup
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("inserted %d, err %v", n, err)
+	}
+	card, err := c.Cardinality("euter", "r")
+	if err != nil || card != 2 {
+		t.Errorf("cardinality = %d, %v", card, err)
+	}
+	attrs, err := c.Attributes("euter", "r")
+	if err != nil || len(attrs) != 3 || attrs[0] != "clsPrice" {
+		t.Errorf("attributes = %v, %v", attrs, err)
+	}
+	stats := c.Stats()
+	if len(stats) != 1 || stats[0].Tuples != 2 || stats[0].Database != "euter" {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestHeterogeneousAttributeUnion(t *testing.T) {
+	c := New(nil, nil)
+	_, err := c.Insert("d", "r",
+		object.TupleOf("a", 1),
+		object.TupleOf("b", 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := c.Attributes("d", "r")
+	if err != nil || len(attrs) != 2 {
+		t.Errorf("attributes = %v, %v", attrs, err)
+	}
+}
+
+func TestNonRelationErrors(t *testing.T) {
+	u := object.NewTuple()
+	u.Put("weird", object.Int(5)) // database slot holding an atom
+	d := object.NewTuple()
+	d.Put("alsoWeird", object.Int(7)) // relation slot holding an atom
+	u.Put("d", d)
+	c := New(u, nil)
+	if _, err := c.Relations("weird"); err == nil {
+		t.Error("non-tuple database should error")
+	}
+	if _, err := c.Relation("d", "alsoWeird", false); err == nil {
+		t.Error("non-set relation should error")
+	}
+}

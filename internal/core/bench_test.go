@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"idl/internal/object"
+	"idl/internal/parser"
+)
+
+// benchEngine builds a universe with one euter-style relation of n rows.
+func benchEngine(b *testing.B, n int, opts Options) *Engine {
+	b.Helper()
+	e := NewEngineWithOptions(opts)
+	rel := object.NewSet()
+	for i := 0; i < n; i++ {
+		rel.Add(object.TupleOf(
+			"date", object.NewDate(85, 1+i%12, 1+i%28),
+			"stkCode", fmt.Sprintf("stk%03d", i%50),
+			"clsPrice", 10+i%300,
+		))
+	}
+	d := object.NewTuple()
+	d.Put("r", rel)
+	e.Base().Put("euter", d)
+	e.Invalidate()
+	return e
+}
+
+func benchQuery(b *testing.B, e *Engine, src string) {
+	b.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointQueryIndexed(b *testing.B) {
+	e := benchEngine(b, 10000, DefaultOptions())
+	benchQuery(b, e, "?.euter.r(.stkCode=stk025, .clsPrice=P, .date=D)")
+}
+
+func BenchmarkPointQueryScan(b *testing.B) {
+	opts := DefaultOptions()
+	opts.UseIndex = false
+	e := benchEngine(b, 10000, opts)
+	benchQuery(b, e, "?.euter.r(.stkCode=stk025, .clsPrice=P, .date=D)")
+}
+
+func BenchmarkHigherOrderAttrEnumeration(b *testing.B) {
+	e := NewEngine()
+	rel := object.NewSet()
+	row := object.NewTuple()
+	row.Put("date", object.NewDate(85, 1, 2))
+	for i := 0; i < 200; i++ {
+		row.Put(fmt.Sprintf("stk%03d", i), object.Int(i))
+	}
+	rel.Add(row)
+	d := object.NewTuple()
+	d.Put("r", rel)
+	e.Base().Put("chwab", d)
+	e.Invalidate()
+	benchQuery(b, e, "?.chwab.r(.S>150)")
+}
+
+func BenchmarkNegationQuery(b *testing.B) {
+	e := benchEngine(b, 2000, DefaultOptions())
+	benchQuery(b, e, "?.euter.r(.stkCode=stk010,.clsPrice=P,.date=D), .euter.r~(.stkCode=stk010, .clsPrice>P)")
+}
+
+func BenchmarkInsertThroughput(b *testing.B) {
+	e := benchEngine(b, 0, DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := parser.ParseQuery(fmt.Sprintf("?.euter.r+(.stkCode=s%07d, .clsPrice=%d)", i, i%100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializeSimpleView(b *testing.B) {
+	e := benchEngine(b, 5000, DefaultOptions())
+	mustRuleB(b, e, ".v.hot+(.stk=S, .price=P) <- .euter.r(.stkCode=S, .clsPrice=P), .euter.r~(.stkCode=S, .clsPrice>P)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Invalidate()
+		if _, err := e.EffectiveUniverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustRuleB(b *testing.B, e *Engine, src string) {
+	b.Helper()
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.AddRule(r); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"idl/internal/ast"
+	"idl/internal/object"
+)
+
+// Options configure an Engine. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// UseIndex enables per-(set, attribute) hash indexes for equality-
+	// pinned set expressions. Default true via NewEngine.
+	UseIndex bool
+	// SemiNaive enables rule-level semi-naive fixpoint iteration during
+	// view materialization. Default true via NewEngine.
+	SemiNaive bool
+	// MaxIterations bounds fixpoint iterations per stratum (guards
+	// non-terminating rule sets). Default 10000.
+	MaxIterations int
+	// NoSchedule disables safety-driven conjunct reordering: conjuncts
+	// evaluate strictly left to right, so queries whose negations or
+	// inequalities precede their binders fail with UnsafeError. Used by
+	// the scheduling ablation benchmark.
+	NoSchedule bool
+	// ExposeMeta reifies the effective universe's schema as a synthetic
+	// `meta` database (see meta.go) so metadata can be queried as data.
+	ExposeMeta bool
+	// IncrementalViews maintains materialized views incrementally when it
+	// is sound to do so: after a purely additive update (no deletes, no
+	// nulled values) and with a negation-free rule set, rules re-run on
+	// top of the existing overlay instead of from scratch. Any other
+	// change falls back to full recomputation.
+	IncrementalViews bool
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{UseIndex: true, SemiNaive: true, MaxIterations: 10000}
+}
+
+// Engine is the IDL evaluation engine over one universe of databases: it
+// answers higher-order queries (§4), executes update requests (§5),
+// materializes (higher-order) views (§6), and runs update programs
+// including view-update translation (§7).
+//
+// An Engine is safe for concurrent use; a single mutex serializes all
+// operations (queries mutate shared caches, so even reads take it).
+type Engine struct {
+	mu sync.Mutex
+
+	base    *object.Tuple // extensional universe (the only updatable part)
+	rules   []*compiledRule
+	regs    *programRegistry
+	indexes *indexCache
+	opts    Options
+	stats   Stats
+
+	derivedDynamic map[string]bool            // db -> has higher-order heads
+	derivedRels    map[string]map[string]bool // db -> rel -> derived
+
+	derived   *object.Tuple // overlay from last materialization
+	effective *object.Tuple // merged base+derived from last refresh
+	dirty     bool          // base or rules changed since last refresh
+	// monotoneDirty: every change since the last refresh was purely
+	// additive, so (for negation-free rule sets) the existing overlay is
+	// still a sound lower bound and can be grown incrementally.
+	monotoneDirty bool
+	rulesMonotone bool // no rule body contains a negated reference
+
+	// validator, when set, checks the base universe after every
+	// mutating request; a non-nil error rolls the request back
+	// (integrity enforcement — see internal/schema).
+	validator func(*object.Tuple) error
+
+	lastRecompute RecomputeStats
+}
+
+// SetValidator installs (or clears, with nil) an integrity validator run
+// against the base universe after every mutating request. A validation
+// error aborts and rolls back the request.
+func (e *Engine) SetValidator(fn func(*object.Tuple) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.validator = fn
+}
+
+// NewEngine returns an engine with an empty universe.
+func NewEngine() *Engine { return NewEngineWithOptions(DefaultOptions()) }
+
+// NewEngineWithOptions returns an engine with explicit options.
+func NewEngineWithOptions(opts Options) *Engine {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 10000
+	}
+	return &Engine{
+		base:           object.NewTuple(),
+		regs:           newProgramRegistry(),
+		indexes:        newIndexCache(),
+		opts:           opts,
+		derivedDynamic: map[string]bool{},
+		derivedRels:    map[string]map[string]bool{},
+		dirty:          true,
+	}
+}
+
+// Base returns the extensional universe tuple. Callers who mutate it
+// directly (e.g. bulk loaders) must call Invalidate afterwards.
+func (e *Engine) Base() *object.Tuple { return e.base }
+
+// Invalidate marks derived views stale; the next query rematerializes
+// from scratch (external mutations are assumed non-monotone).
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.markDirty(false)
+}
+
+// markDirty records staleness; monotone dirt can stack on monotone dirt,
+// anything else forces a full recomputation. Callers hold e.mu.
+func (e *Engine) markDirty(monotone bool) {
+	if e.dirty {
+		e.monotoneDirty = e.monotoneDirty && monotone
+	} else {
+		e.dirty = true
+		e.monotoneDirty = monotone
+	}
+}
+
+// Stats returns a copy of the evaluator counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the evaluator counters.
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// LastRecompute reports the work done by the most recent view
+// materialization.
+func (e *Engine) LastRecompute() RecomputeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastRecompute
+}
+
+// AddRule registers a view rule (§6) after validation and restratifies
+// the rule set.
+func (e *Engine) AddRule(r *ast.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ast.HasUpdate(r.Body) {
+		return fmt.Errorf("core: rule body %q must not contain update expressions", r.Body.String())
+	}
+	cr, err := compileRule(r)
+	if err != nil {
+		return err
+	}
+	candidate := append(append([]*compiledRule(nil), e.rules...), cr)
+	if err := stratify(candidate); err != nil {
+		return err
+	}
+	e.rules = candidate
+	if cr.headRel == nil {
+		e.derivedDynamic[cr.headDB] = true
+	} else if v, ok := cr.headRel.(ast.Const); ok {
+		if s, ok := v.Value.(object.Str); ok {
+			rels := e.derivedRels[cr.headDB]
+			if rels == nil {
+				rels = map[string]bool{}
+				e.derivedRels[cr.headDB] = rels
+			}
+			rels[string(s)] = true
+		}
+	} else {
+		// Higher-order head: relation set is data dependent, so the whole
+		// database is derived.
+		e.derivedDynamic[cr.headDB] = true
+	}
+	e.markDirty(false)
+	e.rulesMonotone = true
+	for _, cr := range e.rules {
+		for _, ref := range cr.refs {
+			if ref.negated {
+				e.rulesMonotone = false
+			}
+		}
+	}
+	return nil
+}
+
+// Rules returns the source rules in registration order.
+func (e *Engine) Rules() []*ast.Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*ast.Rule, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.src
+	}
+	return out
+}
+
+// AddClause registers an update-program clause (§7).
+func (e *Engine) AddClause(c *ast.Clause) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cc, err := compileClause(c)
+	if err != nil {
+		return err
+	}
+	e.regs.add(cc)
+	return nil
+}
+
+// Programs lists the registered callable programs.
+func (e *Engine) Programs() []*Program {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.regs.All()
+}
+
+// LookupProgram finds a callable program by namespace and name.
+func (e *Engine) LookupProgram(db, name string) (*Program, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.regs.lookup(db, name)
+}
+
+// Query answers a pure query (§4) against the effective universe
+// (base ∪ materialized views). It rejects update requests.
+func (e *Engine) Query(q *ast.Query) (*Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ast.HasUpdate(q.Body) {
+		return nil, fmt.Errorf("core: query contains update expressions; use Execute")
+	}
+	eff, err := e.refreshEffective()
+	if err != nil {
+		return nil, err
+	}
+	// Answer variables are those with a positive occurrence; variables
+	// confined to negations are existential and never bind outward.
+	vars := ast.PositiveVars(q.Body)
+	ans := newAnswer(vars)
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats}
+	err = ev.satisfy(q.Body, eff, func() error {
+		ans.add(ev.env.Snapshot(vars))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ans, nil
+}
+
+// Execute runs an update request (§5.2): a conjunction of query
+// expressions, update expressions, and update-program calls, processed
+// left → right under a shared substitution bag. The request is atomic —
+// any error rolls every mutation back.
+func (e *Engine) Execute(q *ast.Query) (*ExecResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u := &updater{
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats},
+		undo:   &undoLog{},
+		result: &ExecResult{},
+	}
+	err := e.execBody(q.Body, u, map[string]object.Object{}, map[*compiledClause]bool{})
+	if err == nil {
+		err = e.validate(u)
+	}
+	if err != nil {
+		u.undo.rollback()
+		e.markDirty(false)
+		return nil, err
+	}
+	if u.result.Changed() {
+		e.markDirty(monotoneResult(u.result))
+	}
+	return u.result, nil
+}
+
+// monotoneResult reports whether a request only added facts.
+func monotoneResult(r *ExecResult) bool {
+	return r.ElemsDeleted == 0 && r.AttrsDeleted == 0 && r.ValuesSet == 0
+}
+
+// validate runs the installed integrity validator for a mutating request.
+func (e *Engine) validate(u *updater) error {
+	if e.validator == nil || !u.result.Changed() {
+		return nil
+	}
+	return e.validator(e.base)
+}
+
+// Call invokes a named update program with explicit parameter bindings —
+// the API-level equivalent of `?.db.prog(.param=value, …)`.
+func (e *Engine) Call(db, name string, params map[string]object.Object) (*ExecResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.regs.lookup(db, name)
+	if !ok {
+		return nil, fmt.Errorf("core: no update program %s.%s", db, name)
+	}
+	u := &updater{
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats},
+		undo:   &undoLog{},
+		result: &ExecResult{},
+	}
+	err := e.invokeProgramDirect(p, params, u, map[*compiledClause]bool{})
+	if err == nil {
+		err = e.validate(u)
+	}
+	if err != nil {
+		u.undo.rollback()
+		e.markDirty(false)
+		return nil, err
+	}
+	if u.result.Changed() {
+		e.markDirty(monotoneResult(u.result))
+	}
+	return u.result, nil
+}
+
+// EffectiveUniverse returns the merged base+derived universe,
+// rematerializing views if stale. The result must not be mutated.
+func (e *Engine) EffectiveUniverse() (*object.Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refreshEffective()
+}
+
+// DerivedOverlay returns the current derived overlay (views only),
+// rematerializing if stale.
+func (e *Engine) DerivedOverlay() (*object.Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.refreshEffective(); err != nil {
+		return nil, err
+	}
+	return e.derived, nil
+}
+
+// refreshEffective rematerializes views when stale. Callers hold e.mu.
+func (e *Engine) refreshEffective() (*object.Tuple, error) {
+	if !e.dirty && e.effective != nil {
+		return e.effective, nil
+	}
+	var derived *object.Tuple
+	var stats RecomputeStats
+	var err error
+	if e.opts.IncrementalViews && e.monotoneDirty && e.rulesMonotone && e.derived != nil {
+		// Purely additive change + negation-free rules: grow the
+		// existing overlay (sound because derivation is monotone).
+		derived = e.derived
+		stats, err = e.materializeInto(derived)
+		stats.Incremental = true
+	} else {
+		derived, stats, err = e.materialize()
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.derived = derived
+	e.lastRecompute = stats
+	e.effective = mergeUniverse(e.base, derived)
+	if e.opts.ExposeMeta && !e.effective.Has(MetaDB) {
+		// Reify on a copy when the merge returned the base by reference,
+		// so the synthetic database never leaks into the base universe.
+		if e.effective == e.base {
+			cp := object.NewTuple()
+			e.base.Each(func(db string, v object.Object) bool {
+				cp.Put(db, v)
+				return true
+			})
+			e.effective = cp
+		}
+		e.effective.Put(MetaDB, buildMeta(e.effective))
+	}
+	e.indexes.invalidate()
+	e.dirty = false
+	e.monotoneDirty = false
+	return e.effective, nil
+}
+
+// execBody is the shared request loop used by Execute, program clause
+// bodies, and view-update translations: classify each conjunct as query /
+// program call / update and process left → right over the substitution
+// bag.
+func (e *Engine) execBody(body *ast.TupleExpr, u *updater, seed map[string]object.Object, active map[*compiledClause]bool) error {
+	type envMap = map[string]object.Object
+	envs := []envMap{seed}
+	for _, conjunct := range body.Conjuncts {
+		if err := validateUpdateConjunct(conjunct); err != nil {
+			return err
+		}
+		switch {
+		case !ast.HasUpdate(conjunct):
+			// Program call or query conjunct.
+			if p, params, ok := e.programCall(conjunct); ok {
+				for _, em := range envs {
+					u.ev.env = envFrom(em)
+					bound, err := bindCallParams(params.clause, params.args, u.ev.env)
+					if err != nil {
+						return err
+					}
+					if err := e.invokeProgram(p, bound, u, active); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			eff, err := e.refreshEffective()
+			if err != nil {
+				return err
+			}
+			var extended []envMap
+			dedupe := newAnswer(nil)
+			for _, em := range envs {
+				u.ev.env = envFrom(em)
+				err := u.ev.satisfy(conjunct, eff, func() error {
+					snap := u.ev.env.Snapshot(nil)
+					if dedupe.add(snap) {
+						extended = append(extended, snap)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			envs = extended
+
+		default:
+			// Update conjunct: route to a view updater or the base.
+			for _, em := range envs {
+				u.ev.env = envFrom(em)
+				if err := e.execUpdateConjunct(conjunct, u, active); err != nil {
+					return err
+				}
+			}
+			e.markDirty(monotoneResult(u.result))
+		}
+	}
+	u.result.Bindings = len(envs)
+	return nil
+}
+
+// callSite carries a matched program-call conjunct.
+type callSite struct {
+	clause *compiledClause
+	args   *ast.TupleExpr
+}
+
+type matchedCall struct {
+	clause *compiledClause
+	args   *ast.TupleExpr
+}
+
+// programCall recognizes `.db.name(args…)` conjuncts naming a registered
+// update program. Registered program namespaces shadow same-named data.
+func (e *Engine) programCall(conjunct ast.Expr) (*Program, *matchedCall, bool) {
+	a, ok := conjunct.(*ast.AttrExpr)
+	if !ok || a.Sign != ast.SignNone {
+		return nil, nil, false
+	}
+	db, ok := constStrName(a.Name)
+	if !ok {
+		return nil, nil, false
+	}
+	inner, ok := a.Expr.(*ast.TupleExpr)
+	if !ok || len(inner.Conjuncts) != 1 {
+		return nil, nil, false
+	}
+	nameAttr, ok := inner.Conjuncts[0].(*ast.AttrExpr)
+	if !ok || nameAttr.Sign != ast.SignNone {
+		return nil, nil, false
+	}
+	name, ok := constStrName(nameAttr.Name)
+	if !ok {
+		return nil, nil, false
+	}
+	p, found := e.regs.lookup(db, name)
+	if !found {
+		return nil, nil, false
+	}
+	var args *ast.TupleExpr
+	switch x := nameAttr.Expr.(type) {
+	case *ast.SetExpr:
+		if x.Sign != ast.SignNone {
+			return nil, nil, false
+		}
+		switch in := x.X.(type) {
+		case *ast.TupleExpr:
+			args = in
+		case ast.Epsilon:
+			args = &ast.TupleExpr{}
+		case *ast.AttrExpr:
+			args = &ast.TupleExpr{Conjuncts: []ast.Expr{in}}
+		default:
+			return nil, nil, false
+		}
+	case ast.Epsilon:
+		args = &ast.TupleExpr{}
+	default:
+		return nil, nil, false
+	}
+	if len(p.Clauses) == 0 {
+		return nil, nil, false
+	}
+	return p, &matchedCall{clause: p.Clauses[0], args: args}, true
+}
+
+func constStrName(t ast.Term) (string, bool) {
+	c, ok := t.(ast.Const)
+	if !ok {
+		return "", false
+	}
+	s, ok := c.Value.(object.Str)
+	if !ok {
+		return "", false
+	}
+	return string(s), true
+}
+
+// invokeProgram executes every clause of a program, in order, under the
+// given parameter bindings — re-matching each clause's own parameter
+// declaration (clauses may declare different subsets).
+func (e *Engine) invokeProgram(p *Program, bound map[string]object.Object, u *updater, active map[*compiledClause]bool) error {
+	return e.invokeProgramDirect(p, bound, u, active)
+}
+
+func (e *Engine) invokeProgramDirect(p *Program, bound map[string]object.Object, u *updater, active map[*compiledClause]bool) error {
+	for _, cc := range p.Clauses {
+		if active[cc] {
+			return fmt.Errorf("core: recursive invocation of update program %s.%s", p.DB, p.Name)
+		}
+	}
+	for _, cc := range p.Clauses {
+		// Check the clause's binding signature.
+		for _, req := range cc.required {
+			if _, ok := bound[req]; !ok {
+				return fmt.Errorf("core: program %s.%s requires parameter variable %s to be bound (insert expressions would be undefined)", p.DB, p.Name, req)
+			}
+		}
+		seed := map[string]object.Object{}
+		for k, v := range bound {
+			if varDeclared(cc, k) {
+				seed[k] = v
+			}
+		}
+		active[cc] = true
+		err := e.execBody(cc.src.Body, u, seed, active)
+		delete(active, cc)
+		if err != nil {
+			return fmt.Errorf("core: program %s.%s: %w", p.DB, p.Name, err)
+		}
+	}
+	return nil
+}
+
+func varDeclared(cc *compiledClause, name string) bool {
+	for _, v := range cc.paramVars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// execUpdateConjunct routes one update conjunct: updates touching derived
+// (view) relations dispatch to registered view-update programs; everything
+// else applies to the base universe.
+func (e *Engine) execUpdateConjunct(conjunct ast.Expr, u *updater, active map[*compiledClause]bool) error {
+	if db, rel, sign, inner, ok := e.updateTarget(conjunct, u.ev.env); ok && e.isDerived(db, rel) {
+		cc, found := e.regs.lookupViewUpdater(db, rel, sign)
+		if !found {
+			return fmt.Errorf("core: view %s.%s is not updatable: no %s-update program is registered for it", db, rel, sign)
+		}
+		if active[cc] {
+			return fmt.Errorf("core: recursive view-update translation for %s.%s", db, rel)
+		}
+		bound, err := matchViewUpdate(cc, rel, inner, u.ev.env)
+		if err != nil {
+			return err
+		}
+		for _, req := range cc.required {
+			if _, ok := bound[req]; !ok {
+				return fmt.Errorf("core: view update on %s.%s requires %s to be bound", db, rel, req)
+			}
+		}
+		active[cc] = true
+		err = e.execBody(cc.src.Body, u, bound, active)
+		delete(active, cc)
+		if err != nil {
+			return fmt.Errorf("core: view update on %s.%s: %w", db, rel, err)
+		}
+		return nil
+	}
+	// Guard: an update conjunct whose database level is derived but whose
+	// shape we could not match is an error rather than a silent base write.
+	if a, ok := conjunct.(*ast.AttrExpr); ok {
+		if db, ok := constStrName(a.Name); ok && e.dbIsDerived(db) {
+			if _, _, _, _, matched := e.updateTarget(conjunct, u.ev.env); !matched {
+				return fmt.Errorf("core: cannot update derived database %s: only relation-level +/- set expressions are translatable", db)
+			}
+			return fmt.Errorf("core: view in database %s is not updatable: no update program is registered for it", db)
+		}
+	}
+	return u.execUpdate(conjunct, e.base, noSlot{})
+}
+
+// updateTarget recognizes the translatable view-update shape:
+// `.db.rel±(inner)` with resolvable names.
+func (e *Engine) updateTarget(conjunct ast.Expr, env *Env) (db, rel string, sign ast.Sign, inner ast.Expr, ok bool) {
+	a, isAttr := conjunct.(*ast.AttrExpr)
+	if !isAttr || a.Sign != ast.SignNone {
+		return "", "", 0, nil, false
+	}
+	db, okDB := resolveName(a.Name, env)
+	if !okDB {
+		return "", "", 0, nil, false
+	}
+	te, isTE := a.Expr.(*ast.TupleExpr)
+	if !isTE || len(te.Conjuncts) != 1 {
+		return "", "", 0, nil, false
+	}
+	relAttr, isAttr := te.Conjuncts[0].(*ast.AttrExpr)
+	if !isAttr || relAttr.Sign != ast.SignNone {
+		return "", "", 0, nil, false
+	}
+	rel, okRel := resolveName(relAttr.Name, env)
+	if !okRel {
+		return "", "", 0, nil, false
+	}
+	se, isSet := relAttr.Expr.(*ast.SetExpr)
+	if !isSet || se.Sign == ast.SignNone {
+		return "", "", 0, nil, false
+	}
+	return db, rel, se.Sign, se.X, true
+}
+
+func resolveName(t ast.Term, env *Env) (string, bool) {
+	switch n := t.(type) {
+	case ast.Const:
+		s, ok := n.Value.(object.Str)
+		return string(s), ok
+	case ast.Var:
+		v, ok := env.Lookup(n.Name)
+		if !ok {
+			return "", false
+		}
+		s, ok := v.(object.Str)
+		return string(s), ok
+	default:
+		return "", false
+	}
+}
+
+// isDerived reports whether (db, rel) is produced by view rules.
+func (e *Engine) isDerived(db, rel string) bool {
+	if e.derivedDynamic[db] {
+		return true
+	}
+	return e.derivedRels[db][rel]
+}
+
+func (e *Engine) dbIsDerived(db string) bool {
+	return e.derivedDynamic[db] || len(e.derivedRels[db]) > 0
+}

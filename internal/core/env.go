@@ -1,0 +1,244 @@
+// Package core implements the IDL evaluation engine: higher-order query
+// expressions (paper §4), update expressions (§5), higher-order views with
+// stratified materialization (§6), and update programs with view
+// updatability (§7).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// Env is a substitution (paper §4.2): a mapping from variable names to
+// objects, extended and retracted as the evaluator backtracks. The trail
+// records bind order so enumeration can undo extensions cheaply.
+type Env struct {
+	bindings map[string]object.Object
+	trail    []string
+}
+
+// NewEnv returns an empty substitution.
+func NewEnv() *Env {
+	return &Env{bindings: make(map[string]object.Object)}
+}
+
+// Lookup returns the binding for name, if any.
+func (e *Env) Lookup(name string) (object.Object, bool) {
+	v, ok := e.bindings[name]
+	return v, ok
+}
+
+// Bound reports whether name is bound.
+func (e *Env) Bound(name string) bool {
+	_, ok := e.bindings[name]
+	return ok
+}
+
+// Bind associates name with val. The variable must be unbound; enumerators
+// guarantee this by checking Lookup first.
+func (e *Env) Bind(name string, val object.Object) {
+	if _, ok := e.bindings[name]; ok {
+		panic("core: Bind of already-bound variable " + name)
+	}
+	e.bindings[name] = val
+	e.trail = append(e.trail, name)
+}
+
+// Mark returns the current trail position, for use with Undo.
+func (e *Env) Mark() int { return len(e.trail) }
+
+// Undo retracts every binding made since mark.
+func (e *Env) Undo(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		delete(e.bindings, e.trail[i])
+	}
+	e.trail = e.trail[:mark]
+}
+
+// Snapshot copies the current bindings restricted to names (all bindings
+// when names is nil).
+func (e *Env) Snapshot(names []string) map[string]object.Object {
+	if names == nil {
+		out := make(map[string]object.Object, len(e.bindings))
+		for k, v := range e.bindings {
+			out[k] = v
+		}
+		return out
+	}
+	out := make(map[string]object.Object, len(names))
+	for _, n := range names {
+		if v, ok := e.bindings[n]; ok {
+			out[n] = v
+		}
+	}
+	return out
+}
+
+// withBindings seeds an env from a parameter map (used by update-program
+// invocation).
+func envFrom(params map[string]object.Object) *Env {
+	e := NewEnv()
+	for k, v := range params {
+		e.Bind(k, v)
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Answers
+
+// Row is one answer substitution, restricted to the query's free
+// variables.
+type Row map[string]object.Object
+
+// hashRow produces a hash of the row for deduplication, combining
+// name/value entry hashes commutatively.
+func hashRow(r Row) uint64 {
+	var acc uint64 = 0x243f6a8885a308d3
+	for k, v := range r {
+		h := object.Str(k).Hash() * 31
+		acc += h ^ v.Hash()
+	}
+	return acc
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Answer is the result of a query: the set of grounding substitutions for
+// its free variables (paper §4.2). A query with no variables has an empty
+// Vars list and Bool carries the truth value.
+type Answer struct {
+	Vars []string // free variables in first-occurrence order
+	Rows []Row    // deduplicated satisfying substitutions
+
+	rowIndex map[uint64][]int
+}
+
+func newAnswer(vars []string) *Answer {
+	return &Answer{Vars: vars, rowIndex: make(map[uint64][]int)}
+}
+
+// add appends a row unless an equal row is already present.
+func (a *Answer) add(r Row) bool {
+	h := hashRow(r)
+	for _, i := range a.rowIndex[h] {
+		if rowsEqual(a.Rows[i], r) {
+			return false
+		}
+	}
+	a.rowIndex[h] = append(a.rowIndex[h], len(a.Rows))
+	a.Rows = append(a.Rows, r)
+	return true
+}
+
+// Bool reports the truth value: for variable-free queries, whether the
+// query was satisfied; otherwise whether any row exists.
+func (a *Answer) Bool() bool { return len(a.Rows) > 0 }
+
+// Len returns the number of distinct answer rows.
+func (a *Answer) Len() int { return len(a.Rows) }
+
+// Contains reports whether the answer includes a row binding the given
+// variables to the given values (converted Go literals, see object
+// package).
+func (a *Answer) Contains(want Row) bool {
+	for _, r := range a.Rows {
+		if rowsEqual(r, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// Column returns the values of one variable across all rows, in row
+// order.
+func (a *Answer) Column(name string) []object.Object {
+	out := make([]object.Object, 0, len(a.Rows))
+	for _, r := range a.Rows {
+		if v, ok := r[name]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Project returns a new answer restricted to the given variables,
+// deduplicating rows that become equal under the narrower view (the
+// "structure to the answer" the paper alludes to in §4.2).
+func (a *Answer) Project(vars ...string) *Answer {
+	out := newAnswer(vars)
+	for _, r := range a.Rows {
+		p := Row{}
+		for _, v := range vars {
+			if val, ok := r[v]; ok {
+				p[v] = val
+			}
+		}
+		out.add(p)
+	}
+	return out
+}
+
+// Sort orders rows canonically (by each variable in Vars order) for
+// deterministic output.
+func (a *Answer) Sort() {
+	sort.SliceStable(a.Rows, func(i, j int) bool {
+		for _, v := range a.Vars {
+			x, okx := a.Rows[i][v]
+			y, oky := a.Rows[j][v]
+			if !okx || !oky {
+				if okx != oky {
+					return !okx
+				}
+				continue
+			}
+			if c := x.Compare(y); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// String renders the answer as a small table: a header of variable names
+// and one line per row, canonically ordered. Variable-free answers render
+// as "true"/"false".
+func (a *Answer) String() string {
+	if len(a.Vars) == 0 {
+		if a.Bool() {
+			return "true"
+		}
+		return "false"
+	}
+	cp := &Answer{Vars: a.Vars, Rows: append([]Row(nil), a.Rows...)}
+	cp.Sort()
+	var b strings.Builder
+	b.WriteString(strings.Join(a.Vars, "\t"))
+	for _, r := range cp.Rows {
+		b.WriteByte('\n')
+		for i, v := range a.Vars {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if val, ok := r[v]; ok {
+				b.WriteString(val.String())
+			} else {
+				b.WriteString("_")
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"idl/internal/ast"
+	"idl/internal/object"
+)
+
+// Explain reports how the engine would evaluate a query: the safety-
+// scheduled order of its top-level conjuncts and, for each, the access
+// path of its outermost set expression (index probe vs. scan) and the
+// variables it binds. It is a static analysis — no data is enumerated
+// beyond resolving index applicability — backing the CLI's `\explain`.
+type Explain struct {
+	Steps []ExplainStep
+}
+
+// ExplainStep describes one scheduled conjunct.
+type ExplainStep struct {
+	Conjunct string   // source rendering
+	Kind     string   // "query", "negation", "constraint"
+	Access   string   // "index", "scan", "navigate", "n/a"
+	Binds    []string // variables this conjunct can produce
+	Consumes []string // variables it needs bound first
+	Deferred bool     // true when scheduling moved it later than written
+}
+
+// String renders the plan as an indented list.
+func (e *Explain) String() string {
+	var b strings.Builder
+	for i, s := range e.Steps {
+		fmt.Fprintf(&b, "%d. [%s/%s] %s", i+1, s.Kind, s.Access, s.Conjunct)
+		if len(s.Binds) > 0 {
+			fmt.Fprintf(&b, "  binds %s", strings.Join(s.Binds, ","))
+		}
+		if len(s.Consumes) > 0 {
+			fmt.Fprintf(&b, "  needs %s", strings.Join(s.Consumes, ","))
+		}
+		if s.Deferred {
+			b.WriteString("  (deferred)")
+		}
+		if i < len(e.Steps)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ExplainQuery produces the evaluation plan for a query without running
+// it.
+func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ast.HasUpdate(q.Body) {
+		return nil, fmt.Errorf("core: cannot explain an update request")
+	}
+	eff, err := e.refreshEffective()
+	if err != nil {
+		return nil, err
+	}
+	conjuncts := q.Body.Conjuncts
+	consumed := make([][]string, len(conjuncts))
+	for i, c := range conjuncts {
+		consumed[i] = consumedVars(c)
+	}
+	// Simulate the scheduler: repeatedly pick the first conjunct whose
+	// consumed variables are all "bound" by previously scheduled ones.
+	bound := map[string]bool{}
+	remaining := make([]int, len(conjuncts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	plan := &Explain{}
+	var scheduled []int
+	for len(remaining) > 0 {
+		pick := -1
+		for pos, idx := range remaining {
+			ok := true
+			for _, v := range consumed[idx] {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pick = pos
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		idx := remaining[pick]
+		step := e.explainConjunct(conjuncts[idx], consumed[idx], eff)
+		// Deferred: a textually later conjunct ran first.
+		for _, done := range scheduled {
+			if done > idx {
+				step.Deferred = true
+				break
+			}
+		}
+		scheduled = append(scheduled, idx)
+		plan.Steps = append(plan.Steps, step)
+		for _, v := range step.Binds {
+			bound[v] = true
+		}
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return plan, nil
+}
+
+// explainConjunct classifies one conjunct and resolves its access path
+// against the effective universe.
+func (e *Engine) explainConjunct(c ast.Expr, consumes []string, eff *object.Tuple) ExplainStep {
+	step := ExplainStep{
+		Conjunct: c.String(),
+		Kind:     "query",
+		Access:   "n/a",
+		Consumes: consumes,
+	}
+	switch x := c.(type) {
+	case *ast.Not:
+		step.Kind = "negation"
+		inner := e.explainConjunct(x.X, nil, eff)
+		step.Access = inner.Access
+		return step
+	case *ast.Constraint:
+		step.Kind = "constraint"
+		step.Binds = producerVars(c, consumes)
+		return step
+	case *ast.AttrExpr:
+		step.Binds = producerVars(c, consumes)
+		step.Access = e.accessPath(x, eff)
+		ast.Walk(c, func(node ast.Expr) bool {
+			if _, isNot := node.(*ast.Not); isNot {
+				step.Kind = "negation"
+				return false
+			}
+			return true
+		})
+		return step
+	default:
+		step.Binds = producerVars(c, consumes)
+		return step
+	}
+}
+
+// producerVars lists the variables a conjunct can bind: its variables
+// minus the consumed ones.
+func producerVars(c ast.Expr, consumes []string) []string {
+	consumed := map[string]bool{}
+	for _, v := range consumes {
+		consumed[v] = true
+	}
+	var out []string
+	for _, v := range ast.Vars(c) {
+		if !consumed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// accessPath resolves whether the conjunct's relation-level set
+// expression would use an attribute index.
+func (e *Engine) accessPath(a *ast.AttrExpr, eff *object.Tuple) string {
+	// Walk the path: db attr -> rel attr -> set expr.
+	dbName, ok := constTermName(a.Name)
+	if !ok {
+		return "scan" // higher-order database enumeration
+	}
+	inner, ok := a.Expr.(*ast.TupleExpr)
+	if !ok || len(inner.Conjuncts) != 1 {
+		return "navigate"
+	}
+	relAttr, ok := inner.Conjuncts[0].(*ast.AttrExpr)
+	if !ok {
+		return "navigate"
+	}
+	var set *object.Set
+	if relName, ok := constTermName(relAttr.Name); ok {
+		dbObj, has := eff.Get(dbName)
+		if !has {
+			return "scan"
+		}
+		dbt, isT := dbObj.(*object.Tuple)
+		if !isT {
+			return "scan"
+		}
+		relObj, has := dbt.Get(relName)
+		if !has {
+			return "scan"
+		}
+		set, _ = relObj.(*object.Set)
+	}
+	se, ok := relAttr.Expr.(*ast.SetExpr)
+	if !ok {
+		if nse, isNot := relAttr.Expr.(*ast.Not); isNot {
+			se, ok = nse.X.(*ast.SetExpr)
+			if !ok {
+				return "navigate"
+			}
+		} else {
+			return "navigate"
+		}
+	}
+	if !e.opts.UseIndex || set == nil || set.Len() < 16 {
+		return "scan"
+	}
+	te, ok := se.X.(*ast.TupleExpr)
+	if !ok {
+		return "scan"
+	}
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: true, stats: &Stats{}}
+	for _, c := range te.Conjuncts {
+		// A conjunct with a constant attribute name and a ground-or-
+		// bindable equality can use the index once its term is ground;
+		// statically we report "index" for constant equalities.
+		if attr, _, ok := ev.groundEqConjunct(c); ok && attr != "" {
+			return "index"
+		}
+	}
+	return "scan"
+}
+
+func constTermName(t ast.Term) (string, bool) {
+	c, ok := t.(ast.Const)
+	if !ok {
+		return "", false
+	}
+	s, ok := c.Value.(object.Str)
+	return string(s), ok
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+	"idl/internal/parser"
+)
+
+func explain(t *testing.T, e *Engine, src string) *Explain {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.ExplainQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// bigStockEngine grows euter.r past the index threshold.
+func bigStockEngine(t *testing.T) *Engine {
+	e := newStockEngine(t)
+	rel := relation(t, e, "euter", "r")
+	for i := 0; i < 50; i++ {
+		rel.Add(object.TupleOf("date", object.NewDate(86, 1, 1+i%28), "stkCode", "bulk", "clsPrice", i))
+	}
+	e.Invalidate()
+	return e
+}
+
+func TestExplainIndexVsScan(t *testing.T) {
+	e := bigStockEngine(t)
+	plan := explain(t, e, "?.euter.r(.stkCode=hp, .clsPrice=P)")
+	if len(plan.Steps) != 1 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	if plan.Steps[0].Access != "index" {
+		t.Errorf("access = %s, want index", plan.Steps[0].Access)
+	}
+	// Without an equality conjunct: scan.
+	plan = explain(t, e, "?.euter.r(.clsPrice=P, .stkCode=S)")
+	if plan.Steps[0].Access != "scan" {
+		t.Errorf("access = %s, want scan", plan.Steps[0].Access)
+	}
+	// Index disabled: scan.
+	opts := DefaultOptions()
+	opts.UseIndex = false
+	e2 := NewEngineWithOptions(opts)
+	buildStockBase(t, e2)
+	plan = explain(t, e2, "?.euter.r(.stkCode=hp)")
+	if plan.Steps[0].Access != "scan" {
+		t.Errorf("no-index access = %s", plan.Steps[0].Access)
+	}
+}
+
+func TestExplainDeferredNegation(t *testing.T) {
+	e := newStockEngine(t)
+	// Negation written first must be scheduled after its binder.
+	plan := explain(t, e, "?.euter.r~(.stkCode=hp, .clsPrice>P), .euter.r(.stkCode=hp,.clsPrice=P,.date=D)")
+	if len(plan.Steps) != 2 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	if plan.Steps[0].Kind != "query" {
+		t.Errorf("first scheduled = %s (%s)", plan.Steps[0].Kind, plan.Steps[0].Conjunct)
+	}
+	if plan.Steps[1].Kind != "negation" || !plan.Steps[1].Deferred {
+		t.Errorf("negation step = %+v", plan.Steps[1])
+	}
+	if !strings.Contains(plan.String(), "deferred") {
+		t.Errorf("plan rendering missing deferral:\n%s", plan)
+	}
+}
+
+func TestExplainConstraintAndBinds(t *testing.T) {
+	e := newStockEngine(t)
+	plan := explain(t, e, "?.X.Y, X = ource")
+	if len(plan.Steps) != 2 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	// The constraint is a pure producer of X, so it may schedule first.
+	kinds := []string{plan.Steps[0].Kind, plan.Steps[1].Kind}
+	found := false
+	for _, k := range kinds {
+		if k == "constraint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestExplainRejectsUpdates(t *testing.T) {
+	e := newStockEngine(t)
+	q, err := parser.ParseQuery("?.euter.r+(.x=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExplainQuery(q); err == nil {
+		t.Error("explain of update request should fail")
+	}
+}
+
+func TestExplainHigherOrderScan(t *testing.T) {
+	e := newStockEngine(t)
+	plan := explain(t, e, "?.X.Y(.stkCode)")
+	if plan.Steps[0].Access != "scan" {
+		t.Errorf("higher-order access = %s", plan.Steps[0].Access)
+	}
+	binds := plan.Steps[0].Binds
+	if len(binds) != 2 {
+		t.Errorf("binds = %v", binds)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"idl/internal/object"
+)
+
+func incrementalEngine(t *testing.T) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.IncrementalViews = true
+	e := NewEngineWithOptions(opts)
+	buildStockBase(t, e)
+	return e
+}
+
+// monotoneRules is a negation-free subset of the unified-view rules.
+var monotoneRules = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)",
+	".dbO.S+(.date=D, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+}
+
+func TestIncrementalAfterInsert(t *testing.T) {
+	e := incrementalEngine(t)
+	addRules(t, e, monotoneRules)
+	if ans := q(t, e, "?.dbI.p(.stk=S)"); ans.Len() != 3 {
+		t.Fatalf("initial stocks = %d", ans.Len())
+	}
+	if e.LastRecompute().Incremental {
+		t.Error("first materialization must be full")
+	}
+	exec(t, e, "?.euter.r+(.date=3/4/85,.stkCode=dec,.clsPrice=80)")
+	ans := q(t, e, "?.dbO.dec(.date=3/4/85,.clsPrice=P)")
+	if !ans.Contains(row("P", 80)) {
+		t.Fatalf("incremental view missing new fact:\n%s", ans)
+	}
+	if !e.LastRecompute().Incremental {
+		t.Error("additive change should take the incremental path")
+	}
+}
+
+func TestIncrementalFallsBackOnDelete(t *testing.T) {
+	e := incrementalEngine(t)
+	addRules(t, e, monotoneRules)
+	q(t, e, "?.dbI.p(.stk=S)") // materialize
+	exec(t, e, "?.euter.r-(.stkCode=hp), .ource-.hp")
+	ans := q(t, e, "?.dbI.p(.stk=hp)")
+	if ans.Bool() {
+		t.Error("deleted facts must vanish from the view")
+	}
+	if e.LastRecompute().Incremental {
+		t.Error("deletion must force full recomputation")
+	}
+}
+
+func TestIncrementalDisabledForNegationRules(t *testing.T) {
+	e := incrementalEngine(t)
+	addRules(t, e, monotoneRules)
+	// A rule with negation makes derivation non-monotone.
+	mustRule(t, e, ".dbI.pnew+(.date=D,.stk=S,.price=P) <- .dbI.p(.date=D,.stk=S,.price=P), .dbI.p~(.date=D,.stk=S,.price>P)")
+	q(t, e, "?.dbI.pnew(.stk=S)")
+	exec(t, e, "?.euter.r+(.date=3/4/85,.stkCode=dec,.clsPrice=80)")
+	q(t, e, "?.dbI.pnew(.stk=dec)")
+	if e.LastRecompute().Incremental {
+		t.Error("negation in the rule set must disable the incremental path")
+	}
+}
+
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	// The incremental engine's view must equal a fresh engine's view
+	// after the same sequence of additive updates.
+	inc := incrementalEngine(t)
+	full := newStockEngine(t)
+	addRules(t, inc, monotoneRules)
+	addRules(t, full, monotoneRules)
+	updates := []string{
+		"?.euter.r+(.date=3/4/85,.stkCode=dec,.clsPrice=80)",
+		"?.ource.dec+(.date=3/5/85,.clsPrice=81)",
+		"?.euter.r+(.date=3/5/85,.stkCode=next,.clsPrice=12)",
+	}
+	for _, u := range updates {
+		exec(t, inc, u)
+		exec(t, full, u)
+		// Query both after every step to force alternating refresh modes.
+		a := q(t, inc, "?.dbI.p(.date=D,.stk=S,.price=P)")
+		b := q(t, full, "?.dbI.p(.date=D,.stk=S,.price=P)")
+		a.Sort()
+		b.Sort()
+		if a.String() != b.String() {
+			t.Fatalf("incremental diverged after %s:\n%s\nvs\n%s", u, a, b)
+		}
+	}
+	effInc, err := inc.EffectiveUniverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	effFull, err := full.EffectiveUniverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbOInc, _ := effInc.Get("dbO")
+	dbOFull, _ := effFull.Get("dbO")
+	if !dbOInc.Equal(dbOFull) {
+		t.Error("higher-order view diverged between incremental and full")
+	}
+}
+
+func TestIncrementalExternalInvalidateForcesFull(t *testing.T) {
+	e := incrementalEngine(t)
+	addRules(t, e, monotoneRules)
+	q(t, e, "?.dbI.p(.stk=S)")
+	// Direct base mutation + Invalidate is treated as non-monotone. The
+	// fact must vanish from both sources feeding the view.
+	rel := relation(t, e, "euter", "r")
+	rel.RemoveWhere(func(o object.Object) bool {
+		tp, ok := o.(*object.Tuple)
+		if !ok {
+			return false
+		}
+		v, _ := tp.Get("stkCode")
+		return v.Equal(object.Str("hp"))
+	})
+	ource, _ := e.Base().Get("ource")
+	ource.(*object.Tuple).Delete("hp")
+	e.Invalidate()
+	if ans := q(t, e, "?.dbI.p(.stk=hp)"); ans.Bool() {
+		t.Error("external deletion must be reflected (full recompute)")
+	}
+	if e.LastRecompute().Incremental {
+		t.Error("external invalidation must force full recomputation")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"idl/internal/object"
+)
+
+// indexCache holds lazily built per-(set, attribute) hash indexes mapping
+// attribute values to the elements carrying them. An index is rebuilt when
+// its set's version counter moves (the update evaluator bumps versions by
+// removing and re-adding mutated elements).
+//
+// The cache is owned by an Engine and shared across its evaluations; it is
+// not safe for concurrent use on its own (the Engine serializes access).
+type indexCache struct {
+	m map[indexKey]*setIndex
+}
+
+type indexKey struct {
+	set  *object.Set
+	attr string
+}
+
+type setIndex struct {
+	version uint64
+	byValue map[uint64][]object.Object // value hash -> elements
+}
+
+func newIndexCache() *indexCache {
+	return &indexCache{m: make(map[indexKey]*setIndex)}
+}
+
+// lookup returns the elements of set whose attr equals val (candidates:
+// hash collisions are filtered by the caller's full evaluation).
+func (c *indexCache) lookup(set *object.Set, attr string, val object.Object, stats *Stats) []object.Object {
+	key := indexKey{set: set, attr: attr}
+	idx, ok := c.m[key]
+	if !ok || idx.version != set.Version() {
+		idx = buildIndex(set, attr)
+		c.m[key] = idx
+		stats.IndexBuilds++
+	}
+	return idx.byValue[val.Hash()]
+}
+
+func buildIndex(set *object.Set, attr string) *setIndex {
+	idx := &setIndex{version: set.Version(), byValue: make(map[uint64][]object.Object)}
+	set.Each(func(elem object.Object) bool {
+		tup, ok := elem.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		v, ok := tup.Get(attr)
+		if !ok {
+			return true
+		}
+		h := v.Hash()
+		idx.byValue[h] = append(idx.byValue[h], elem)
+		return true
+	})
+	return idx
+}
+
+// invalidate clears the whole cache; the engine calls it when it rebuilds
+// the effective universe so indexes built on discarded merged sets are
+// released.
+func (c *indexCache) invalidate() {
+	c.m = make(map[indexKey]*setIndex)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"idl/internal/object"
+)
+
+// Metadata reification (extension). The paper's §2 asks for "queries
+// about the databases and the information they contain" and §8 suggests
+// extending the reasoning to further schema information. Higher-order
+// variables already quantify over names; reification additionally makes
+// the schema available as ordinary *data*, so first-order joins,
+// counting-style comparisons and views can be written over it.
+//
+// With Options.ExposeMeta, every effective universe carries a synthetic
+// database named `meta`:
+//
+//	meta.databases  {(db)}                one tuple per database
+//	meta.relations  {(db, rel, tuples)}   one per relation, with cardinality
+//	meta.attributes {(db, rel, attr)}     one per attribute occurrence
+//
+// The meta database reflects the *effective* universe — base and derived
+// alike — so a higher-order view's data-dependent schema is itself
+// queryable. `meta` is reserved: if a user database of that name exists,
+// reification is skipped for that refresh.
+
+// MetaDB is the reserved name of the reified-metadata database.
+const MetaDB = "meta"
+
+// buildMeta constructs the meta database for an effective universe.
+func buildMeta(eff *object.Tuple) *object.Tuple {
+	databases := object.NewSet()
+	relations := object.NewSet()
+	attributes := object.NewSet()
+	eff.Each(func(dbName string, dbObj object.Object) bool {
+		databases.Add(object.TupleOf("db", dbName))
+		dbt, ok := dbObj.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		dbt.Each(func(relName string, relObj object.Object) bool {
+			rs, ok := relObj.(*object.Set)
+			if !ok {
+				return true
+			}
+			relations.Add(object.TupleOf("db", dbName, "rel", relName, "tuples", rs.Len()))
+			seen := map[string]bool{}
+			rs.Each(func(e object.Object) bool {
+				t, ok := e.(*object.Tuple)
+				if !ok {
+					return true
+				}
+				for _, a := range t.Attrs() {
+					if !seen[a] {
+						seen[a] = true
+						attributes.Add(object.TupleOf("db", dbName, "rel", relName, "attr", a))
+					}
+				}
+				return true
+			})
+			return true
+		})
+		return true
+	})
+	meta := object.NewTuple()
+	meta.Put("databases", databases)
+	meta.Put("relations", relations)
+	meta.Put("attributes", attributes)
+	return meta
+}

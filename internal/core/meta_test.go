@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"idl/internal/object"
+)
+
+func metaEngine(t *testing.T) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.ExposeMeta = true
+	e := NewEngineWithOptions(opts)
+	buildStockBase(t, e)
+	return e
+}
+
+func TestMetaDatabasesRelation(t *testing.T) {
+	e := metaEngine(t)
+	ans := q(t, e, "?.meta.databases(.db=D)")
+	// euter, chwab, ource — meta does not list itself.
+	if ans.Len() != 3 {
+		t.Fatalf("databases = %d:\n%s", ans.Len(), ans)
+	}
+	if ans.Contains(row("D", "meta")) {
+		t.Error("meta must not list itself")
+	}
+}
+
+func TestMetaRelationsWithCardinality(t *testing.T) {
+	e := metaEngine(t)
+	ans := q(t, e, "?.meta.relations(.db=euter, .rel=R, .tuples=N)")
+	if ans.Len() != 1 || !ans.Contains(row("R", "r", "N", 9)) {
+		t.Errorf("euter relations:\n%s", ans)
+	}
+	// First-order query over metadata: relations with more than 5 tuples.
+	ans = q(t, e, "?.meta.relations(.db=D, .rel=R, .tuples>5)")
+	if ans.Len() != 1 { // only euter.r (9); chwab.r and ource.* have 3
+		t.Errorf("big relations:\n%s", ans)
+	}
+}
+
+func TestMetaAttributes(t *testing.T) {
+	e := metaEngine(t)
+	ans := q(t, e, "?.meta.attributes(.db=D, .rel=R, .attr=stkCode)")
+	if ans.Len() != 1 || !ans.Contains(row("D", "euter", "R", "r")) {
+		t.Errorf("stkCode attribute:\n%s", ans)
+	}
+}
+
+func TestMetaJoinsWithData(t *testing.T) {
+	e := metaEngine(t)
+	// Which databases have a relation named after a stock that closed
+	// above 200 in euter? (metadata ⋈ data, first order over reified
+	// names.)
+	ans := q(t, e, "?.euter.r(.stkCode=S, .clsPrice>200), .meta.relations(.db=D, .rel=S)")
+	if ans.Len() != 1 || !ans.Contains(row("S", "sun", "D", "ource")) {
+		t.Errorf("join:\n%s", ans)
+	}
+}
+
+func TestMetaReflectsDerivedViews(t *testing.T) {
+	e := metaEngine(t)
+	addRules(t, e, unifiedViewRules)
+	addRules(t, e, customizedViewRules)
+	// The higher-order view's data-dependent schema is itself queryable.
+	ans := q(t, e, "?.meta.relations(.db=dbO, .rel=R)")
+	if ans.Len() != 3 {
+		t.Fatalf("dbO meta relations = %d:\n%s", ans.Len(), ans)
+	}
+	// And it tracks growth.
+	exec(t, e, "?.euter.r+(.date=3/1/85,.stkCode=dec,.clsPrice=80)")
+	ans = q(t, e, "?.meta.relations(.db=dbO, .rel=R)")
+	if ans.Len() != 4 || !ans.Contains(row("R", "dec")) {
+		t.Errorf("dbO meta after insert:\n%s", ans)
+	}
+}
+
+func TestMetaUpdatesAfterMutation(t *testing.T) {
+	e := metaEngine(t)
+	exec(t, e, "?.ource-.hp")
+	ans := q(t, e, "?.meta.relations(.db=ource, .rel=R)")
+	if ans.Len() != 2 || ans.Contains(row("R", "hp")) {
+		t.Errorf("meta after drop:\n%s", ans)
+	}
+}
+
+func TestMetaDoesNotLeakIntoBase(t *testing.T) {
+	e := metaEngine(t)
+	if _, err := e.EffectiveUniverse(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Base().Has(MetaDB) {
+		t.Error("meta leaked into the base universe")
+	}
+}
+
+func TestMetaReservedNameSkipped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ExposeMeta = true
+	e := NewEngineWithOptions(opts)
+	userMeta := object.NewTuple()
+	userMeta.Put("own", object.SetOf(object.TupleOf("x", 1)))
+	e.Base().Put("meta", userMeta)
+	e.Invalidate()
+	// The user's database wins; reification is skipped.
+	ans := q(t, e, "?.meta.own(.x=X)")
+	if !ans.Contains(row("X", 1)) {
+		t.Errorf("user meta db should win:\n%s", ans)
+	}
+	if ans := q(t, e, "?.meta.databases"); ans.Bool() {
+		t.Error("reified relations must not appear")
+	}
+}
+
+func TestMetaOffByDefault(t *testing.T) {
+	e := newStockEngine(t)
+	if ans := q(t, e, "?.meta.databases(.db=D)"); ans.Bool() {
+		t.Error("meta should be absent without ExposeMeta")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"idl/internal/object"
+	"idl/internal/parser"
+)
+
+// Moderate-scale correctness: at tens of thousands of tuples, the indexed
+// and scanning evaluators must agree exactly, updates must stay coherent,
+// and views must track.
+func TestStressLargeRelationIndexScanAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 20000
+	build := func(useIndex bool) *Engine {
+		opts := DefaultOptions()
+		opts.UseIndex = useIndex
+		e := NewEngineWithOptions(opts)
+		rel := object.NewSet()
+		for i := 0; i < n; i++ {
+			// val cycles within each group so cross-group joins match.
+			rel.Add(object.TupleOf(
+				"id", i,
+				"grp", fmt.Sprintf("g%03d", i%200),
+				"val", (i/200)%100,
+			))
+		}
+		d := object.NewTuple()
+		d.Put("r", rel)
+		e.Base().Put("d", d)
+		e.Invalidate()
+		return e
+	}
+	indexed, scanning := build(true), build(false)
+	queries := []string{
+		"?.d.r(.grp=g007, .val=V)",
+		"?.d.r(.grp=g007, .val=V), .d.r(.grp=g008, .val=V)",
+		"?.d.r(.grp=g001, .val=V), .d.r~(.grp=g001, .val>V)",
+	}
+	for _, src := range queries {
+		a := q(t, indexed, src)
+		b := q(t, scanning, src)
+		a.Sort()
+		b.Sort()
+		if a.String() != b.String() {
+			t.Errorf("index/scan disagreement on %s: %d vs %d rows", src, a.Len(), b.Len())
+		}
+		if a.Len() == 0 {
+			t.Errorf("query %s found nothing (bad fixture)", src)
+		}
+	}
+	// Targeted deletion stays O(matching) correct.
+	res := exec(t, indexed, "?.d.r-(.grp=g007)")
+	if res.ElemsDeleted != n/200 {
+		t.Errorf("deleted %d, want %d", res.ElemsDeleted, n/200)
+	}
+	if ans := q(t, indexed, "?.d.r(.grp=g007)"); ans.Bool() {
+		t.Error("g007 should be empty")
+	}
+	if ans := q(t, indexed, "?.d.r(.grp=g008, .val=V)"); ans.Len() == 0 {
+		t.Error("other groups must survive")
+	}
+}
+
+func TestStressViewOverLargeBase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	e := NewEngine()
+	rel := object.NewSet()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		rel.Add(object.TupleOf("k", i, "grp", fmt.Sprintf("g%02d", i%50), "v", i%100))
+	}
+	d := object.NewTuple()
+	d.Put("r", rel)
+	e.Base().Put("d", d)
+	e.Invalidate()
+	// Higher-order view: one relation per group (50 relations × 100 max).
+	mustRule(t, e, ".byGroup.G+(.k=K, .v=V) <- .d.r(.grp=G, .k=K, .v=V)")
+	ans := q(t, e, "?.byGroup.Y")
+	if ans.Len() != 50 {
+		t.Fatalf("group relations = %d, want 50", ans.Len())
+	}
+	ans = q(t, e, "?.byGroup.g07(.k=K)")
+	if ans.Len() != n/50 {
+		t.Errorf("g07 rows = %d, want %d", ans.Len(), n/50)
+	}
+	st := e.LastRecompute()
+	if st.FactsDerived != n {
+		t.Errorf("derived %d facts, want %d", st.FactsDerived, n)
+	}
+}
+
+func TestStressManySmallUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	e := NewEngine()
+	e.Base().Put("d", object.NewTuple())
+	e.Invalidate()
+	exec(t, e, "?.d+.r()")
+	const n = 3000
+	for i := 0; i < n; i++ {
+		query, err := parser.ParseQuery(fmt.Sprintf("?.d.r+(.k=%d, .v=%d)", i, i%7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Execute(query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := relation(t, e, "d", "r").Len(); got != n {
+		t.Fatalf("rows = %d, want %d", got, n)
+	}
+	// Delete every third.
+	res := exec(t, e, "?.d.r(.k=K, .v=0), .d.r-(.k=K)")
+	if res.ElemsDeleted == 0 {
+		t.Error("nothing deleted")
+	}
+	if got := relation(t, e, "d", "r").Len(); got != n-res.ElemsDeleted {
+		t.Errorf("rows = %d after deleting %d", got, res.ElemsDeleted)
+	}
+}

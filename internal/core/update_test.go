@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+)
+
+// --- Paper §5.2 examples ---
+
+func TestInsertTuple(t *testing.T) {
+	e := newStockEngine(t)
+	res := exec(t, e, "?.euter.r+(.date=3/4/85,.stkCode=hp,.clsPrice=70)")
+	if res.ElemsInserted != 1 {
+		t.Fatalf("inserted = %d", res.ElemsInserted)
+	}
+	ans := q(t, e, "?.euter.r(.date=3/4/85,.stkCode=hp,.clsPrice=P)")
+	if !ans.Contains(row("P", 70)) {
+		t.Errorf("insert not visible:\n%s", ans)
+	}
+	// Duplicate insert is a set no-op.
+	res = exec(t, e, "?.euter.r+(.date=3/4/85,.stkCode=hp,.clsPrice=70)")
+	if res.ElemsInserted != 0 {
+		t.Errorf("duplicate insert reported %d insertions", res.ElemsInserted)
+	}
+}
+
+func TestDeleteTuples(t *testing.T) {
+	e := newStockEngine(t)
+	res := exec(t, e, "?.euter.r-(.date=3/3/85,.stkCode=hp)")
+	if res.ElemsDeleted != 1 {
+		t.Fatalf("deleted = %d", res.ElemsDeleted)
+	}
+	if ans := q(t, e, "?.euter.r(.date=3/3/85,.stkCode=hp)"); ans.Bool() {
+		t.Error("tuple should be gone")
+	}
+	// Other tuples survive.
+	if relation(t, e, "euter", "r").Len() != 8 {
+		t.Errorf("relation size = %d, want 8", relation(t, e, "euter", "r").Len())
+	}
+}
+
+func TestQueryDependentDelete(t *testing.T) {
+	e := newStockEngine(t)
+	// The paper's equivalent formulation: bind C first, then delete.
+	res := exec(t, e, "?.euter.r(.date=3/3/85,.stkCode=hp,.clsPrice=C),.euter.r-(.date=3/3/85,.stkCode=hp,.clsPrice=C)")
+	if res.ElemsDeleted != 1 || res.Bindings != 1 {
+		t.Fatalf("deleted=%d bindings=%d", res.ElemsDeleted, res.Bindings)
+	}
+	if ans := q(t, e, "?.euter.r(.date=3/3/85,.stkCode=hp)"); ans.Bool() {
+		t.Error("tuple should be gone")
+	}
+}
+
+func TestAtomicMinusNullsValue(t *testing.T) {
+	e := newStockEngine(t)
+	// `.hp-=C` nulls hp's closing price for 3/3/85; the attribute stays.
+	exec(t, e, "?.chwab.r(.date=3/3/85, .hp-=C)")
+	// Query expressions on hp for that tuple are no longer satisfied…
+	if ans := q(t, e, "?.chwab.r(.date=3/3/85, .hp=P)"); ans.Bool() {
+		t.Errorf("null should not match =P:\n%s", ans)
+	}
+	// …but the attribute still exists (compare with the -.hp form below).
+	ans := q(t, e, "?.chwab.r(.date=3/3/85, .A), A = hp")
+	if !ans.Bool() {
+		t.Error("attribute hp should still exist")
+	}
+	// Other dates untouched.
+	if ans := q(t, e, "?.chwab.r(.date=3/1/85, .hp=50)"); !ans.Bool() {
+		t.Error("3/1/85 should be untouched")
+	}
+}
+
+func TestAttributeDeleteRemovesAttr(t *testing.T) {
+	e := newStockEngine(t)
+	// `-.hp=C` deletes the attribute itself — only in the matched tuple,
+	// which the language permits because sets are heterogeneous (§5.2).
+	exec(t, e, "?.chwab.r(.date=3/3/85, -.hp=C)")
+	if ans := q(t, e, "?.chwab.r(.date=3/3/85, .A), A = hp"); ans.Bool() {
+		t.Error("attribute hp should be deleted from the 3/3/85 tuple")
+	}
+	if ans := q(t, e, "?.chwab.r(.date=3/1/85, .hp=50)"); !ans.Bool() {
+		t.Error("other tuples should keep hp")
+	}
+}
+
+func TestUpdateAsDeleteThenInsert(t *testing.T) {
+	e := newStockEngine(t)
+	// Raise hp's 3/3/85 price by 10 (paper's composition example).
+	exec(t, e, "?.chwab.r(.date=3/3/85,.hp=C), .chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)")
+	ans := q(t, e, "?.chwab.r(.date=3/3/85,.hp=P)")
+	if !ans.Contains(row("P", 72)) {
+		t.Errorf("want 62+10=72:\n%s", ans)
+	}
+	// The inserted tuple replaces the full row only with the attrs named
+	// in the plus expression — it is a *new* tuple (date, hp).
+	ans = q(t, e, "?.chwab.r(.date=3/3/85,.ibm=P)")
+	if ans.Bool() {
+		t.Log("note: delete-then-insert replaced the whole row, as written in the paper")
+	}
+}
+
+func TestUpdateOrderingMatters(t *testing.T) {
+	// Reversing delete/insert yields a different outcome (§5.2: "the
+	// ordering of these two update requests is relevant").
+	e := newStockEngine(t)
+	// Insert first, then delete: the delete removes both the original row
+	// and the inserted one if they match the pattern.
+	exec(t, e, "?.chwab.r(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10), .chwab.r-(.date=3/3/85,.hp=C)")
+	// The -(…hp=C) with C=62 deletes only the original; (date, hp:72) remains.
+	ans := q(t, e, "?.chwab.r(.date=3/3/85,.hp=P)")
+	if !ans.Contains(row("P", 72)) || ans.Len() != 1 {
+		t.Errorf("rows:\n%s", ans)
+	}
+
+	e2 := newStockEngine(t)
+	// Delete everything for the date first, then try to insert C+10 — but
+	// C was bound before the delete, so this still works; contrast with
+	// binding after deletion, which yields no bindings at all.
+	res := exec(t, e2, "?.euter.r-(.stkCode=hp), .euter.r(.stkCode=hp,.clsPrice=C), .euter.r+(.stkCode=hp,.clsPrice=C+10)")
+	if res.Bindings != 0 {
+		t.Errorf("bindings after deleting all hp rows = %d, want 0", res.Bindings)
+	}
+}
+
+func TestDeleteAttributeFromAllTuples(t *testing.T) {
+	e := newStockEngine(t)
+	// `.chwab.r(-.hp)` — delete the hp attribute from every tuple (the
+	// rmStk translation for chwab).
+	res := exec(t, e, "?.chwab.r(-.hp)")
+	if res.AttrsDeleted != 3 {
+		t.Fatalf("attrs deleted = %d, want 3", res.AttrsDeleted)
+	}
+	if ans := q(t, e, "?.chwab.r(.hp=P)"); ans.Bool() {
+		t.Error("hp should be gone from all rows")
+	}
+	if ans := q(t, e, "?.chwab.r(.ibm=P)"); !ans.Bool() {
+		t.Error("ibm untouched")
+	}
+}
+
+func TestDeleteRelation(t *testing.T) {
+	e := newStockEngine(t)
+	// `.ource-.hp` — drop the hp relation (rmStk translation for ource).
+	res := exec(t, e, "?.ource-.hp")
+	if res.AttrsDeleted != 1 {
+		t.Fatalf("attrs deleted = %d", res.AttrsDeleted)
+	}
+	if ans := q(t, e, "?.ource.Y"); ans.Len() != 2 || ans.Contains(row("Y", "hp")) {
+		t.Errorf("relations after drop:\n%s", ans)
+	}
+}
+
+func TestWildcardDeleteUnboundAttrVar(t *testing.T) {
+	e := newStockEngine(t)
+	// Unbound S: `.ource-.S` drops every relation (delStk-without-stock
+	// wildcard semantics, §7.1).
+	res := exec(t, e, "?.ource-.S")
+	if res.AttrsDeleted != 3 {
+		t.Fatalf("attrs deleted = %d, want 3", res.AttrsDeleted)
+	}
+	if ans := q(t, e, "?.ource.Y"); ans.Len() != 0 {
+		t.Errorf("ource should be empty:\n%s", ans)
+	}
+}
+
+func TestAtomicMinusWithWildcardAttr(t *testing.T) {
+	e := newStockEngine(t)
+	// `.chwab.r(.S-=X, .date=3/2/85)` — null every stock's price on one
+	// date (delStk's chwab translation with the stock unbound).
+	exec(t, e, "?.chwab.r(.date=3/2/85, .S-=X)")
+	// The date attribute itself was also nulled (S ranges over all
+	// attributes, including date) — matching the paper's literal program,
+	// which relies on the date conjunct having matched first.
+	if ans := q(t, e, "?.chwab.r(.date=3/2/85)"); ans.Bool() {
+		t.Log("date attribute nulled as well — acceptable per the paper's literal semantics")
+	}
+	// Prices on other dates remain.
+	if ans := q(t, e, "?.chwab.r(.date=3/1/85, .hp=50)"); !ans.Bool() {
+		t.Error("3/1/85 untouched")
+	}
+}
+
+func TestInsertCreatesAttributeAndRelation(t *testing.T) {
+	e := newStockEngine(t)
+	// Insert a new stock as an attribute in chwab (metadata update).
+	exec(t, e, "?.chwab.r(.date=3/1/85, +.dec=77)")
+	ans := q(t, e, "?.chwab.r(.date=3/1/85, .dec=P)")
+	if !ans.Contains(row("P", 77)) {
+		t.Errorf("dec attribute:\n%s", ans)
+	}
+	// Insert a new relation in ource via tuple plus on the database.
+	exec(t, e, "?.ource+.dec")
+	if ans := q(t, e, "?.ource.Y, Y = dec"); !ans.Bool() {
+		t.Error("dec relation should exist")
+	}
+}
+
+func TestInsertUnboundVariableError(t *testing.T) {
+	e := newStockEngine(t)
+	err := execErr(t, e, "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=P)")
+	var ib *InsertUnboundError
+	if !errors.As(err, &ib) || ib.Var != "P" {
+		t.Errorf("want InsertUnboundError{P}, got %v", err)
+	}
+}
+
+func TestAtomicityRollback(t *testing.T) {
+	e := newStockEngine(t)
+	before := relation(t, e, "euter", "r").Len()
+	// First conjunct mutates, second fails (unbound insert var): the
+	// whole request must roll back.
+	err := execErr(t, e, "?.euter.r-(.stkCode=hp), .euter.r+(.stkCode=Q,.clsPrice=V)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := relation(t, e, "euter", "r").Len(); got != before {
+		t.Errorf("rollback failed: relation size %d, want %d", got, before)
+	}
+	if ans := q(t, e, "?.euter.r(.stkCode=hp)"); !ans.Bool() {
+		t.Error("hp rows should be restored")
+	}
+}
+
+func TestUpdatePerBinding(t *testing.T) {
+	e := newStockEngine(t)
+	// Insert a +100 row for every (date, price) of hp: three bindings.
+	res := exec(t, e, "?.euter.r(.stkCode=hp,.date=D,.clsPrice=P), .euter.r+(.stkCode=hp2,.date=D,.clsPrice=P+100)")
+	if res.Bindings != 3 || res.ElemsInserted != 3 {
+		t.Fatalf("bindings=%d inserted=%d", res.Bindings, res.ElemsInserted)
+	}
+	ans := q(t, e, "?.euter.r(.stkCode=hp2,.clsPrice=P)")
+	if ans.Len() != 3 || !ans.Contains(row("P", 150)) {
+		t.Errorf("hp2 rows:\n%s", ans)
+	}
+}
+
+func TestUpdateUnderNegationRejected(t *testing.T) {
+	e := newStockEngine(t)
+	execErr(t, e, "?~.euter.r-(.stkCode=hp)")
+}
+
+func TestNavigationToMissingAttributeFails(t *testing.T) {
+	e := newStockEngine(t)
+	err := execErr(t, e, "?.nosuch.r+(.x=1)")
+	if !strings.Contains(err.Error(), "no attribute") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAtomicPlusReplacesValue(t *testing.T) {
+	e := newStockEngine(t)
+	// `+=` on a navigated atomic slot replaces the value in place.
+	exec(t, e, "?.chwab.r(.date=3/1/85, .hp+=99)")
+	ans := q(t, e, "?.chwab.r(.date=3/1/85, .hp=P)")
+	if !ans.Contains(row("P", 99)) {
+		t.Errorf("hp should be 99:\n%s", ans)
+	}
+}
+
+func TestAtomicUpdateOnAggregateRejected(t *testing.T) {
+	e := newStockEngine(t)
+	// `.euter.r+=5` — atomic plus applied to a set object is an error
+	// (§5.2: "for all other cases, the expression is in error").
+	execErr(t, e, "?.euter.r+=5")
+}
+
+func TestSetElementMutationKeepsMembershipCoherent(t *testing.T) {
+	e := newStockEngine(t)
+	rel := relation(t, e, "chwab", "r")
+	// Null out one price, then verify the set still finds its elements
+	// (hash index must have been maintained through the mutation).
+	exec(t, e, "?.chwab.r(.date=3/1/85, .hp-=C)")
+	found := 0
+	rel.Each(func(elem object.Object) bool {
+		if rel.Contains(elem) {
+			found++
+		}
+		return true
+	})
+	if found != rel.Len() {
+		t.Errorf("membership broken after in-place mutation: %d/%d", found, rel.Len())
+	}
+	if rel.Len() != 3 {
+		t.Errorf("rows = %d, want 3", rel.Len())
+	}
+}
+
+func TestSetMutationMergesEqualElements(t *testing.T) {
+	e := NewEngine()
+	db := object.NewTuple()
+	db.Put("r", object.SetOf(
+		object.TupleOf("k", 1, "v", 10),
+		object.TupleOf("k", 2, "v", 10),
+	))
+	e.Base().Put("d", db)
+	e.Invalidate()
+	// Setting both k values to 0 makes the tuples equal; set semantics
+	// merge them.
+	exec(t, e, "?.d.r(.k+=0)")
+	rel := relation(t, e, "d", "r")
+	if rel.Len() != 1 {
+		t.Errorf("rows = %d, want 1 (merged)", rel.Len())
+	}
+}
+
+func TestInsertIntoEmptyRelationViaTuplePlus(t *testing.T) {
+	e := NewEngine()
+	e.Base().Put("d", object.NewTuple())
+	e.Invalidate()
+	// Create relation r as an empty set, then insert.
+	exec(t, e, "?.d+.r()")
+	exec(t, e, "?.d.r+(.x=1)")
+	ans := q(t, e, "?.d.r(.x=X)")
+	if !ans.Contains(row("X", 1)) {
+		t.Errorf("insert into created relation:\n%s", ans)
+	}
+}
+
+func TestDateArithmeticRejected(t *testing.T) {
+	e := newStockEngine(t)
+	err := execErr(t, e, "?.euter.r(.stkCode=hp,.date=D,.clsPrice=C), .euter.r+(.stkCode=hp3,.date=D+1,.clsPrice=C)")
+	if !strings.Contains(err.Error(), "arithmetic") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestMixedRequestUsesUpdatedState(t *testing.T) {
+	e := newStockEngine(t)
+	// Insert, then query within the same request: the query conjunct sees
+	// the insertion.
+	res := exec(t, e, "?.euter.r+(.date=3/9/85,.stkCode=new,.clsPrice=1), .euter.r(.stkCode=new,.clsPrice=P)")
+	if res.Bindings != 1 {
+		t.Errorf("bindings = %d, want 1 (query should see prior insert)", res.Bindings)
+	}
+}
+
+func TestExecResultChanged(t *testing.T) {
+	e := newStockEngine(t)
+	res := exec(t, e, "?.euter.r(.stkCode=hp)")
+	if res.Changed() {
+		t.Error("pure query request should not report changes")
+	}
+	res = exec(t, e, "?.euter.r-(.stkCode=hp)")
+	if !res.Changed() {
+		t.Error("delete should report changes")
+	}
+}

@@ -1,0 +1,75 @@
+package datalog
+
+import (
+	"testing"
+)
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDB()
+		for j := 0; j < 100; j++ {
+			d.Fact("edge", j, j+1)
+		}
+		if err := d.AddRule(Rule{Head: P("path", V("X"), V("Y")), Body: []Atom{P("edge", V("X"), V("Y"))}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddRule(Rule{Head: P("path", V("X"), V("Z")), Body: []Atom{P("path", V("X"), V("Y")), P("edge", V("Y"), V("Z"))}}); err != nil {
+			b.Fatal(err)
+		}
+		n, err := d.Count("path")
+		if err != nil || n != 100*101/2 {
+			b.Fatalf("paths = %d, %v", n, err)
+		}
+	}
+}
+
+func BenchmarkIndexedJoinQuery(b *testing.B) {
+	d := NewDB()
+	for j := 0; j < 5000; j++ {
+		d.Fact("emp", j, j%100)
+		if j < 100 {
+			d.Fact("dept", j, j*10)
+		}
+	}
+	if err := d.AddRule(Rule{
+		Head: P("empMgr", V("E"), V("M")),
+		Body: []Atom{P("emp", V("E"), V("D")), P("dept", V("D"), V("M"))},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	goal := P("empMgr", C(42), V("M"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.Query(goal)
+		if err != nil || len(rows) != 1 {
+			b.Fatalf("rows = %v, %v", rows, err)
+		}
+	}
+}
+
+func BenchmarkNegationStratified(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDB()
+		for j := 0; j < 1000; j++ {
+			d.Fact("node", j)
+			if j%2 == 0 {
+				d.Fact("edge", j, j+1)
+			}
+		}
+		if err := d.AddRule(Rule{Head: P("hasOut", V("X")), Body: []Atom{P("edge", V("X"), V("Y"))}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddRule(Rule{Head: P("sink", V("X")), Body: []Atom{P("node", V("X")), NotP("hasOut", V("X"))}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Count("sink"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,670 @@
+// Package datalog is a first-order Datalog engine: stratified negation,
+// comparison built-ins, and semi-naive bottom-up evaluation.
+//
+// It exists as the expressiveness and performance baseline the paper
+// argues against (§1, §4): a first-order language cannot quantify over
+// relation or attribute names, so posing one intention against the
+// chwab/ource schemas requires a program whose size grows with the schema
+// — one rule per stock. The benchmark harness generates exactly those
+// programs and measures them against IDL's single higher-order
+// expression.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// Term is a constant or a variable (empty Var means constant).
+type Term struct {
+	Var string
+	Val object.Object
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term from a Go literal or object.Object.
+func C(v any) Term {
+	switch x := v.(type) {
+	case object.Object:
+		return Term{Val: x}
+	case int:
+		return Term{Val: object.Int(x)}
+	case int64:
+		return Term{Val: object.Int(x)}
+	case float64:
+		return Term{Val: object.Float(x)}
+	case string:
+		return Term{Val: object.Str(x)}
+	case bool:
+		return Term{Val: object.Bool(x)}
+	default:
+		panic("datalog: unsupported constant")
+	}
+}
+
+func (t Term) isVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.isVar() {
+		return t.Var
+	}
+	return t.Val.String()
+}
+
+// CmpOp is a comparison operator for built-in atoms.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+// Atom is a literal in a rule body or head: either a predicate atom
+// p(t1,…,tn) — possibly negated — or a comparison built-in l op r.
+type Atom struct {
+	Pred string // empty for comparison built-ins
+	Args []Term
+	Neg  bool
+
+	Cmp  CmpOp // valid when Pred == ""
+	L, R Term
+}
+
+// P builds a predicate atom.
+func P(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// NotP builds a negated predicate atom.
+func NotP(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args, Neg: true}
+}
+
+// Cmp builds a comparison built-in.
+func Cmp(l Term, op CmpOp, r Term) Atom { return Atom{Cmp: op, L: l, R: r} }
+
+func (a Atom) isBuiltin() bool { return a.Pred == "" }
+
+func (a Atom) String() string {
+	if a.isBuiltin() {
+		return fmt.Sprintf("%s %s %s", a.L, a.Cmp, a.R)
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	s := fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+	if a.Neg {
+		return "not " + s
+	}
+	return s
+}
+
+// Rule is head :- body.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ")
+}
+
+// row is one fact's argument list.
+type row []object.Object
+
+func hashRowVals(r row) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range r {
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h
+}
+
+// relation stores one predicate's facts with a dedupe index and lazy
+// per-position value indexes.
+type relation struct {
+	rows  []row
+	dedup map[uint64][]int
+	// pos -> value hash -> row indexes; invalidated by appends.
+	posIndex map[int]map[uint64][]int
+	arity    int
+}
+
+func newRelation() *relation {
+	return &relation{dedup: make(map[uint64][]int)}
+}
+
+func (r *relation) len() int { return len(r.rows) }
+
+func (r *relation) contains(v row) bool {
+	h := hashRowVals(v)
+	for _, i := range r.dedup[h] {
+		if rowsEqual(r.rows[i], v) {
+			return true
+		}
+	}
+	return false
+}
+
+func rowsEqual(a, b row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// add inserts a fact, reporting whether it was new.
+func (r *relation) add(v row) bool {
+	if r.contains(v) {
+		return false
+	}
+	h := hashRowVals(v)
+	r.dedup[h] = append(r.dedup[h], len(r.rows))
+	r.rows = append(r.rows, v)
+	r.posIndex = nil // appends invalidate position indexes
+	if len(v) > r.arity {
+		r.arity = len(v)
+	}
+	return true
+}
+
+// lookup returns candidate row indexes where position pos holds val.
+func (r *relation) lookup(pos int, val object.Object) []int {
+	if r.posIndex == nil {
+		r.posIndex = make(map[int]map[uint64][]int)
+	}
+	idx, ok := r.posIndex[pos]
+	if !ok {
+		idx = make(map[uint64][]int)
+		for i, rw := range r.rows {
+			if pos < len(rw) {
+				h := rw[pos].Hash()
+				idx[h] = append(idx[h], i)
+			}
+		}
+		r.posIndex[pos] = idx
+	}
+	return idx[val.Hash()]
+}
+
+// DB is a Datalog database: extensional facts plus rules.
+type DB struct {
+	facts map[string]*relation
+	rules []Rule
+	// strata computed at Seal time.
+	strata  [][]Rule
+	sealed  bool
+	derived map[string]bool
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{facts: make(map[string]*relation), derived: make(map[string]bool)}
+}
+
+// Fact asserts an extensional fact.
+func (d *DB) Fact(pred string, args ...any) {
+	vals := make(row, len(args))
+	for i, a := range args {
+		vals[i] = C(a).Val
+	}
+	d.rel(pred).add(vals)
+	d.sealed = false
+}
+
+func (d *DB) rel(pred string) *relation {
+	r, ok := d.facts[pred]
+	if !ok {
+		r = newRelation()
+		d.facts[pred] = r
+	}
+	return r
+}
+
+// AddRule registers a rule after validating range restriction: every head
+// variable and every variable in a negated or built-in atom must occur in
+// a positive body atom.
+func (d *DB) AddRule(r Rule) error {
+	if r.Head.isBuiltin() || r.Head.Neg {
+		return fmt.Errorf("datalog: head must be a positive predicate atom")
+	}
+	positive := map[string]bool{}
+	for _, a := range r.Body {
+		if a.isBuiltin() || a.Neg {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.isVar() {
+				positive[t.Var] = true
+			}
+		}
+	}
+	check := func(t Term, where string) error {
+		if t.isVar() && !positive[t.Var] {
+			return fmt.Errorf("datalog: variable %s in %s is not range restricted", t.Var, where)
+		}
+		return nil
+	}
+	for _, t := range r.Head.Args {
+		if err := check(t, "head"); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Body {
+		switch {
+		case a.isBuiltin():
+			if err := check(a.L, "built-in"); err != nil {
+				return err
+			}
+			if err := check(a.R, "built-in"); err != nil {
+				return err
+			}
+		case a.Neg:
+			for _, t := range a.Args {
+				if err := check(t, "negated atom"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	d.rules = append(d.rules, r)
+	d.derived[r.Head.Pred] = true
+	d.sealed = false
+	return nil
+}
+
+// stratify orders predicates so negative dependencies never cycle.
+func (d *DB) stratify() error {
+	// Predicate stratum numbers via iterated relaxation (small programs).
+	stratum := map[string]int{}
+	for _, r := range d.rules {
+		stratum[r.Head.Pred] = 0
+	}
+	n := len(stratum) + 1
+	for pass := 0; pass <= n*n; pass++ {
+		changed := false
+		for _, r := range d.rules {
+			h := stratum[r.Head.Pred]
+			for _, a := range r.Body {
+				if a.isBuiltin() {
+					continue
+				}
+				s, isDerived := stratum[a.Pred]
+				if !isDerived {
+					continue
+				}
+				want := s
+				if a.Neg {
+					want = s + 1
+				}
+				if h < want {
+					h = want
+					changed = true
+				}
+			}
+			if h > len(stratum) {
+				return fmt.Errorf("datalog: program is not stratified (negation in recursion through %s)", r.Head.Pred)
+			}
+			stratum[r.Head.Pred] = h
+		}
+		if !changed {
+			break
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	d.strata = make([][]Rule, maxS+1)
+	for _, r := range d.rules {
+		s := stratum[r.Head.Pred]
+		d.strata[s] = append(d.strata[s], r)
+	}
+	return nil
+}
+
+// Seal computes strata and evaluates all rules to fixpoint (semi-naive).
+// It must be called (or is called implicitly by Query) after facts or
+// rules change.
+func (d *DB) Seal() error {
+	if d.sealed {
+		return nil
+	}
+	// Reset derived relations: re-derive from scratch.
+	for pred := range d.derived {
+		d.facts[pred] = newRelation()
+	}
+	if err := d.stratify(); err != nil {
+		return err
+	}
+	for _, stratum := range d.strata {
+		if err := d.fixpoint(stratum); err != nil {
+			return err
+		}
+	}
+	d.sealed = true
+	return nil
+}
+
+// fixpoint runs semi-naive iteration over one stratum: after the first
+// round, a rule fires only on bindings that touch at least one
+// delta-fresh fact of a recursive predicate.
+func (d *DB) fixpoint(rules []Rule) error {
+	recursive := map[string]bool{}
+	for _, r := range rules {
+		recursive[r.Head.Pred] = true
+	}
+	delta := map[string]*relation{}
+	for p := range recursive {
+		delta[p] = newRelation()
+	}
+	first := true
+	for round := 0; ; round++ {
+		if round > 1_000_000 {
+			return fmt.Errorf("datalog: fixpoint did not converge")
+		}
+		nextDelta := map[string]*relation{}
+		for p := range recursive {
+			nextDelta[p] = newRelation()
+		}
+		any := false
+		for _, r := range rules {
+			variants := d.deltaVariants(r, recursive, delta, first)
+			for _, variant := range variants {
+				err := d.joinBody(r, variant, func(bind map[string]object.Object) {
+					head := make(row, len(r.Head.Args))
+					for i, t := range r.Head.Args {
+						if t.isVar() {
+							head[i] = bind[t.Var]
+						} else {
+							head[i] = t.Val
+						}
+					}
+					if d.rel(r.Head.Pred).add(head) {
+						nextDelta[r.Head.Pred].add(head)
+						any = true
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if !any {
+			return nil
+		}
+		delta = nextDelta
+		first = false
+	}
+}
+
+// deltaVariant marks which body atom reads the delta relation (-1: none,
+// evaluate against full relations — used in the first round).
+type deltaVariant struct {
+	deltaAtom int
+	delta     map[string]*relation
+}
+
+func (d *DB) deltaVariants(r Rule, recursive map[string]bool, delta map[string]*relation, first bool) []deltaVariant {
+	if first {
+		return []deltaVariant{{deltaAtom: -1}}
+	}
+	var out []deltaVariant
+	for i, a := range r.Body {
+		if !a.isBuiltin() && !a.Neg && recursive[a.Pred] {
+			out = append(out, deltaVariant{deltaAtom: i, delta: delta})
+		}
+	}
+	return out
+}
+
+// joinBody enumerates bindings satisfying the rule body left to right,
+// using per-position indexes when a join column is already bound.
+func (d *DB) joinBody(r Rule, variant deltaVariant, emit func(map[string]object.Object)) error {
+	bind := map[string]object.Object{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(r.Body) {
+			emit(copyBind(bind))
+			return nil
+		}
+		a := r.Body[i]
+		switch {
+		case a.isBuiltin():
+			l, err := resolve(a.L, bind)
+			if err != nil {
+				return fmt.Errorf("datalog: %v in rule %s", err, r)
+			}
+			rv, err := resolve(a.R, bind)
+			if err != nil {
+				return fmt.Errorf("datalog: %v in rule %s", err, r)
+			}
+			if applyCmp(a.Cmp, l, rv) {
+				return rec(i + 1)
+			}
+			return nil
+		case a.Neg:
+			target := make(row, len(a.Args))
+			for j, t := range a.Args {
+				v, err := resolve(t, bind)
+				if err != nil {
+					return fmt.Errorf("datalog: %v in rule %s", err, r)
+				}
+				target[j] = v
+			}
+			if !d.rel(a.Pred).contains(target) {
+				return rec(i + 1)
+			}
+			return nil
+		default:
+			rel := d.rel(a.Pred)
+			if variant.deltaAtom == i {
+				rel = variant.delta[a.Pred]
+			}
+			return d.scanAtom(rel, a, bind, func() error { return rec(i + 1) })
+		}
+	}
+	return rec(0)
+}
+
+// scanAtom unifies an atom against a relation, using an index on the
+// first bound position when one exists.
+func (d *DB) scanAtom(rel *relation, a Atom, bind map[string]object.Object, k func() error) error {
+	// Find an indexable position: a constant arg or an already-bound var.
+	idxPos := -1
+	var idxVal object.Object
+	for i, t := range a.Args {
+		if !t.isVar() {
+			idxPos, idxVal = i, t.Val
+			break
+		}
+		if v, ok := bind[t.Var]; ok {
+			idxPos, idxVal = i, v
+			break
+		}
+	}
+	try := func(rw row) error {
+		if len(rw) != len(a.Args) {
+			return nil
+		}
+		var bound []string
+		ok := true
+		for i, t := range a.Args {
+			if !t.isVar() {
+				if !rw[i].Equal(t.Val) {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v, has := bind[t.Var]; has {
+				if !rw[i].Equal(v) {
+					ok = false
+					break
+				}
+				continue
+			}
+			bind[t.Var] = rw[i]
+			bound = append(bound, t.Var)
+		}
+		var err error
+		if ok {
+			err = k()
+		}
+		for _, v := range bound {
+			delete(bind, v)
+		}
+		return err
+	}
+	if idxPos >= 0 {
+		for _, i := range rel.lookup(idxPos, idxVal) {
+			if err := try(rel.rows[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rw := range rel.rows {
+		if err := try(rw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func resolve(t Term, bind map[string]object.Object) (object.Object, error) {
+	if !t.isVar() {
+		return t.Val, nil
+	}
+	v, ok := bind[t.Var]
+	if !ok {
+		return nil, fmt.Errorf("unbound variable %s", t.Var)
+	}
+	return v, nil
+}
+
+func applyCmp(op CmpOp, l, r object.Object) bool {
+	switch op {
+	case EQ:
+		return l.Equal(r)
+	case NE:
+		return !l.Equal(r)
+	}
+	if !object.Comparable(l, r) {
+		return false
+	}
+	c := l.Compare(r)
+	switch op {
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+func copyBind(b map[string]object.Object) map[string]object.Object {
+	out := make(map[string]object.Object, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Query evaluates a goal atom and returns the satisfying bindings of its
+// variables, deduplicated.
+func (d *DB) Query(goal Atom) ([]map[string]object.Object, error) {
+	if goal.isBuiltin() || goal.Neg {
+		return nil, fmt.Errorf("datalog: goal must be a positive predicate atom")
+	}
+	if err := d.Seal(); err != nil {
+		return nil, err
+	}
+	var out []map[string]object.Object
+	seen := map[uint64][]int{}
+	bind := map[string]object.Object{}
+	err := d.scanAtom(d.rel(goal.Pred), goal, bind, func() error {
+		snap := copyBind(bind)
+		h := hashBind(snap)
+		dup := false
+		for _, i := range seen[h] {
+			if bindsEqual(out[i], snap) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], len(out))
+			out = append(out, snap)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Count returns the number of facts for a predicate (after sealing).
+func (d *DB) Count(pred string) (int, error) {
+	if err := d.Seal(); err != nil {
+		return 0, err
+	}
+	return d.rel(pred).len(), nil
+}
+
+// Predicates lists known predicate names, sorted.
+func (d *DB) Predicates() []string {
+	names := make([]string, 0, len(d.facts))
+	for p := range d.facts {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func hashBind(b map[string]object.Object) uint64 {
+	var acc uint64 = 0x61c8864680b583eb
+	for k, v := range b {
+		acc += object.Str(k).Hash() ^ v.Hash()
+	}
+	return acc
+}
+
+func bindsEqual(a, b map[string]object.Object) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}

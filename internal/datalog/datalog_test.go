@@ -1,0 +1,228 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+)
+
+func TestFactsAndGroundQuery(t *testing.T) {
+	d := NewDB()
+	d.Fact("quote", object.NewDate(85, 3, 1), "hp", 50)
+	d.Fact("quote", object.NewDate(85, 3, 2), "hp", 55)
+	d.Fact("quote", object.NewDate(85, 3, 1), "hp", 50) // dup
+	n, err := d.Count("quote")
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	rows, err := d.Query(P("quote", C(object.NewDate(85, 3, 1)), C("hp"), V("P")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0]["P"].Equal(object.Int(50)) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestJoinRule(t *testing.T) {
+	d := NewDB()
+	d.Fact("emp", "john", 10)
+	d.Fact("emp", "mary", 20)
+	d.Fact("dept", 10, "boss")
+	d.Fact("dept", 20, "chief")
+	// The paper's §2 empMgr view, first order.
+	if err := d.AddRule(Rule{
+		Head: P("empMgr", V("Name"), V("Mgr")),
+		Body: []Atom{P("emp", V("Name"), V("Dno")), P("dept", V("Dno"), V("Mgr"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Query(P("empMgr", C("john"), V("M")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0]["M"].Equal(object.Str("boss")) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestTransitiveClosureSemiNaive(t *testing.T) {
+	d := NewDB()
+	const n = 50
+	for i := 0; i < n; i++ {
+		d.Fact("edge", i, i+1)
+	}
+	if err := d.AddRule(Rule{Head: P("path", V("X"), V("Y")), Body: []Atom{P("edge", V("X"), V("Y"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRule(Rule{Head: P("path", V("X"), V("Z")), Body: []Atom{P("path", V("X"), V("Y")), P("edge", V("Y"), V("Z"))}}); err != nil {
+		t.Fatal(err)
+	}
+	total, err := d.Count("path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n * (n + 1) / 2
+	if total != want {
+		t.Errorf("paths = %d, want %d", total, want)
+	}
+	rows, err := d.Query(P("path", C(0), V("Y")))
+	if err != nil || len(rows) != n {
+		t.Errorf("paths from 0 = %d, %v", len(rows), err)
+	}
+}
+
+func TestNegationStratified(t *testing.T) {
+	d := NewDB()
+	d.Fact("node", 1)
+	d.Fact("node", 2)
+	d.Fact("node", 3)
+	d.Fact("edge", 1, 2)
+	if err := d.AddRule(Rule{Head: P("hasOut", V("X")), Body: []Atom{P("edge", V("X"), V("Y"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRule(Rule{Head: P("sink", V("X")), Body: []Atom{P("node", V("X")), NotP("hasOut", V("X"))}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Query(P("sink", V("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("sinks = %v", rows)
+	}
+}
+
+func TestUnstratifiedRejected(t *testing.T) {
+	d := NewDB()
+	d.Fact("b", 1)
+	if err := d.AddRule(Rule{Head: P("p", V("X")), Body: []Atom{P("b", V("X")), NotP("q", V("X"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRule(Rule{Head: P("q", V("X")), Body: []Atom{P("p", V("X"))}}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Seal()
+	if err == nil || !strings.Contains(err.Error(), "stratified") {
+		t.Errorf("want stratification error, got %v", err)
+	}
+}
+
+func TestComparisonBuiltins(t *testing.T) {
+	d := NewDB()
+	d.Fact("quote", "hp", 50)
+	d.Fact("quote", "sun", 201)
+	d.Fact("quote", "ibm", 140)
+	if err := d.AddRule(Rule{
+		Head: P("expensive", V("S")),
+		Body: []Atom{P("quote", V("S"), V("P")), Cmp(V("P"), GT, C(200))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Query(P("expensive", V("S")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0]["S"].Equal(object.Str("sun")) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestAllTimeHighWithNegation(t *testing.T) {
+	d := NewDB()
+	prices := map[object.Date]int{
+		object.NewDate(85, 3, 1): 50,
+		object.NewDate(85, 3, 2): 55,
+		object.NewDate(85, 3, 3): 62,
+	}
+	for dt, p := range prices {
+		d.Fact("hp", dt, p)
+	}
+	if err := d.AddRule(Rule{
+		Head: P("higher", V("D"), V("P")),
+		Body: []Atom{P("hp", V("D"), V("P")), P("hp", V("D2"), V("P2")), Cmp(V("P2"), GT, V("P"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRule(Rule{
+		Head: P("high", V("D"), V("P")),
+		Body: []Atom{P("hp", V("D"), V("P")), NotP("higher", V("D"), V("P"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Query(P("high", V("D"), V("P")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0]["P"].Equal(object.Int(62)) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	d := NewDB()
+	cases := []Rule{
+		{Head: P("p", V("X")), Body: []Atom{P("b", V("Y"))}},                        // head var unbound
+		{Head: P("p", V("X")), Body: []Atom{P("b", V("X")), NotP("q", V("Z"))}},     // neg var unbound
+		{Head: P("p", V("X")), Body: []Atom{P("b", V("X")), Cmp(V("W"), LT, C(1))}}, // builtin var unbound
+	}
+	for _, r := range cases {
+		if err := d.AddRule(r); err == nil {
+			t.Errorf("AddRule(%s) should fail", r)
+		}
+	}
+	if err := d.AddRule(Rule{Head: Cmp(V("X"), EQ, C(1)), Body: nil}); err == nil {
+		t.Error("builtin head should fail")
+	}
+}
+
+func TestResealAfterNewFacts(t *testing.T) {
+	d := NewDB()
+	d.Fact("edge", 1, 2)
+	if err := d.AddRule(Rule{Head: P("path", V("X"), V("Y")), Body: []Atom{P("edge", V("X"), V("Y"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count("path"); n != 1 {
+		t.Fatalf("paths = %d", n)
+	}
+	d.Fact("edge", 2, 3)
+	if n, _ := d.Count("path"); n != 2 {
+		t.Errorf("paths after new fact = %d, want 2", n)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	d := NewDB()
+	if _, err := d.Query(NotP("p", V("X"))); err == nil {
+		t.Error("negated goal should fail")
+	}
+	if _, err := d.Query(Cmp(V("X"), EQ, C(1))); err == nil {
+		t.Error("builtin goal should fail")
+	}
+}
+
+func TestPredicatesListing(t *testing.T) {
+	d := NewDB()
+	d.Fact("b", 1)
+	d.Fact("a", 1)
+	got := d.Predicates()
+	if len(got) != 2 || got[0] != "a" {
+		t.Errorf("predicates = %v", got)
+	}
+}
+
+func TestConstantsInRuleHead(t *testing.T) {
+	d := NewDB()
+	d.Fact("q", "hp", 50)
+	if err := d.AddRule(Rule{
+		Head: P("tagged", C("stock"), V("S")),
+		Body: []Atom{P("q", V("S"), V("P"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Query(P("tagged", C("stock"), V("S")))
+	if err != nil || len(rows) != 1 {
+		t.Errorf("rows = %v, %v", rows, err)
+	}
+}

@@ -1,0 +1,209 @@
+package lex
+
+import (
+	"testing"
+)
+
+func kinds(src string) []Kind {
+	var ks []Kind
+	for _, t := range Tokens(src) {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func assertKinds(t *testing.T, src string, want ...Kind) {
+	t.Helper()
+	want = append(want, EOF)
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("lex(%q): got %d tokens %v, want %d %v", src, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("lex(%q)[%d] = %v, want %v (all: %v)", src, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPunctuation(t *testing.T) {
+	assertKinds(t, "? . , ( ) ; + - *",
+		QUESTION, DOT, COMMA, LPAREN, RPAREN, SEMI, PLUS, MINUS, STAR)
+}
+
+func TestRelops(t *testing.T) {
+	assertKinds(t, "= != < <= > >=", EQ, NE, LT, LE, GT, GE)
+	assertKinds(t, "≠ ≤ ≥", NE, LE, GE)
+}
+
+func TestArrowsAndNegation(t *testing.T) {
+	assertKinds(t, "<- -> ← → ~ ! ¬", LARROW, RARROW, LARROW, RARROW, NOT, NOT, NOT)
+	// `<-5` reads as a comparison with a negative number, not an arrow.
+	assertKinds(t, "<-5", LT, MINUS, INT)
+	// `!=` is NE, bare `!` is NOT.
+	assertKinds(t, "!=1 !x", NE, INT, NOT, IDENT)
+}
+
+func TestWords(t *testing.T) {
+	toks := Tokens(".euter.r(.stkCode=hp, .clsPrice>60)")
+	wantKinds := []Kind{DOT, IDENT, DOT, IDENT, LPAREN, DOT, IDENT, EQ,
+		IDENT, COMMA, DOT, IDENT, GT, INT, RPAREN, EOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+	if toks[1].Text != "euter" || toks[8].Text != "hp" {
+		t.Errorf("identifier text wrong: %v %v", toks[1], toks[8])
+	}
+}
+
+func TestVariablesVsIdentifiers(t *testing.T) {
+	toks := Tokens("X stkCode Price _x Y2")
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{VAR, "X"}, {IDENT, "stkCode"}, {VAR, "Price"}, {IDENT, "_x"}, {VAR, "Y2"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := Tokens("42 2.5 0.125 1e3 7e 50")
+	if toks[0].Kind != INT || toks[0].Int != 42 {
+		t.Errorf("42: %v", toks[0])
+	}
+	if toks[1].Kind != FLOAT || toks[1].Float != 2.5 {
+		t.Errorf("2.5: %v", toks[1])
+	}
+	if toks[2].Kind != FLOAT || toks[2].Float != 0.125 {
+		t.Errorf("0.125: %v", toks[2])
+	}
+	if toks[3].Kind != FLOAT || toks[3].Float != 1000 {
+		t.Errorf("1e3: %v", toks[3])
+	}
+	// "7e" is INT 7 then IDENT e.
+	if toks[4].Kind != INT || toks[4].Int != 7 || toks[5].Kind != IDENT || toks[5].Text != "e" {
+		t.Errorf("7e: %v %v", toks[4], toks[5])
+	}
+	if toks[6].Kind != INT || toks[6].Int != 50 {
+		t.Errorf("50: %v", toks[6])
+	}
+}
+
+func TestLeadingDotFloat(t *testing.T) {
+	// A digit after '.' lexes as a float, not a path dot.
+	toks := Tokens(".5 .x")
+	if toks[0].Kind != FLOAT || toks[0].Float != 0.5 {
+		t.Errorf(".5: %v", toks[0])
+	}
+	if toks[1].Kind != DOT || toks[2].Kind != IDENT {
+		t.Errorf(".x: %v %v", toks[1], toks[2])
+	}
+}
+
+func TestDates(t *testing.T) {
+	toks := Tokens("3/3/85 12/31/1999")
+	if toks[0].Kind != DATE || toks[0].Month != 3 || toks[0].Day != 3 || toks[0].Year != 85 {
+		t.Fatalf("3/3/85: %+v", toks[0])
+	}
+	if toks[1].Kind != DATE || toks[1].Month != 12 || toks[1].Day != 31 || toks[1].Year != 1999 {
+		t.Fatalf("12/31/1999: %+v", toks[1])
+	}
+	// Out-of-range month is an error token.
+	toks = Tokens("13/1/85")
+	if toks[0].Kind != ERROR {
+		t.Errorf("13/1/85 should be an error, got %v", toks[0])
+	}
+	// A lone slash after a number is an error (no division operator).
+	toks = Tokens("3/4")
+	if toks[0].Kind != ERROR {
+		t.Errorf("3/4 should be a malformed date error, got %v", toks[0])
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := Tokens(`"hello world" "esc\"aped"`)
+	if toks[0].Kind != STRING || toks[0].Text != "hello world" {
+		t.Errorf("string 1: %v", toks[0])
+	}
+	if toks[1].Kind != STRING || toks[1].Text != `esc"aped` {
+		t.Errorf("string 2: %v", toks[1])
+	}
+	toks = Tokens("\"unterminated")
+	if toks[0].Kind != ERROR {
+		t.Errorf("unterminated string should error, got %v", toks[0])
+	}
+	toks = Tokens("\"across\nlines\"")
+	if toks[0].Kind != ERROR {
+		t.Errorf("newline in string should error, got %v", toks[0])
+	}
+}
+
+func TestComments(t *testing.T) {
+	assertKinds(t, "% whole line\nx", IDENT)
+	assertKinds(t, "x // trailing\ny", IDENT, IDENT)
+	assertKinds(t, "x%comment", IDENT)
+}
+
+func TestPositions(t *testing.T) {
+	toks := Tokens("ab\n  cd")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("ab at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("cd at %v", toks[1].Pos)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	toks := Tokens("@ x")
+	if toks[0].Kind != ERROR {
+		t.Fatalf("expected error token, got %v", toks[0])
+	}
+	if toks[1].Kind != IDENT || toks[1].Text != "x" {
+		t.Fatalf("lexer should recover after error, got %v", toks[1])
+	}
+}
+
+func TestPaperQueriesLex(t *testing.T) {
+	// Every query string from the paper must lex without error tokens.
+	queries := []string{
+		"?.euter.r(.stkCode=hp, .clsPrice>60)",
+		"?.euter.r(.stkCode=hp,.clsPrice>60,.date=D), .euter.r(.stkCode=ibm,.clsPrice>150,.date=D)",
+		"?.euter.r(.stkCode=hp,.clsPrice=P,.date=D), .euter.r~(.stkCode=hp, .clsPrice>P)",
+		"?.euter.r(.stkCode=S, .clsPrice>200)",
+		"?.X", "?.ource.Y", "?.X.Y", "?.X.hp", "?.X.Y(.stkCode)",
+		"?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)",
+		"?.euter.Y, .chwab.Y, .ource.Y",
+		"?.chwab.r(.S>200)",
+		"?.ource.S(.clsPrice > 200)",
+		"?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)",
+		"?.euter.r-(.date=3/3/85,.stkCode=hp)",
+		"?.chwab.r(.date=3/3/85, .hp-=C)",
+		"?.chwab.r(.date=3/3/85, -.hp=C)",
+		"?.chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)",
+		".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+		".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S,.date=D)",
+		".dbU.rmStk(.stk=S) -> .ource-.S",
+	}
+	for _, q := range queries {
+		for _, tok := range Tokens(q) {
+			if tok.Kind == ERROR {
+				t.Errorf("lex(%q): error token %v at %v", q, tok.Text, tok.Pos)
+			}
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	got := Describe(Tokens("?.x=5"))
+	if got == "" {
+		t.Error("Describe returned empty")
+	}
+}

@@ -1,0 +1,91 @@
+// Package lex tokenizes IDL surface syntax.
+package lex
+
+import "fmt"
+
+// Kind identifies a token type.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ERROR
+
+	// Punctuation.
+	DOT      // .
+	COMMA    // ,
+	LPAREN   // (
+	RPAREN   // )
+	QUESTION // ?
+	SEMI     // ;
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	NOT      // ~  !  ¬
+	LARROW   // <-  ←
+	RARROW   // ->  →
+
+	// Relational operators.
+	EQ // =
+	NE // != ≠
+	LT // <
+	LE // <= ≤
+	GT // >
+	GE // >= ≥
+
+	// Literals and names.
+	IDENT  // lowercase-initial word: a constant name (string atom)
+	VAR    // uppercase-initial word: a logical variable
+	INT    // integer literal
+	FLOAT  // float literal
+	DATE   // m/d/y literal
+	STRING // "quoted string"
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ERROR: "ERROR", DOT: ".", COMMA: ",", LPAREN: "(",
+	RPAREN: ")", QUESTION: "?", SEMI: ";", PLUS: "+", MINUS: "-",
+	STAR: "*", NOT: "~", LARROW: "<-", RARROW: "->", EQ: "=", NE: "!=",
+	LT: "<", LE: "<=", GT: ">", GE: ">=", IDENT: "identifier",
+	VAR: "variable", INT: "integer", FLOAT: "float", DATE: "date",
+	STRING: "string",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // raw text (unquoted for STRING)
+	Pos  Pos
+
+	// Numeric payloads, valid per Kind.
+	Int              int64   // INT
+	Float            float64 // FLOAT
+	Year, Month, Day int     // DATE
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, VAR, INT, FLOAT, DATE, STRING:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,256 @@
+package msql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// ResultSet is a statement's answer: named columns and deduplicated rows.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]object.Object
+}
+
+// Len returns the row count.
+func (r *ResultSet) Len() int { return len(r.Rows) }
+
+// Canonical renders the result set deterministically (sorted rows) for
+// comparison and tests.
+func (r *ResultSet) Canonical() string {
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		lines[i] = strings.Join(cells, "\t")
+	}
+	sort.Strings(lines)
+	return strings.Join(r.Columns, "\t") + "\n" + strings.Join(lines, "\n")
+}
+
+// Exec evaluates a statement against a universe tuple. Database semantic
+// variables range over every database that holds all the relations the
+// variable is used with ("multiple queries": results are unioned).
+func Exec(st *Statement, universe *object.Tuple) (*ResultSet, error) {
+	// Column headers.
+	rs := &ResultSet{}
+	for _, s := range st.Select {
+		if s.DBVar != "" {
+			rs.Columns = append(rs.Columns, "&"+s.DBVar)
+		} else {
+			rs.Columns = append(rs.Columns, s.Alias+"."+s.Attr)
+		}
+	}
+	// Candidate databases per variable.
+	varNames, candidates, err := dbCandidates(st, universe)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	// Enumerate assignments (cartesian product).
+	assignment := map[string]string{}
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(varNames) {
+			return execAssignment(st, universe, assignment, rs, seen)
+		}
+		for _, db := range candidates[varNames[i]] {
+			assignment[varNames[i]] = db
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// dbCandidates computes, per database variable, the databases holding
+// every relation the variable is used with.
+func dbCandidates(st *Statement, universe *object.Tuple) ([]string, map[string][]string, error) {
+	needs := map[string][]string{} // var -> relations required
+	var order []string
+	for _, f := range st.From {
+		if f.DBVar == "" {
+			continue
+		}
+		if _, ok := needs[f.DBVar]; !ok {
+			order = append(order, f.DBVar)
+		}
+		needs[f.DBVar] = append(needs[f.DBVar], f.Rel)
+	}
+	out := map[string][]string{}
+	for _, v := range order {
+		var dbs []string
+		universe.Each(func(dbName string, dbObj object.Object) bool {
+			dbt, ok := dbObj.(*object.Tuple)
+			if !ok {
+				return true
+			}
+			for _, rel := range needs[v] {
+				if r, ok := dbt.Get(rel); !ok {
+					return true
+				} else if _, isSet := r.(*object.Set); !isSet {
+					return true
+				}
+			}
+			dbs = append(dbs, dbName)
+			return true
+		})
+		sort.Strings(dbs)
+		out[v] = dbs
+	}
+	return order, out, nil
+}
+
+// execAssignment evaluates the join for one database-variable assignment.
+func execAssignment(st *Statement, universe *object.Tuple, assignment map[string]string, rs *ResultSet, seen map[string]bool) error {
+	// Resolve the relations.
+	rels := make([]*object.Set, len(st.From))
+	for i, f := range st.From {
+		dbName := f.DB
+		if f.DBVar != "" {
+			dbName = assignment[f.DBVar]
+		}
+		dbObj, ok := universe.Get(dbName)
+		if !ok {
+			return fmt.Errorf("msql: no database %q", dbName)
+		}
+		dbt, ok := dbObj.(*object.Tuple)
+		if !ok {
+			return fmt.Errorf("msql: %q is not a database", dbName)
+		}
+		relObj, ok := dbt.Get(f.Rel)
+		if !ok {
+			return fmt.Errorf("msql: no relation %s.%s", dbName, f.Rel)
+		}
+		rel, ok := relObj.(*object.Set)
+		if !ok {
+			return fmt.Errorf("msql: %s.%s is not a relation", dbName, f.Rel)
+		}
+		rels[i] = rel
+	}
+	// Nested-loop join with condition checks as soon as both sides bind.
+	binding := map[string]*object.Tuple{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(st.From) {
+			return emit(st, assignment, binding, rs, seen)
+		}
+		alias := st.From[i].Alias
+		var failure error
+		rels[i].Each(func(e object.Object) bool {
+			t, ok := e.(*object.Tuple)
+			if !ok {
+				return true
+			}
+			binding[alias] = t
+			if condsSatisfiable(st, binding) {
+				if err := rec(i + 1); err != nil {
+					failure = err
+					return false
+				}
+			}
+			delete(binding, alias)
+			return true
+		})
+		return failure
+	}
+	return rec(0)
+}
+
+// condsSatisfiable checks every condition whose operands are all bound.
+func condsSatisfiable(st *Statement, binding map[string]*object.Tuple) bool {
+	for _, c := range st.Where {
+		l, lok := operandValue(c.L, binding)
+		r, rok := operandValue(c.R, binding)
+		if !lok || !rok {
+			continue // defer until bound
+		}
+		if l == nil || r == nil {
+			return false // attribute absent in this tuple
+		}
+		if !applyOp(c.Op, l, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// operandValue resolves an operand; ok=false means its alias is not yet
+// bound; a nil value with ok=true means the attribute is absent.
+func operandValue(o CondOperand, binding map[string]*object.Tuple) (object.Object, bool) {
+	if o.Lit != nil {
+		return o.Lit, true
+	}
+	t, ok := binding[o.Alias]
+	if !ok {
+		return nil, false
+	}
+	v, has := t.Get(o.Attr)
+	if !has {
+		return nil, true
+	}
+	return v, true
+}
+
+func applyOp(op string, l, r object.Object) bool {
+	if _, isNull := l.(object.Null); isNull {
+		return false
+	}
+	if _, isNull := r.(object.Null); isNull {
+		return false
+	}
+	switch op {
+	case "=":
+		return l.Equal(r)
+	case "!=":
+		return !l.Equal(r)
+	}
+	if !object.Comparable(l, r) {
+		return false
+	}
+	c := l.Compare(r)
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func emit(st *Statement, assignment map[string]string, binding map[string]*object.Tuple, rs *ResultSet, seen map[string]bool) error {
+	row := make([]object.Object, len(st.Select))
+	var key strings.Builder
+	for i, s := range st.Select {
+		if s.DBVar != "" {
+			row[i] = object.Str(assignment[s.DBVar])
+		} else {
+			t := binding[s.Alias]
+			v, ok := t.Get(s.Attr)
+			if !ok {
+				return nil // tuples lacking a projected attribute drop out
+			}
+			row[i] = v
+		}
+		key.WriteString(row[i].String())
+		key.WriteByte('\x00')
+	}
+	if !seen[key.String()] {
+		seen[key.String()] = true
+		rs.Rows = append(rs.Rows, row)
+	}
+	return nil
+}

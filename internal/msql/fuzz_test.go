@@ -1,0 +1,31 @@
+package msql
+
+import (
+	"testing"
+)
+
+// FuzzParseMSQL checks the MSQL parser never panics and that everything
+// that parses also translates to IDL without panicking.
+func FuzzParseMSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT r.stkCode FROM euter.r WHERE r.clsPrice > 100",
+		"SELECT &D, r.stkCode FROM &D.r WHERE r.stkCode = 'hp'",
+		"SELECT a.x, b.y FROM d1.r a, d2.s b WHERE a.k = b.k AND a.v != 3.5",
+		"SELECT x FROM d.r WHERE x = 3/3/85",
+		"select x from d.r",
+		"SELECT",
+		"SELECT & FROM",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, _, err := Translate(st); err != nil {
+			t.Fatalf("parsed statement %q failed to translate: %v", src, err)
+		}
+	})
+}

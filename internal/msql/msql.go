@@ -1,0 +1,415 @@
+// Package msql implements a small multidatabase SQL in the spirit of
+// Litwin's MSQL [Li89], the system whose interoperability features the
+// paper claims IDL subsumes (§1). The subset captures MSQL's signature
+// capabilities:
+//
+//   - multidatabase naming: FROM db.rel;
+//   - *database* semantic variables: FROM &D.rel broadcasts the query to
+//     every database holding the relation, with &D available in the
+//     SELECT list ("multiple queries", results unioned);
+//   - multidatabase joins across FROM items.
+//
+// What it deliberately cannot do — quantify over *attribute* or
+// *relation* names — is the paper's point: posing "any stock above 200"
+// against the chwab or ource schema is inexpressible here (see the
+// tests), while IDL needs one expression. Compile (msql.Translate) turns
+// any statement of this subset into an equivalent IDL query, making the
+// subsumption claim executable.
+package msql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"idl/internal/object"
+)
+
+// Statement is a parsed SELECT.
+type Statement struct {
+	Select []SelectItem
+	From   []FromItem
+	Where  []Condition
+}
+
+// SelectItem projects an attribute of a FROM alias, or a database
+// variable (`&D`).
+type SelectItem struct {
+	Alias string // FROM alias; empty when DBVar is set
+	Attr  string
+	DBVar string // "&D" projection: the database a broadcast row came from
+}
+
+// FromItem names one relation: a concrete database or a database
+// variable.
+type FromItem struct {
+	DB    string // concrete database name (empty when DBVar set)
+	DBVar string // database semantic variable name (without '&')
+	Rel   string
+	Alias string
+}
+
+// CondOperand is an attribute reference or a literal.
+type CondOperand struct {
+	Alias string
+	Attr  string
+	Lit   object.Object // non-nil for literals
+}
+
+// Condition is `operand op operand` (conditions are AND-ed).
+type Condition struct {
+	L  CondOperand
+	Op string // = != < <= > >=
+	R  CondOperand
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (hand-rolled; the subset is small)
+
+type tokenizer struct {
+	src string
+	pos int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.src) && unicode.IsSpace(rune(t.src[t.pos])) {
+		t.pos++
+	}
+}
+
+func (t *tokenizer) peek() byte {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return 0
+	}
+	return t.src[t.pos]
+}
+
+// next returns the next token: word, number, quoted string, or symbol.
+func (t *tokenizer) next() (string, error) {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return "", nil
+	}
+	c := t.src[t.pos]
+	switch {
+	case c == ',' || c == '.' || c == '&' || c == '(' || c == ')':
+		t.pos++
+		return string(c), nil
+	case c == '=':
+		t.pos++
+		return "=", nil
+	case c == '<' || c == '>' || c == '!':
+		t.pos++
+		if t.pos < len(t.src) && t.src[t.pos] == '=' {
+			t.pos++
+			return string(c) + "=", nil
+		}
+		if c == '!' {
+			return "", fmt.Errorf("msql: lone '!' at %d", t.pos-1)
+		}
+		return string(c), nil
+	case c == '\'':
+		end := strings.IndexByte(t.src[t.pos+1:], '\'')
+		if end < 0 {
+			return "", fmt.Errorf("msql: unterminated string at %d", t.pos)
+		}
+		tok := t.src[t.pos : t.pos+end+2]
+		t.pos += end + 2
+		return tok, nil
+	case unicode.IsDigit(rune(c)):
+		start := t.pos
+		for t.pos < len(t.src) && (unicode.IsDigit(rune(t.src[t.pos])) || t.src[t.pos] == '/') {
+			t.pos++
+		}
+		if t.pos < len(t.src) && t.src[t.pos] == '.' && t.pos+1 < len(t.src) && unicode.IsDigit(rune(t.src[t.pos+1])) {
+			t.pos++
+			for t.pos < len(t.src) && unicode.IsDigit(rune(t.src[t.pos])) {
+				t.pos++
+			}
+		}
+		return t.src[start:t.pos], nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := t.pos
+		for t.pos < len(t.src) && (unicode.IsLetter(rune(t.src[t.pos])) || unicode.IsDigit(rune(t.src[t.pos])) || t.src[t.pos] == '_') {
+			t.pos++
+		}
+		return t.src[start:t.pos], nil
+	default:
+		return "", fmt.Errorf("msql: unexpected character %q at %d", c, t.pos)
+	}
+}
+
+func (t *tokenizer) expectWord(want string) error {
+	tok, err := t.next()
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(tok, want) {
+		return fmt.Errorf("msql: expected %s, found %q", want, tok)
+	}
+	return nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Statement, error) {
+	t := &tokenizer{src: src}
+	if err := t.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	// SELECT list.
+	for {
+		item, err := parseSelectItem(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Select = append(st.Select, item)
+		if t.peek() != ',' {
+			break
+		}
+		t.next()
+	}
+	if err := t.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := parseFromItem(t)
+		if err != nil {
+			return nil, err
+		}
+		st.From = append(st.From, item)
+		if t.peek() != ',' {
+			break
+		}
+		t.next()
+	}
+	// Optional WHERE.
+	t.skipSpace()
+	if t.pos < len(t.src) {
+		if err := t.expectWord("WHERE"); err != nil {
+			return nil, err
+		}
+		for {
+			cond, err := parseCondition(t, st)
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			t.skipSpace()
+			if t.pos >= len(t.src) {
+				break
+			}
+			if err := t.expectWord("AND"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := st.resolve(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func parseSelectItem(t *tokenizer) (SelectItem, error) {
+	if t.peek() == '&' {
+		t.next()
+		name, err := t.next()
+		if err != nil || name == "" {
+			return SelectItem{}, fmt.Errorf("msql: expected variable name after '&'")
+		}
+		return SelectItem{DBVar: name}, nil
+	}
+	first, err := t.next()
+	if err != nil || first == "" {
+		return SelectItem{}, fmt.Errorf("msql: expected select item")
+	}
+	if t.peek() == '.' {
+		t.next()
+		attr, err := t.next()
+		if err != nil || attr == "" {
+			return SelectItem{}, fmt.Errorf("msql: expected attribute after %q.", first)
+		}
+		return SelectItem{Alias: first, Attr: attr}, nil
+	}
+	return SelectItem{Attr: first}, nil
+}
+
+func parseFromItem(t *tokenizer) (FromItem, error) {
+	item := FromItem{}
+	if t.peek() == '&' {
+		t.next()
+		name, err := t.next()
+		if err != nil || name == "" {
+			return item, fmt.Errorf("msql: expected variable name after '&'")
+		}
+		item.DBVar = name
+	} else {
+		db, err := t.next()
+		if err != nil || db == "" {
+			return item, fmt.Errorf("msql: expected database name")
+		}
+		item.DB = db
+	}
+	tok, err := t.next()
+	if err != nil || tok != "." {
+		return item, fmt.Errorf("msql: expected '.' after database")
+	}
+	rel, err := t.next()
+	if err != nil || rel == "" {
+		return item, fmt.Errorf("msql: expected relation name")
+	}
+	item.Rel = rel
+	// Optional alias (a bare word that is not WHERE/AND or ',').
+	save := t.pos
+	tok, err = t.next()
+	if err == nil && tok != "" && tok != "," && !strings.EqualFold(tok, "WHERE") && isWord(tok) {
+		item.Alias = tok
+	} else {
+		t.pos = save
+	}
+	if item.Alias == "" {
+		item.Alias = item.Rel
+	}
+	return item, nil
+}
+
+func isWord(s string) bool {
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func parseCondition(t *tokenizer, st *Statement) (Condition, error) {
+	l, err := parseOperand(t)
+	if err != nil {
+		return Condition{}, err
+	}
+	op, err := t.next()
+	if err != nil {
+		return Condition{}, err
+	}
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return Condition{}, fmt.Errorf("msql: expected comparison operator, found %q", op)
+	}
+	r, err := parseOperand(t)
+	if err != nil {
+		return Condition{}, err
+	}
+	return Condition{L: l, Op: op, R: r}, nil
+}
+
+func parseOperand(t *tokenizer) (CondOperand, error) {
+	tok, err := t.next()
+	if err != nil || tok == "" {
+		return CondOperand{}, fmt.Errorf("msql: expected operand")
+	}
+	// Literal forms.
+	if tok[0] == '\'' {
+		return CondOperand{Lit: object.Str(strings.Trim(tok, "'"))}, nil
+	}
+	if unicode.IsDigit(rune(tok[0])) {
+		return CondOperand{Lit: parseNumberOrDate(tok)}, nil
+	}
+	// attribute reference: word or alias.word
+	if t.peek() == '.' {
+		t.next()
+		attr, err := t.next()
+		if err != nil || attr == "" {
+			return CondOperand{}, fmt.Errorf("msql: expected attribute after %q.", tok)
+		}
+		return CondOperand{Alias: tok, Attr: attr}, nil
+	}
+	return CondOperand{Attr: tok}, nil
+}
+
+func parseNumberOrDate(tok string) object.Object {
+	if strings.Contains(tok, "/") {
+		parts := strings.Split(tok, "/")
+		if len(parts) == 3 {
+			m, e1 := strconv.Atoi(parts[0])
+			d, e2 := strconv.Atoi(parts[1])
+			y, e3 := strconv.Atoi(parts[2])
+			if e1 == nil && e2 == nil && e3 == nil {
+				return object.NewDate(y, m, d)
+			}
+		}
+		return object.Str(tok)
+	}
+	if strings.Contains(tok, ".") {
+		if f, err := strconv.ParseFloat(tok, 64); err == nil {
+			return object.Float(f)
+		}
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return object.Int(n)
+	}
+	return object.Str(tok)
+}
+
+// resolve checks alias references and fills in unqualified attributes
+// (allowed only with a single FROM item).
+func (st *Statement) resolve() error {
+	aliases := map[string]bool{}
+	var dbVars []string
+	seenVar := map[string]bool{}
+	for _, f := range st.From {
+		if aliases[f.Alias] {
+			return fmt.Errorf("msql: duplicate alias %q", f.Alias)
+		}
+		aliases[f.Alias] = true
+		if f.DBVar != "" && !seenVar[f.DBVar] {
+			seenVar[f.DBVar] = true
+			dbVars = append(dbVars, f.DBVar)
+		}
+	}
+	defaultAlias := ""
+	if len(st.From) == 1 {
+		defaultAlias = st.From[0].Alias
+	}
+	fix := func(alias *string, what string) error {
+		if *alias == "" {
+			if defaultAlias == "" {
+				return fmt.Errorf("msql: %s must be qualified when joining", what)
+			}
+			*alias = defaultAlias
+			return nil
+		}
+		if !aliases[*alias] {
+			return fmt.Errorf("msql: unknown alias %q", *alias)
+		}
+		return nil
+	}
+	for i := range st.Select {
+		s := &st.Select[i]
+		if s.DBVar != "" {
+			if !seenVar[s.DBVar] {
+				return fmt.Errorf("msql: unknown database variable &%s", s.DBVar)
+			}
+			continue
+		}
+		if err := fix(&s.Alias, "select item "+s.Attr); err != nil {
+			return err
+		}
+	}
+	for i := range st.Where {
+		c := &st.Where[i]
+		if c.L.Lit == nil {
+			if err := fix(&c.L.Alias, "condition operand "+c.L.Attr); err != nil {
+				return err
+			}
+		}
+		if c.R.Lit == nil {
+			if err := fix(&c.R.Alias, "condition operand "+c.R.Attr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

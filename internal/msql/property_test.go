@@ -1,0 +1,114 @@
+package msql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"idl/internal/core"
+	"idl/internal/object"
+	"idl/internal/stocks"
+)
+
+// TestPropRandomStatementsAgree generates random statements of the MSQL
+// subset and checks the direct interpreter and the IDL translation
+// produce identical result sets — a differential test of both engines
+// and of the subsumption claim.
+func TestPropRandomStatementsAgree(t *testing.T) {
+	u, ds := stocks.Universe(stocks.Config{Stocks: 5, Days: 4, Seed: 77})
+	// A second euter-style database so broadcasts span something.
+	euter, _ := u.Get("euter")
+	u.Put("euter2", euter.Clone())
+	e := core.NewEngine()
+	u.Each(func(db string, v object.Object) bool {
+		e.Base().Put(db, v)
+		return true
+	})
+	e.Invalidate()
+
+	r := rand.New(rand.NewSource(2026))
+	attrs := []string{"date", "stkCode", "clsPrice"}
+	maxPrice := ds.MaxPrice()
+
+	genStatement := func() string {
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		broadcast := r.Intn(3) == 0
+		joins := r.Intn(2) == 0 && !broadcast
+		alias1, alias2 := "a", "b"
+		// SELECT list: 1-2 attrs of alias1 (+ &D when broadcasting).
+		nSel := 1 + r.Intn(2)
+		var sel []string
+		if broadcast {
+			sel = append(sel, "&D")
+		}
+		for i := 0; i < nSel; i++ {
+			sel = append(sel, alias1+"."+attrs[r.Intn(len(attrs))])
+		}
+		sb.WriteString(strings.Join(sel, ", "))
+		sb.WriteString(" FROM ")
+		if broadcast {
+			sb.WriteString("&D.r " + alias1)
+		} else {
+			sb.WriteString("euter.r " + alias1)
+		}
+		if joins {
+			sb.WriteString(", euter2.r " + alias2)
+		}
+		// WHERE: 0-2 conditions.
+		var conds []string
+		nCond := r.Intn(3)
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		for i := 0; i < nCond; i++ {
+			switch r.Intn(3) {
+			case 0: // price vs literal
+				conds = append(conds, fmt.Sprintf("%s.clsPrice %s %d",
+					alias1, ops[r.Intn(len(ops))], r.Intn(maxPrice+10)))
+			case 1: // stock equality with literal
+				conds = append(conds, fmt.Sprintf("%s.stkCode = 'stk%03d'", alias1, 1+r.Intn(5)))
+			default: // join condition when joined, else another literal
+				if joins {
+					a := attrs[r.Intn(len(attrs))]
+					conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", alias1, a, alias2, a))
+				} else {
+					conds = append(conds, fmt.Sprintf("%s.clsPrice >= %d", alias1, r.Intn(maxPrice)))
+				}
+			}
+		}
+		if joins {
+			// Always correlate joins on stkCode so sizes stay bounded.
+			conds = append(conds, alias1+".stkCode = "+alias2+".stkCode")
+		}
+		if len(conds) > 0 {
+			sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+		}
+		return sb.String()
+	}
+
+	for i := 0; i < 120; i++ {
+		src := genStatement()
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated statement %q does not parse: %v", src, err)
+		}
+		direct, err := Exec(st, u)
+		if err != nil {
+			t.Fatalf("exec %q: %v", src, err)
+		}
+		q, columns, err := Translate(st)
+		if err != nil {
+			t.Fatalf("translate %q: %v", src, err)
+		}
+		ans, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("IDL exec of %q (%s): %v", src, q, err)
+		}
+		got := renderIDL(ans, st, columns)
+		want := direct.Canonical()
+		if got != want {
+			t.Fatalf("disagreement for %q:\nIDL:\n%s\nMSQL:\n%s\ntranslated: %s",
+				src, got, want, q)
+		}
+	}
+}

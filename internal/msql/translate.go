@@ -1,0 +1,157 @@
+package msql
+
+import (
+	"fmt"
+
+	"idl/internal/ast"
+	"idl/internal/object"
+)
+
+// Translate compiles an MSQL statement to an equivalent IDL query —
+// the executable form of the paper's claim that IDL's interoperability
+// features subsume MSQL's (§1). It returns the query and the mapping
+// from result-set column names to the IDL variables carrying them.
+//
+// The translation:
+//
+//   - each FROM item becomes a conjunct `.db.rel(.attr=V, …)` binding a
+//     fresh variable per referenced attribute; a database semantic
+//     variable &D becomes an IDL higher-order variable in database
+//     position — MSQL's broadcast is one case of IDL's metadata
+//     quantification;
+//   - each WHERE condition becomes a Datalog-style constraint between
+//     the bound variables / literals.
+func Translate(st *Statement) (*ast.Query, map[string]string, error) {
+	// Fresh-variable naming: V_<alias>_<attr> and D_<dbvar>.
+	attrVar := func(alias, attr string) string { return "V_" + alias + "_" + attr }
+	dbVar := func(v string) string { return "D_" + v }
+
+	// Attributes referenced per alias.
+	attrs := map[string]map[string]bool{}
+	touch := func(alias, attr string) {
+		m, ok := attrs[alias]
+		if !ok {
+			m = map[string]bool{}
+			attrs[alias] = m
+		}
+		m[attr] = true
+	}
+	for _, s := range st.Select {
+		if s.DBVar == "" {
+			touch(s.Alias, s.Attr)
+		}
+	}
+	for _, c := range st.Where {
+		if c.L.Lit == nil {
+			touch(c.L.Alias, c.L.Attr)
+		}
+		if c.R.Lit == nil {
+			touch(c.R.Alias, c.R.Attr)
+		}
+	}
+
+	var conjuncts []ast.Expr
+	for _, f := range st.From {
+		var inner []ast.Expr
+		names := sortedAttrNames(attrs[f.Alias])
+		for _, a := range names {
+			inner = append(inner, ast.Attr(a, ast.Eq(ast.V(attrVar(f.Alias, a)))))
+		}
+		var innerExpr ast.Expr = ast.Epsilon{}
+		if len(inner) > 0 {
+			innerExpr = &ast.SetExpr{X: ast.Conj(inner...)}
+		} else {
+			innerExpr = &ast.SetExpr{X: ast.Epsilon{}}
+		}
+		relAttr := ast.Attr(f.Rel, innerExpr)
+		var dbTerm ast.Term
+		if f.DBVar != "" {
+			dbTerm = ast.V(dbVar(f.DBVar))
+		} else {
+			dbTerm = ast.C(f.DB)
+		}
+		conjuncts = append(conjuncts, &ast.AttrExpr{
+			Name: dbTerm,
+			Expr: ast.Conj(relAttr),
+		})
+	}
+	for _, c := range st.Where {
+		l, err := operandTerm(c.L, attrVar)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := operandTerm(c.R, attrVar)
+		if err != nil {
+			return nil, nil, err
+		}
+		op, err := relop(c.Op)
+		if err != nil {
+			return nil, nil, err
+		}
+		conjuncts = append(conjuncts, &ast.Constraint{L: l, Op: op, R: r})
+	}
+
+	columns := map[string]string{}
+	for _, s := range st.Select {
+		if s.DBVar != "" {
+			columns["&"+s.DBVar] = dbVar(s.DBVar)
+		} else {
+			columns[s.Alias+"."+s.Attr] = attrVar(s.Alias, s.Attr)
+		}
+	}
+	return &ast.Query{Body: ast.Conj(conjuncts...)}, columns, nil
+}
+
+func sortedAttrNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	// insertion sort for determinism without importing sort twice
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func operandTerm(o CondOperand, attrVar func(alias, attr string) string) (ast.Term, error) {
+	if o.Lit != nil {
+		return ast.Const{Value: o.Lit}, nil
+	}
+	return ast.V(attrVar(o.Alias, o.Attr)), nil
+}
+
+func relop(op string) (ast.RelOp, error) {
+	switch op {
+	case "=":
+		return ast.OpEQ, nil
+	case "!=":
+		return ast.OpNE, nil
+	case "<":
+		return ast.OpLT, nil
+	case "<=":
+		return ast.OpLE, nil
+	case ">":
+		return ast.OpGT, nil
+	case ">=":
+		return ast.OpGE, nil
+	default:
+		return 0, fmt.Errorf("msql: unknown operator %q", op)
+	}
+}
+
+// literal re-exported helper for tests.
+func Lit(v any) object.Object {
+	switch x := v.(type) {
+	case object.Object:
+		return x
+	case int:
+		return object.Int(x)
+	case string:
+		return object.Str(x)
+	default:
+		panic("msql: unsupported literal")
+	}
+}

@@ -1,0 +1,105 @@
+package object
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTuple(i int) *Tuple {
+	return TupleOf("date", NewDate(85, 1+i%12, 1+i%28), "stkCode", fmt.Sprintf("stk%03d", i%100), "clsPrice", i%500)
+}
+
+func BenchmarkTupleHash(b *testing.B) {
+	t := benchTuple(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Hash()
+	}
+}
+
+func BenchmarkTupleEqual(b *testing.B) {
+	x, y := benchTuple(7), benchTuple(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("should be equal")
+		}
+	}
+}
+
+func BenchmarkSetAdd(b *testing.B) {
+	b.ReportAllocs()
+	s := NewSet()
+	for i := 0; i < b.N; i++ {
+		s.Add(benchTuple(i))
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	s := NewSet()
+	for i := 0; i < 10000; i++ {
+		s.Add(benchTuple(i))
+	}
+	probe := benchTuple(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Contains(probe) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkSetAddRemoveChurn(b *testing.B) {
+	s := NewSet()
+	for i := 0; i < 1000; i++ {
+		s.Add(benchTuple(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := benchTuple(1000 + i)
+		s.Add(t)
+		s.Remove(t)
+	}
+}
+
+func BenchmarkTupleGet(b *testing.B) {
+	t := benchTuple(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Get("clsPrice"); !ok {
+			b.Fatal("missing attr")
+		}
+	}
+}
+
+func BenchmarkCloneDeep(b *testing.B) {
+	s := NewSet()
+	for i := 0; i < 100; i++ {
+		s.Add(benchTuple(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	s := NewSet()
+	for i := 0; i < 100; i++ {
+		s.Add(benchTuple(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := MarshalJSON(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package object
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomObject generates an arbitrary object of bounded depth for
+// property-based testing.
+func randomObject(r *rand.Rand, depth int) Object {
+	max := 8
+	if depth <= 0 {
+		max = 6 // atoms only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null{}
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Intn(200) - 100)
+	case 3:
+		return Float(float64(r.Intn(400))/4 - 50)
+	case 4:
+		letters := []string{"hp", "ibm", "sun", "dec", "date", "x", "y", ""}
+		return Str(letters[r.Intn(len(letters))])
+	case 5:
+		return NewDate(85+r.Intn(3), 1+r.Intn(12), 1+r.Intn(28))
+	case 6:
+		t := NewTuple()
+		attrs := []string{"a", "b", "c", "d"}
+		for i := 0; i < r.Intn(4); i++ {
+			t.Put(attrs[r.Intn(len(attrs))], randomObject(r, depth-1))
+		}
+		return t
+	default:
+		s := NewSet()
+		for i := 0; i < r.Intn(5); i++ {
+			s.Add(randomObject(r, depth-1))
+		}
+		return s
+	}
+}
+
+// objValue wraps an Object to satisfy quick.Generator.
+type objValue struct{ O Object }
+
+func (objValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(objValue{randomObject(r, 3)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestPropEqualReflexive(t *testing.T) {
+	f := func(v objValue) bool { return v.O.Equal(v.O) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEqualImpliesHashEqual(t *testing.T) {
+	f := func(a, b objValue) bool {
+		if a.O.Equal(b.O) {
+			return a.O.Hash() == b.O.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEqualSymmetric(t *testing.T) {
+	f := func(a, b objValue) bool { return a.O.Equal(b.O) == b.O.Equal(a.O) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(a, b objValue) bool { return a.O.Compare(b.O) == -b.O.Compare(a.O) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareConsistentWithEqualForAtoms(t *testing.T) {
+	// For comparable atoms, Compare == 0 iff Equal. (Aggregates use
+	// canonical order where 0 also implies structural equality, but
+	// cross-kind rank ties never occur.)
+	f := func(a, b objValue) bool {
+		if !a.O.Kind().IsAtomic() || !b.O.Kind().IsAtomic() {
+			return true
+		}
+		if a.O.Equal(b.O) {
+			return a.O.Compare(b.O) == 0
+		}
+		if kindRank(a.O.Kind()) == kindRank(b.O.Kind()) && a.O.Kind() != KindNull {
+			return a.O.Compare(b.O) != 0
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqual(t *testing.T) {
+	f := func(v objValue) bool {
+		c := v.O.Clone()
+		return v.O.Equal(c) && c.Equal(v.O) && v.O.Hash() == c.Hash()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetAddIdempotent(t *testing.T) {
+	f := func(vs []objValue) bool {
+		s := NewSet()
+		for _, v := range vs {
+			s.Add(v.O)
+		}
+		n := s.Len()
+		for _, v := range vs {
+			if s.Add(v.O) {
+				return false // re-adding must not change the set
+			}
+		}
+		return s.Len() == n
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetAddRemoveInverse(t *testing.T) {
+	f := func(vs []objValue, extra objValue) bool {
+		s := NewSet()
+		for _, v := range vs {
+			s.Add(v.O)
+		}
+		had := s.Contains(extra.O)
+		s.Add(extra.O)
+		if !s.Contains(extra.O) {
+			return false
+		}
+		s.Remove(extra.O)
+		if s.Contains(extra.O) {
+			return false
+		}
+		_ = had
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJSONRoundTrip(t *testing.T) {
+	f := func(v objValue) bool {
+		data, err := MarshalJSON(v.O)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalJSON(data)
+		if err != nil {
+			return false
+		}
+		return v.O.Equal(back)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTupleDeleteRemovesOnlyTarget(t *testing.T) {
+	f := func(v objValue) bool {
+		tup, ok := v.O.(*Tuple)
+		if !ok || tup.Len() == 0 {
+			return true
+		}
+		attrs := append([]string(nil), tup.Attrs()...)
+		victim := attrs[len(attrs)/2]
+		before := map[string]Object{}
+		tup.Each(func(a string, o Object) bool { before[a] = o; return true })
+		tup.Delete(victim)
+		if tup.Has(victim) {
+			return false
+		}
+		for a, o := range before {
+			if a == victim {
+				continue
+			}
+			got, ok := tup.Get(a)
+			if !ok || !got.Equal(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTripExplicit(t *testing.T) {
+	objs := []Object{
+		Null{},
+		Bool(true),
+		Int(-42),
+		Int(1 << 60), // beyond float53: the string encoding must preserve it
+		Float(2.5),
+		Str("hello world"),
+		NewDate(85, 3, 3),
+		TupleOf("date", NewDate(85, 3, 3), "stkCode", "hp", "clsPrice", 50),
+		SetOf(TupleOf("a", 1), TupleOf("a", 1, "b", 2), "str", 7),
+		NewSet(),
+		NewTuple(),
+	}
+	for _, o := range objs {
+		data, err := MarshalJSON(o)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", o, err)
+		}
+		back, err := UnmarshalJSON(data)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !o.Equal(back) {
+			t.Errorf("round-trip changed %v into %v", o, back)
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{"k":"mystery"}`,
+		`{"k":"int","v":"notanumber"}`,
+		`{"k":"tup","a":["x"],"t":[]}`,
+		`{"k":"bool","v":"nope"}`,
+	}
+	for _, s := range bad {
+		if _, err := UnmarshalJSON([]byte(s)); err == nil {
+			t.Errorf("UnmarshalJSON(%q) should fail", s)
+		}
+	}
+}

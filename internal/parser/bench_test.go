@@ -1,0 +1,53 @@
+package parser
+
+import (
+	"testing"
+
+	"idl/internal/lex"
+)
+
+const benchQuery = "?.euter.r(.stkCode=hp,.clsPrice=P,.date=D), .euter.r~(.stkCode=hp, .clsPrice>P), .chwab.r(.date=D,.S=P2), P2 = P+10"
+
+const benchRule = ".dbI.p+(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date"
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		toks := lex.Tokens(benchQuery)
+		if toks[len(toks)-1].Kind != lex.EOF {
+			b.Fatal("bad lex")
+		}
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(benchRule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrintRoundTrip(b *testing.B) {
+	q, err := ParseQuery(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(q.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package relalg
+
+import (
+	"fmt"
+	"testing"
+
+	"idl/internal/object"
+)
+
+func benchRelation(n, keyDomain int) *object.Set {
+	s := object.NewSet()
+	for i := 0; i < n; i++ {
+		s.Add(object.TupleOf("k", i%keyDomain, "v", i, "tag", fmt.Sprintf("t%d", i%7)))
+	}
+	return s
+}
+
+func BenchmarkSelect(b *testing.B) {
+	r := benchRelation(10000, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Select(r, func(t *object.Tuple) bool {
+			v, _ := t.Get("k")
+			return v.Equal(object.Int(42))
+		})
+		if out.Len() != 100 {
+			b.Fatalf("selected %d", out.Len())
+		}
+	}
+}
+
+func BenchmarkEquiJoin(b *testing.B) {
+	l := benchRelation(5000, 500)
+	small := object.NewSet()
+	for i := 0; i < 500; i++ {
+		small.Add(object.TupleOf("key", i, "label", fmt.Sprintf("L%d", i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := EquiJoin(l, small, "k", "key")
+		if out.Len() == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkAntiJoin(b *testing.B) {
+	l := benchRelation(5000, 500)
+	r := benchRelation(2500, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AntiJoin(l, r)
+	}
+}
+
+func BenchmarkGroupMax(b *testing.B) {
+	r := benchRelation(10000, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := GroupMax(r, []string{"k"}, "v")
+		if out.Len() != 100 {
+			b.Fatalf("groups = %d", out.Len())
+		}
+	}
+}

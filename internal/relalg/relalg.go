@@ -1,0 +1,347 @@
+// Package relalg provides hand-coded relational-algebra operators over
+// object.Set relations of tuples: select, project, rename, union,
+// hash equi-join, natural join, anti-join (for negation), and grouped
+// extrema.
+//
+// It is the "what a programmer would write three times" baseline of the
+// reproduction: where IDL poses one higher-order expression against all
+// three stock schemas, the baseline needs a separate, schema-aware plan
+// per database (see internal/stocks for those plans). It also serves as
+// the performance yardstick for the benchmark harness — a direct plan
+// with hash joins is the fastest thing our substrate can do, so it bounds
+// the interpretation overhead of the IDL evaluator.
+package relalg
+
+import (
+	"idl/internal/object"
+)
+
+// Pred is a tuple predicate for Select.
+type Pred func(*object.Tuple) bool
+
+// Select returns the tuples satisfying p.
+func Select(r *object.Set, p Pred) *object.Set {
+	out := object.NewSet()
+	r.Each(func(e object.Object) bool {
+		if t, ok := e.(*object.Tuple); ok && p(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project returns tuples restricted to attrs; tuples missing every
+// attribute vanish (set semantics also collapse duplicates).
+func Project(r *object.Set, attrs ...string) *object.Set {
+	out := object.NewSet()
+	r.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		p := object.NewTuple()
+		for _, a := range attrs {
+			if v, has := t.Get(a); has {
+				p.Put(a, v)
+			}
+		}
+		if p.Len() > 0 {
+			out.Add(p)
+		}
+		return true
+	})
+	return out
+}
+
+// Rename returns tuples with attribute from renamed to to.
+func Rename(r *object.Set, from, to string) *object.Set {
+	out := object.NewSet()
+	r.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			out.Add(e)
+			return true
+		}
+		n := object.NewTuple()
+		t.Each(func(a string, v object.Object) bool {
+			if a == from {
+				n.Put(to, v)
+			} else {
+				n.Put(a, v)
+			}
+			return true
+		})
+		out.Add(n)
+		return true
+	})
+	return out
+}
+
+// Union returns the set union of the inputs.
+func Union(rs ...*object.Set) *object.Set {
+	out := object.NewSet()
+	for _, r := range rs {
+		r.Each(func(e object.Object) bool {
+			out.Add(e)
+			return true
+		})
+	}
+	return out
+}
+
+// EquiJoin hash-joins l and r on l.lAttr = r.rAttr, merging attributes
+// (right-side attributes win name collisions except the join column).
+func EquiJoin(l, r *object.Set, lAttr, rAttr string) *object.Set {
+	// Build on the smaller side.
+	if l.Len() > r.Len() {
+		return EquiJoin(r, l, rAttr, lAttr)
+	}
+	build := map[uint64][]*object.Tuple{}
+	l.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		if v, has := t.Get(lAttr); has {
+			h := v.Hash()
+			build[h] = append(build[h], t)
+		}
+		return true
+	})
+	out := object.NewSet()
+	r.Each(func(e object.Object) bool {
+		rt, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		rv, has := rt.Get(rAttr)
+		if !has {
+			return true
+		}
+		for _, lt := range build[rv.Hash()] {
+			lv, _ := lt.Get(lAttr)
+			if !lv.Equal(rv) {
+				continue
+			}
+			merged := object.NewTuple()
+			lt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+			rt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+			out.Add(merged)
+		}
+		return true
+	})
+	return out
+}
+
+// NaturalJoin joins on all shared attribute names.
+func NaturalJoin(l, r *object.Set) *object.Set {
+	shared := sharedAttrs(l, r)
+	if len(shared) == 0 {
+		// Cross product.
+		out := object.NewSet()
+		l.Each(func(le object.Object) bool {
+			lt, ok := le.(*object.Tuple)
+			if !ok {
+				return true
+			}
+			r.Each(func(re object.Object) bool {
+				rt, ok := re.(*object.Tuple)
+				if !ok {
+					return true
+				}
+				merged := object.NewTuple()
+				lt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+				rt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+				out.Add(merged)
+				return true
+			})
+			return true
+		})
+		return out
+	}
+	build := map[uint64][]*object.Tuple{}
+	l.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		if h, ok := keyHash(t, shared); ok {
+			build[h] = append(build[h], t)
+		}
+		return true
+	})
+	out := object.NewSet()
+	r.Each(func(e object.Object) bool {
+		rt, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		h, ok := keyHash(rt, shared)
+		if !ok {
+			return true
+		}
+		for _, lt := range build[h] {
+			if !keysEqual(lt, rt, shared) {
+				continue
+			}
+			merged := object.NewTuple()
+			lt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+			rt.Each(func(a string, v object.Object) bool { merged.Put(a, v); return true })
+			out.Add(merged)
+		}
+		return true
+	})
+	return out
+}
+
+// AntiJoin returns the tuples of l with no natural-join partner in r —
+// the relational rendering of negation as failure.
+func AntiJoin(l, r *object.Set) *object.Set {
+	shared := sharedAttrs(l, r)
+	out := object.NewSet()
+	if len(shared) == 0 {
+		if r.Len() == 0 {
+			l.Each(func(e object.Object) bool { out.Add(e); return true })
+		}
+		return out
+	}
+	build := map[uint64][]*object.Tuple{}
+	r.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		if h, ok := keyHash(t, shared); ok {
+			build[h] = append(build[h], t)
+		}
+		return true
+	})
+	l.Each(func(e object.Object) bool {
+		lt, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		h, ok := keyHash(lt, shared)
+		if ok {
+			for _, rt := range build[h] {
+				if keysEqual(lt, rt, shared) {
+					return true // has a partner: excluded
+				}
+			}
+		}
+		out.Add(lt)
+		return true
+	})
+	return out
+}
+
+// GroupMax returns, per group (the values of groupAttrs), the tuples
+// whose valueAttr is maximal — ties keep every maximal tuple. Tuples
+// missing the value attribute or with non-comparable values are skipped.
+func GroupMax(r *object.Set, groupAttrs []string, valueAttr string) *object.Set {
+	type entry struct {
+		max    object.Object
+		tuples []*object.Tuple
+	}
+	groups := map[uint64][]*entry{}
+	keyOf := func(t *object.Tuple) (uint64, bool) {
+		return keyHash(t, groupAttrs)
+	}
+	r.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		v, has := t.Get(valueAttr)
+		if !has || v.Kind() == object.KindNull {
+			return true
+		}
+		h, ok := keyOf(t)
+		if !ok {
+			return true
+		}
+		var ent *entry
+		for _, cand := range groups[h] {
+			if keysEqual(cand.tuples[0], t, groupAttrs) {
+				ent = cand
+				break
+			}
+		}
+		if ent == nil {
+			groups[h] = append(groups[h], &entry{max: v, tuples: []*object.Tuple{t}})
+			return true
+		}
+		switch {
+		case !object.Comparable(v, ent.max):
+			// skip incomparable values
+		case v.Compare(ent.max) > 0:
+			ent.max = v
+			ent.tuples = ent.tuples[:0]
+			ent.tuples = append(ent.tuples, t)
+		case v.Compare(ent.max) == 0:
+			ent.tuples = append(ent.tuples, t)
+		}
+		return true
+	})
+	out := object.NewSet()
+	for _, ents := range groups {
+		for _, ent := range ents {
+			for _, t := range ent.tuples {
+				out.Add(t)
+			}
+		}
+	}
+	return out
+}
+
+// sharedAttrs returns attribute names present in some tuple of both
+// relations, in deterministic order.
+func sharedAttrs(l, r *object.Set) []string {
+	left := map[string]bool{}
+	l.Each(func(e object.Object) bool {
+		if t, ok := e.(*object.Tuple); ok {
+			for _, a := range t.Attrs() {
+				left[a] = true
+			}
+		}
+		return true
+	})
+	seen := map[string]bool{}
+	var shared []string
+	r.Each(func(e object.Object) bool {
+		if t, ok := e.(*object.Tuple); ok {
+			for _, a := range t.Attrs() {
+				if left[a] && !seen[a] {
+					seen[a] = true
+					shared = append(shared, a)
+				}
+			}
+		}
+		return true
+	})
+	return shared
+}
+
+func keyHash(t *object.Tuple, attrs []string) (uint64, bool) {
+	var h uint64 = 1469598103934665603
+	for _, a := range attrs {
+		v, ok := t.Get(a)
+		if !ok {
+			return 0, false
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, true
+}
+
+func keysEqual(a, b *object.Tuple, attrs []string) bool {
+	for _, attr := range attrs {
+		av, aok := a.Get(attr)
+		bv, bok := b.Get(attr)
+		if !aok || !bok || !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package relalg
+
+import (
+	"testing"
+
+	"idl/internal/object"
+)
+
+func euterRel() *object.Set {
+	r := object.NewSet()
+	prices := map[string][]int{"hp": {50, 55, 62}, "ibm": {140, 155, 160}, "sun": {201, 210, 150}}
+	for s, ps := range prices {
+		for i, p := range ps {
+			r.Add(object.TupleOf("date", object.NewDate(85, 3, 1+i), "stkCode", s, "clsPrice", p))
+		}
+	}
+	return r
+}
+
+func TestSelectProject(t *testing.T) {
+	r := euterRel()
+	above := Select(r, func(t *object.Tuple) bool {
+		v, ok := t.Get("clsPrice")
+		return ok && object.Comparable(v, object.Int(200)) && v.Compare(object.Int(200)) > 0
+	})
+	if above.Len() != 2 {
+		t.Fatalf("above = %d", above.Len())
+	}
+	names := Project(above, "stkCode")
+	if names.Len() != 1 || !names.Contains(object.TupleOf("stkCode", "sun")) {
+		t.Errorf("projection = %s", names.CanonicalString())
+	}
+}
+
+func TestProjectSkipsMissing(t *testing.T) {
+	r := object.SetOf(object.TupleOf("a", 1), object.TupleOf("b", 2))
+	p := Project(r, "a")
+	if p.Len() != 1 {
+		t.Errorf("project = %s", p.CanonicalString())
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := object.SetOf(object.TupleOf("x", 1, "y", 2))
+	out := Rename(r, "x", "z")
+	if !out.Contains(object.TupleOf("z", 1, "y", 2)) {
+		t.Errorf("rename = %s", out.CanonicalString())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := object.SetOf(object.TupleOf("x", 1))
+	b := object.SetOf(object.TupleOf("x", 1), object.TupleOf("x", 2))
+	u := Union(a, b)
+	if u.Len() != 2 {
+		t.Errorf("union = %d", u.Len())
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	emp := object.SetOf(
+		object.TupleOf("name", "john", "dno", 10),
+		object.TupleOf("name", "mary", "dno", 20),
+		object.TupleOf("name", "ann", "dno", 99),
+	)
+	dept := object.SetOf(
+		object.TupleOf("deptNo", 10, "mgr", "boss"),
+		object.TupleOf("deptNo", 20, "mgr", "chief"),
+	)
+	j := EquiJoin(emp, dept, "dno", "deptNo")
+	if j.Len() != 2 {
+		t.Fatalf("join = %d rows: %s", j.Len(), j.CanonicalString())
+	}
+	found := false
+	j.Each(func(e object.Object) bool {
+		tp := e.(*object.Tuple)
+		n, _ := tp.Get("name")
+		m, _ := tp.Get("mgr")
+		if n.Equal(object.Str("john")) && m.Equal(object.Str("boss")) {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("missing john/boss")
+	}
+	// Join direction symmetric.
+	j2 := EquiJoin(dept, emp, "deptNo", "dno")
+	if j2.Len() != 2 {
+		t.Errorf("reverse join = %d", j2.Len())
+	}
+}
+
+func TestNaturalJoinSelfJoin(t *testing.T) {
+	r := euterRel()
+	// Dates where hp>60 and ibm>150: rename to avoid stkCode collision.
+	hp := Project(Select(r, eq("stkCode", object.Str("hp"))), "date", "clsPrice")
+	hpHigh := Select(hp, gt("clsPrice", 60))
+	ibm := Project(Select(r, eq("stkCode", object.Str("ibm"))), "date", "clsPrice")
+	ibmHigh := Select(ibm, gt("clsPrice", 150))
+	j := NaturalJoin(Project(hpHigh, "date"), Project(ibmHigh, "date"))
+	if j.Len() != 1 || !j.Contains(object.TupleOf("date", object.NewDate(85, 3, 3))) {
+		t.Errorf("join = %s", j.CanonicalString())
+	}
+}
+
+func TestNaturalJoinCrossProduct(t *testing.T) {
+	a := object.SetOf(object.TupleOf("x", 1), object.TupleOf("x", 2))
+	b := object.SetOf(object.TupleOf("y", 3))
+	j := NaturalJoin(a, b)
+	if j.Len() != 2 {
+		t.Errorf("cross = %d", j.Len())
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	r := euterRel()
+	hp := Select(r, eq("stkCode", object.Str("hp")))
+	// All-time high: hp rows with no hp row of higher price.
+	// Build "higher exists" via theta-join by hand, then anti-join.
+	higher := object.NewSet()
+	hp.Each(func(e object.Object) bool {
+		t1 := e.(*object.Tuple)
+		p1, _ := t1.Get("clsPrice")
+		hp.Each(func(f object.Object) bool {
+			t2 := f.(*object.Tuple)
+			p2, _ := t2.Get("clsPrice")
+			if p2.Compare(p1) > 0 {
+				higher.Add(Project(object.SetOf(t1), "date", "clsPrice").Elems()[0])
+			}
+			return true
+		})
+		return true
+	})
+	high := AntiJoin(Project(hp, "date", "clsPrice"), higher)
+	if high.Len() != 1 || !high.Contains(object.TupleOf("date", object.NewDate(85, 3, 3), "clsPrice", 62)) {
+		t.Errorf("high = %s", high.CanonicalString())
+	}
+}
+
+func TestAntiJoinNoSharedAttrs(t *testing.T) {
+	a := object.SetOf(object.TupleOf("x", 1))
+	empty := object.NewSet()
+	if out := AntiJoin(a, empty); out.Len() != 1 {
+		t.Error("anti-join with empty right should keep everything")
+	}
+	b := object.SetOf(object.TupleOf("y", 2))
+	if out := AntiJoin(a, b); out.Len() != 0 {
+		t.Error("anti-join with disjoint non-empty right excludes all (cross semantics)")
+	}
+}
+
+func TestGroupMax(t *testing.T) {
+	r := euterRel()
+	// Per-day winner: sun, sun, ibm.
+	winners := GroupMax(r, []string{"date"}, "clsPrice")
+	if winners.Len() != 3 {
+		t.Fatalf("winners = %d: %s", winners.Len(), winners.CanonicalString())
+	}
+	if !winners.Contains(object.TupleOf("date", object.NewDate(85, 3, 3), "stkCode", "ibm", "clsPrice", 160)) {
+		t.Errorf("missing day-3 winner: %s", winners.CanonicalString())
+	}
+	// Ties keep all.
+	r2 := object.SetOf(
+		object.TupleOf("g", 1, "v", 5, "id", "a"),
+		object.TupleOf("g", 1, "v", 5, "id", "b"),
+		object.TupleOf("g", 1, "v", 4, "id", "c"),
+	)
+	if out := GroupMax(r2, []string{"g"}, "v"); out.Len() != 2 {
+		t.Errorf("tie handling = %s", out.CanonicalString())
+	}
+}
+
+func TestGroupMaxSkipsNullAndMissing(t *testing.T) {
+	r := object.SetOf(
+		object.TupleOf("g", 1, "v", object.Null{}),
+		object.TupleOf("g", 1),
+		object.TupleOf("g", 1, "v", 3),
+	)
+	out := GroupMax(r, []string{"g"}, "v")
+	if out.Len() != 1 || !out.Contains(object.TupleOf("g", 1, "v", 3)) {
+		t.Errorf("out = %s", out.CanonicalString())
+	}
+}
+
+func eq(attr string, want object.Object) Pred {
+	return func(t *object.Tuple) bool {
+		v, ok := t.Get(attr)
+		return ok && v.Equal(want)
+	}
+}
+
+func gt(attr string, n int) Pred {
+	return func(t *object.Tuple) bool {
+		v, ok := t.Get(attr)
+		return ok && object.Comparable(v, object.Int(n)) && v.Compare(object.Int(n)) > 0
+	}
+}

@@ -1,0 +1,404 @@
+// Package schema implements the metadata extension the paper flags in
+// §2 and §8: beyond relation and attribute names, a universe can carry
+// declared *types*, *keys*, and *referential integrity* for its
+// relations, and the engine enforces them on every update.
+//
+// Constraints are declarative and checked against the whole universe
+// after each (atomic) update request; a violation aborts and rolls the
+// request back. Because IDL relations are heterogeneous by design,
+// declarations are opt-in per (database, relation): undeclared relations
+// stay schemaless, exactly as the core language defines them.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// Type names an atomic kind an attribute must hold. Null is always
+// admissible unless the attribute is also Required (the language nulls
+// values as part of its update semantics, §5.2).
+type Type uint8
+
+// Attribute types.
+const (
+	AnyType Type = iota
+	IntType
+	FloatType
+	NumberType
+	StringType
+	DateType
+	BoolType
+)
+
+// String returns the declaration name of the type.
+func (t Type) String() string {
+	switch t {
+	case AnyType:
+		return "any"
+	case IntType:
+		return "int"
+	case FloatType:
+		return "float"
+	case NumberType:
+		return "number"
+	case StringType:
+		return "string"
+	case DateType:
+		return "date"
+	case BoolType:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// admits reports whether a value satisfies the type. Null is admitted
+// (nullability is Required's concern).
+func (t Type) admits(v object.Object) bool {
+	if _, isNull := v.(object.Null); isNull {
+		return true
+	}
+	switch t {
+	case AnyType:
+		return true
+	case IntType:
+		_, ok := v.(object.Int)
+		return ok
+	case FloatType:
+		_, ok := v.(object.Float)
+		return ok
+	case NumberType:
+		switch v.(type) {
+		case object.Int, object.Float:
+			return true
+		}
+		return false
+	case StringType:
+		_, ok := v.(object.Str)
+		return ok
+	case DateType:
+		_, ok := v.(object.Date)
+		return ok
+	case BoolType:
+		_, ok := v.(object.Bool)
+		return ok
+	default:
+		return false
+	}
+}
+
+// AttrDecl declares one attribute of a relation.
+type AttrDecl struct {
+	Name string
+	Type Type
+	// Required attributes must be present and non-null in every tuple.
+	Required bool
+}
+
+// RelDecl declares constraints for one relation.
+type RelDecl struct {
+	DB    string
+	Rel   string
+	Attrs []AttrDecl
+	// Key lists attributes that must be unique together across the
+	// relation's tuples (tuples missing a key attribute are exempt from
+	// the uniqueness check but violate Required if declared so).
+	Key []string
+	// ForeignKeys reference other relations.
+	ForeignKeys []ForeignKey
+	// Closed relations reject attributes that are not declared —
+	// switching off the language's heterogeneous-tuple freedom for this
+	// relation.
+	Closed bool
+}
+
+// ForeignKey declares that the values of From (in this relation) must
+// appear as values of To in relation (RefDB, RefRel).
+type ForeignKey struct {
+	From   string
+	RefDB  string
+	RefRel string
+	To     string
+}
+
+// Violation is one constraint failure.
+type Violation struct {
+	DB   string
+	Rel  string
+	Kind string // "type", "required", "key", "foreign-key", "closed"
+	Msg  string
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("schema: %s.%s: %s violation: %s", v.DB, v.Rel, v.Kind, v.Msg)
+}
+
+// ViolationError aggregates all violations from one validation pass.
+type ViolationError struct {
+	Violations []Violation
+}
+
+func (e *ViolationError) Error() string {
+	if len(e.Violations) == 1 {
+		return e.Violations[0].Error()
+	}
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.Error()
+	}
+	return fmt.Sprintf("schema: %d violations: %s", len(e.Violations), strings.Join(parts, "; "))
+}
+
+// Registry holds declarations and validates universes against them.
+type Registry struct {
+	decls map[string]*RelDecl // "db.rel" -> declaration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{decls: make(map[string]*RelDecl)}
+}
+
+func key(db, rel string) string { return db + "." + rel }
+
+// Declare registers (or replaces) a relation declaration after sanity
+// checks: key and foreign-key attributes must be declared when the
+// relation is closed.
+func (r *Registry) Declare(d RelDecl) error {
+	if d.DB == "" || d.Rel == "" {
+		return fmt.Errorf("schema: declaration needs database and relation names")
+	}
+	declared := map[string]bool{}
+	for _, a := range d.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema: %s.%s: empty attribute name", d.DB, d.Rel)
+		}
+		if declared[a.Name] {
+			return fmt.Errorf("schema: %s.%s: attribute %q declared twice", d.DB, d.Rel, a.Name)
+		}
+		declared[a.Name] = true
+	}
+	if d.Closed {
+		for _, k := range d.Key {
+			if !declared[k] {
+				return fmt.Errorf("schema: %s.%s: key attribute %q not declared on closed relation", d.DB, d.Rel, k)
+			}
+		}
+		for _, fk := range d.ForeignKeys {
+			if !declared[fk.From] {
+				return fmt.Errorf("schema: %s.%s: foreign-key attribute %q not declared on closed relation", d.DB, d.Rel, fk.From)
+			}
+		}
+	}
+	cp := d
+	cp.Attrs = append([]AttrDecl(nil), d.Attrs...)
+	cp.Key = append([]string(nil), d.Key...)
+	cp.ForeignKeys = append([]ForeignKey(nil), d.ForeignKeys...)
+	r.decls[key(d.DB, d.Rel)] = &cp
+	return nil
+}
+
+// Drop removes a declaration.
+func (r *Registry) Drop(db, rel string) { delete(r.decls, key(db, rel)) }
+
+// Decls returns the declarations sorted by db.rel.
+func (r *Registry) Decls() []*RelDecl {
+	keys := make([]string, 0, len(r.decls))
+	for k := range r.decls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*RelDecl, len(keys))
+	for i, k := range keys {
+		out[i] = r.decls[k]
+	}
+	return out
+}
+
+// Validate checks the whole universe against every declaration and
+// returns nil or a *ViolationError. Missing databases or relations are
+// fine (a declaration is a constraint on content, not an existence
+// requirement).
+func (r *Registry) Validate(universe *object.Tuple) error {
+	var all []Violation
+	for _, d := range r.Decls() {
+		all = append(all, r.validateRel(universe, d)...)
+	}
+	if len(all) > 0 {
+		return &ViolationError{Violations: all}
+	}
+	return nil
+}
+
+func (r *Registry) validateRel(universe *object.Tuple, d *RelDecl) []Violation {
+	dbObj, ok := universe.Get(d.DB)
+	if !ok {
+		return nil
+	}
+	dbt, ok := dbObj.(*object.Tuple)
+	if !ok {
+		return nil
+	}
+	relObj, ok := dbt.Get(d.Rel)
+	if !ok {
+		return nil
+	}
+	rel, ok := relObj.(*object.Set)
+	if !ok {
+		return []Violation{{DB: d.DB, Rel: d.Rel, Kind: "type", Msg: "relation slot does not hold a set"}}
+	}
+	var out []Violation
+	declared := map[string]AttrDecl{}
+	for _, a := range d.Attrs {
+		declared[a.Name] = a
+	}
+	seenKeys := map[uint64][]*object.Tuple{}
+	rel.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "type",
+				Msg: fmt.Sprintf("element %s is not a tuple", e)})
+			return true
+		}
+		// Types & required.
+		for _, a := range d.Attrs {
+			v, has := t.Get(a.Name)
+			if !has {
+				if a.Required {
+					out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "required",
+						Msg: fmt.Sprintf("tuple %s misses required attribute %q", t, a.Name)})
+				}
+				continue
+			}
+			if _, isNull := v.(object.Null); isNull && a.Required {
+				out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "required",
+					Msg: fmt.Sprintf("tuple %s has null required attribute %q", t, a.Name)})
+				continue
+			}
+			if !a.Type.admits(v) {
+				out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "type",
+					Msg: fmt.Sprintf("attribute %q holds %s %s, want %s", a.Name, v.Kind(), v, a.Type)})
+			}
+		}
+		// Closed relations reject undeclared attributes.
+		if d.Closed {
+			for _, attr := range t.Attrs() {
+				if _, ok := declared[attr]; !ok {
+					out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "closed",
+						Msg: fmt.Sprintf("undeclared attribute %q", attr)})
+				}
+			}
+		}
+		// Key uniqueness.
+		if len(d.Key) > 0 {
+			if h, complete := keyHash(t, d.Key); complete {
+				for _, prev := range seenKeys[h] {
+					if keysEqual(prev, t, d.Key) {
+						out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "key",
+							Msg: fmt.Sprintf("duplicate key %v between %s and %s", d.Key, prev, t)})
+						break
+					}
+				}
+				seenKeys[h] = append(seenKeys[h], t)
+			}
+		}
+		// Foreign keys.
+		for _, fk := range d.ForeignKeys {
+			v, has := t.Get(fk.From)
+			if !has {
+				continue
+			}
+			if _, isNull := v.(object.Null); isNull {
+				continue
+			}
+			if !referenced(universe, fk, v) {
+				out = append(out, Violation{DB: d.DB, Rel: d.Rel, Kind: "foreign-key",
+					Msg: fmt.Sprintf("%s=%s has no match in %s.%s.%s", fk.From, v, fk.RefDB, fk.RefRel, fk.To)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// referenced reports whether value appears in column fk.To of the
+// referenced relation.
+func referenced(universe *object.Tuple, fk ForeignKey, value object.Object) bool {
+	dbObj, ok := universe.Get(fk.RefDB)
+	if !ok {
+		return false
+	}
+	dbt, ok := dbObj.(*object.Tuple)
+	if !ok {
+		return false
+	}
+	relObj, ok := dbt.Get(fk.RefRel)
+	if !ok {
+		return false
+	}
+	rel, ok := relObj.(*object.Set)
+	if !ok {
+		return false
+	}
+	found := false
+	rel.Each(func(e object.Object) bool {
+		if t, ok := e.(*object.Tuple); ok {
+			if v, has := t.Get(fk.To); has && v.Equal(value) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Reify renders the registry itself as relations, so IDL queries can ask
+// about declared keys and types (the paper's §2 wish applied to the
+// extension): returns a tuple holding `types{(db, rel, attr, type,
+// required)}` and `keys{(db, rel, attr, pos)}`.
+func (r *Registry) Reify() *object.Tuple {
+	types := object.NewSet()
+	keys := object.NewSet()
+	for _, d := range r.Decls() {
+		for _, a := range d.Attrs {
+			types.Add(object.TupleOf(
+				"db", d.DB, "rel", d.Rel, "attr", a.Name,
+				"type", a.Type.String(), "required", a.Required))
+		}
+		for i, k := range d.Key {
+			keys.Add(object.TupleOf("db", d.DB, "rel", d.Rel, "attr", k, "pos", i))
+		}
+	}
+	out := object.NewTuple()
+	out.Put("types", types)
+	out.Put("keys", keys)
+	return out
+}
+
+func keyHash(t *object.Tuple, attrs []string) (uint64, bool) {
+	var h uint64 = 1469598103934665603
+	for _, a := range attrs {
+		v, ok := t.Get(a)
+		if !ok {
+			return 0, false
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, true
+}
+
+func keysEqual(a, b *object.Tuple, attrs []string) bool {
+	for _, attr := range attrs {
+		av, aok := a.Get(attr)
+		bv, bok := b.Get(attr)
+		if !aok || !bok || !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,265 @@
+package schema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+)
+
+// universeWith builds a universe holding euter.r with the given tuples.
+func universeWith(tuples ...*object.Tuple) *object.Tuple {
+	rel := object.NewSet()
+	for _, t := range tuples {
+		rel.Add(t)
+	}
+	db := object.NewTuple()
+	db.Put("r", rel)
+	u := object.NewTuple()
+	u.Put("euter", db)
+	return u
+}
+
+func euterDecl() RelDecl {
+	return RelDecl{
+		DB: "euter", Rel: "r",
+		Attrs: []AttrDecl{
+			{Name: "date", Type: DateType, Required: true},
+			{Name: "stkCode", Type: StringType, Required: true},
+			{Name: "clsPrice", Type: NumberType},
+		},
+		Key: []string{"date", "stkCode"},
+	}
+}
+
+func TestTypeAdmits(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		v    object.Object
+		want bool
+	}{
+		{IntType, object.Int(5), true},
+		{IntType, object.Float(5), false},
+		{NumberType, object.Float(5), true},
+		{NumberType, object.Int(5), true},
+		{NumberType, object.Str("5"), false},
+		{StringType, object.Str("x"), true},
+		{DateType, object.NewDate(85, 1, 1), true},
+		{BoolType, object.Bool(true), true},
+		{AnyType, object.SetOf(1), true},
+		{IntType, object.Null{}, true}, // null admitted by every type
+	}
+	for _, c := range cases {
+		if got := c.ty.admits(c.v); got != c.want {
+			t.Errorf("%s.admits(%s) = %v, want %v", c.ty, c.v, got, c.want)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(euterDecl()); err != nil {
+		t.Fatal(err)
+	}
+	u := universeWith(
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 2), "stkCode", "hp", "clsPrice", 55.5),
+	)
+	if err := r.Validate(u); err != nil {
+		t.Errorf("valid universe rejected: %v", err)
+	}
+}
+
+func TestTypeViolation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(euterDecl()); err != nil {
+		t.Fatal(err)
+	}
+	u := universeWith(object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", "fifty"))
+	err := r.Validate(u)
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Violations[0].Kind != "type" {
+		t.Errorf("want type violation, got %v", err)
+	}
+}
+
+func TestRequiredViolation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(euterDecl()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range []*object.Tuple{
+		object.TupleOf("date", object.NewDate(85, 3, 1), "clsPrice", 50),                           // missing
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", object.Null{}, "clsPrice", 50), // null
+	} {
+		err := r.Validate(universeWith(tup))
+		var ve *ViolationError
+		if !errors.As(err, &ve) || ve.Violations[0].Kind != "required" {
+			t.Errorf("tuple %s: want required violation, got %v", tup, err)
+		}
+	}
+}
+
+func TestKeyViolation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(euterDecl()); err != nil {
+		t.Fatal(err)
+	}
+	u := universeWith(
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 51),
+	)
+	err := r.Validate(u)
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Violations[0].Kind != "key" {
+		t.Errorf("want key violation, got %v", err)
+	}
+	// Different stock on the same day is fine.
+	u2 := universeWith(
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "ibm", "clsPrice", 140),
+	)
+	if err := r.Validate(u2); err != nil {
+		t.Errorf("distinct keys rejected: %v", err)
+	}
+}
+
+func TestClosedRelation(t *testing.T) {
+	r := NewRegistry()
+	d := euterDecl()
+	d.Closed = true
+	if err := r.Declare(d); err != nil {
+		t.Fatal(err)
+	}
+	u := universeWith(object.TupleOf(
+		"date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50, "extra", 1))
+	err := r.Validate(u)
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Violations[0].Kind != "closed" {
+		t.Errorf("want closed violation, got %v", err)
+	}
+}
+
+func TestForeignKey(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(RelDecl{
+		DB: "euter", Rel: "r",
+		ForeignKeys: []ForeignKey{{From: "stkCode", RefDB: "ref", RefRel: "listed", To: "code"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u := universeWith(object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50))
+	// No reference data at all: violation.
+	err := r.Validate(u)
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Violations[0].Kind != "foreign-key" {
+		t.Fatalf("want fk violation, got %v", err)
+	}
+	// Add the referenced code.
+	ref := object.NewTuple()
+	ref.Put("listed", object.SetOf(object.TupleOf("code", "hp")))
+	u.Put("ref", ref)
+	if err := r.Validate(u); err != nil {
+		t.Errorf("satisfied fk rejected: %v", err)
+	}
+	// Null FK values are exempt.
+	rel, _ := u.Get("euter")
+	set, _ := rel.(*object.Tuple).Get("r")
+	set.(*object.Set).Add(object.TupleOf("date", object.NewDate(85, 3, 2), "stkCode", object.Null{}))
+	if err := r.Validate(u); err != nil {
+		t.Errorf("null fk rejected: %v", err)
+	}
+}
+
+func TestUndeclaredRelationsUnchecked(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(euterDecl()); err != nil {
+		t.Fatal(err)
+	}
+	// A universe without euter at all passes.
+	u := object.NewTuple()
+	other := object.NewTuple()
+	other.Put("whatever", object.SetOf(object.TupleOf("x", "anything")))
+	u.Put("free", other)
+	if err := r.Validate(u); err != nil {
+		t.Errorf("undeclared content rejected: %v", err)
+	}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []RelDecl{
+		{DB: "", Rel: "r"},
+		{DB: "d", Rel: "r", Attrs: []AttrDecl{{Name: ""}}},
+		{DB: "d", Rel: "r", Attrs: []AttrDecl{{Name: "a"}, {Name: "a"}}},
+		{DB: "d", Rel: "r", Closed: true, Key: []string{"missing"}},
+		{DB: "d", Rel: "r", Closed: true, ForeignKeys: []ForeignKey{{From: "missing"}}},
+	}
+	for i, d := range bad {
+		if err := r.Declare(d); err == nil {
+			t.Errorf("declaration %d should fail", i)
+		}
+	}
+}
+
+func TestDropAndDecls(t *testing.T) {
+	r := NewRegistry()
+	r.Declare(euterDecl())
+	r.Declare(RelDecl{DB: "a", Rel: "b"})
+	decls := r.Decls()
+	if len(decls) != 2 || decls[0].DB != "a" {
+		t.Errorf("decls = %v", decls)
+	}
+	r.Drop("a", "b")
+	if len(r.Decls()) != 1 {
+		t.Error("drop failed")
+	}
+}
+
+func TestMultipleViolationsAggregate(t *testing.T) {
+	r := NewRegistry()
+	r.Declare(euterDecl())
+	u := universeWith(
+		object.TupleOf("stkCode", "hp"),                    // missing required date
+		object.TupleOf("date", "notadate", "stkCode", "x"), // type
+	)
+	err := r.Validate(u)
+	var ve *ViolationError
+	if !errors.As(err, &ve) || len(ve.Violations) < 2 {
+		t.Errorf("want ≥2 violations, got %v", err)
+	}
+	if !strings.Contains(ve.Error(), "violations") {
+		t.Errorf("aggregate message: %v", ve)
+	}
+}
+
+func TestNonTupleElementViolation(t *testing.T) {
+	r := NewRegistry()
+	r.Declare(RelDecl{DB: "euter", Rel: "r", Attrs: []AttrDecl{{Name: "x", Type: IntType}}})
+	rel := object.SetOf(5) // atom element
+	db := object.NewTuple()
+	db.Put("r", rel)
+	u := object.NewTuple()
+	u.Put("euter", db)
+	if err := r.Validate(u); err == nil {
+		t.Error("atom element should violate")
+	}
+}
+
+func TestReify(t *testing.T) {
+	r := NewRegistry()
+	r.Declare(euterDecl())
+	out := r.Reify()
+	types, _ := out.Get("types")
+	keys, _ := out.Get("keys")
+	if types.(*object.Set).Len() != 3 {
+		t.Errorf("types = %s", types)
+	}
+	if keys.(*object.Set).Len() != 2 {
+		t.Errorf("keys = %s", keys)
+	}
+	if !keys.(*object.Set).Contains(object.TupleOf("db", "euter", "rel", "r", "attr", "date", "pos", 0)) {
+		t.Error("key tuple missing")
+	}
+}

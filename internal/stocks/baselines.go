@@ -1,0 +1,427 @@
+package stocks
+
+import (
+	"fmt"
+	"sort"
+
+	"idl/internal/datalog"
+	"idl/internal/object"
+	"idl/internal/relalg"
+)
+
+// The baselines encode the paper's central claim operationally: a
+// first-order system needs schema-aware code. Each plan below takes the
+// stock list (metadata!) as a Go-level input, and the generated Datalog
+// programs grow linearly with the schema — one rule per stock for
+// chwab/ource. IDL needs neither.
+
+// getRelation fetches db.rel from a universe.
+func getRelation(u *object.Tuple, db, rel string) (*object.Set, error) {
+	dv, ok := u.Get(db)
+	if !ok {
+		return nil, fmt.Errorf("stocks: no database %s", db)
+	}
+	dt, ok := dv.(*object.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("stocks: %s is not a database", db)
+	}
+	rv, ok := dt.Get(rel)
+	if !ok {
+		return nil, fmt.Errorf("stocks: no relation %s.%s", db, rel)
+	}
+	rs, ok := rv.(*object.Set)
+	if !ok {
+		return nil, fmt.Errorf("stocks: %s.%s is not a relation", db, rel)
+	}
+	return rs, nil
+}
+
+// AnyAboveEuter answers "which stocks ever closed above threshold" with a
+// hand-coded plan over the euter schema: σ(clsPrice>t) then π(stkCode).
+func AnyAboveEuter(u *object.Tuple, threshold int) ([]string, error) {
+	r, err := getRelation(u, "euter", "r")
+	if err != nil {
+		return nil, err
+	}
+	t := object.Int(threshold)
+	hot := relalg.Select(r, func(tp *object.Tuple) bool {
+		v, ok := tp.Get("clsPrice")
+		return ok && object.Comparable(v, t) && v.Compare(t) > 0
+	})
+	return stringColumn(relalg.Project(hot, "stkCode"), "stkCode"), nil
+}
+
+// AnyAboveChwab answers the same intention over chwab — but the plan must
+// be handed the stock list, because the stocks are attribute names the
+// query language cannot iterate.
+func AnyAboveChwab(u *object.Tuple, stockAttrs []string, threshold int) ([]string, error) {
+	r, err := getRelation(u, "chwab", "r")
+	if err != nil {
+		return nil, err
+	}
+	t := object.Int(threshold)
+	seen := map[string]bool{}
+	r.Each(func(e object.Object) bool {
+		tp, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		for _, s := range stockAttrs {
+			if seen[s] {
+				continue
+			}
+			v, ok := tp.Get(s)
+			if ok && object.Comparable(v, t) && v.Compare(t) > 0 {
+				seen[s] = true
+			}
+		}
+		return true
+	})
+	return sortedKeys(seen), nil
+}
+
+// AnyAboveOurce answers it over ource — one SELECT per relation, because
+// the stocks are relation names.
+func AnyAboveOurce(u *object.Tuple, stockRels []string, threshold int) ([]string, error) {
+	t := object.Int(threshold)
+	seen := map[string]bool{}
+	for _, s := range stockRels {
+		rel, err := getRelation(u, "ource", s)
+		if err != nil {
+			return nil, err
+		}
+		hot := relalg.Select(rel, func(tp *object.Tuple) bool {
+			v, ok := tp.Get("clsPrice")
+			return ok && object.Comparable(v, t) && v.Compare(t) > 0
+		})
+		if hot.Len() > 0 {
+			seen[s] = true
+		}
+	}
+	return sortedKeys(seen), nil
+}
+
+// DayWinner is one per-day highest-close answer row.
+type DayWinner struct {
+	Date  object.Date
+	Stock string
+	Price int
+}
+
+// HighestPerDayEuter computes §2 query 2 with a grouped-max plan.
+func HighestPerDayEuter(u *object.Tuple) ([]DayWinner, error) {
+	r, err := getRelation(u, "euter", "r")
+	if err != nil {
+		return nil, err
+	}
+	winners := relalg.GroupMax(r, []string{"date"}, "clsPrice")
+	return collectWinners(winners, "stkCode")
+}
+
+// HighestPerDayChwab needs the stock list to scan the columns.
+func HighestPerDayChwab(u *object.Tuple, stockAttrs []string) ([]DayWinner, error) {
+	r, err := getRelation(u, "chwab", "r")
+	if err != nil {
+		return nil, err
+	}
+	var out []DayWinner
+	var failure error
+	r.Each(func(e object.Object) bool {
+		tp, ok := e.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		dv, ok := tp.Get("date")
+		if !ok {
+			return true
+		}
+		date, ok := dv.(object.Date)
+		if !ok {
+			return true
+		}
+		best, bestStock, have := 0, "", false
+		for _, s := range stockAttrs {
+			v, ok := tp.Get(s)
+			if !ok {
+				continue
+			}
+			n, ok := v.(object.Int)
+			if !ok {
+				continue
+			}
+			if !have || int(n) > best {
+				best, bestStock, have = int(n), s, true
+			}
+		}
+		if have {
+			out = append(out, DayWinner{Date: date, Stock: bestStock, Price: best})
+		}
+		return true
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	sortWinners(out)
+	return out, nil
+}
+
+// HighestPerDayOurce scans every stock relation — the plan enumerates
+// metadata in Go.
+func HighestPerDayOurce(u *object.Tuple, stockRels []string) ([]DayWinner, error) {
+	best := map[object.Date]DayWinner{}
+	for _, s := range stockRels {
+		rel, err := getRelation(u, "ource", s)
+		if err != nil {
+			return nil, err
+		}
+		var bad error
+		rel.Each(func(e object.Object) bool {
+			tp, ok := e.(*object.Tuple)
+			if !ok {
+				return true
+			}
+			dv, _ := tp.Get("date")
+			date, ok := dv.(object.Date)
+			if !ok {
+				return true
+			}
+			pv, _ := tp.Get("clsPrice")
+			p, ok := pv.(object.Int)
+			if !ok {
+				return true
+			}
+			cur, has := best[date]
+			if !has || int(p) > cur.Price {
+				best[date] = DayWinner{Date: date, Stock: s, Price: int(p)}
+			}
+			return true
+		})
+		if bad != nil {
+			return nil, bad
+		}
+	}
+	out := make([]DayWinner, 0, len(best))
+	for _, w := range best {
+		out = append(out, w)
+	}
+	sortWinners(out)
+	return out, nil
+}
+
+// CrossMatch is one (stock, date, price) agreement between chwab and
+// ource.
+type CrossMatch struct {
+	Stock string
+	Date  object.Date
+	Price int
+}
+
+// CrossJoinChwabOurce computes §4.3's cross-database join with hand-coded
+// per-stock joins: for each stock name the plan joins chwab's column
+// against ource's relation.
+func CrossJoinChwabOurce(u *object.Tuple, stocks []string) ([]CrossMatch, error) {
+	chwab, err := getRelation(u, "chwab", "r")
+	if err != nil {
+		return nil, err
+	}
+	var out []CrossMatch
+	for _, s := range stocks {
+		rel, err := getRelation(u, "ource", s)
+		if err != nil {
+			return nil, err
+		}
+		// chwab side: (date, price-of-s); rename the column to clsPrice
+		// and natural-join with the ource relation.
+		col := object.NewSet()
+		chwab.Each(func(e object.Object) bool {
+			tp, ok := e.(*object.Tuple)
+			if !ok {
+				return true
+			}
+			d, dok := tp.Get("date")
+			v, vok := tp.Get(s)
+			if dok && vok && v.Kind() != object.KindNull {
+				col.Add(object.TupleOf("date", d, "clsPrice", v))
+			}
+			return true
+		})
+		joined := relalg.NaturalJoin(col, rel)
+		joined.Each(func(e object.Object) bool {
+			tp := e.(*object.Tuple)
+			d, _ := tp.Get("date")
+			p, _ := tp.Get("clsPrice")
+			date, dok := d.(object.Date)
+			price, pok := p.(object.Int)
+			if dok && pok {
+				out = append(out, CrossMatch{Stock: s, Date: date, Price: int(price)})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stock != out[j].Stock {
+			return out[i].Stock < out[j].Stock
+		}
+		return out[i].Date.Compare(out[j].Date) < 0
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Datalog baselines: program size grows with the schema.
+
+// DatalogEuter loads euter as quote(date, stock, price) facts plus one
+// rule for "above threshold". Returns the database and the number of
+// rules the program needed.
+func DatalogEuter(u *object.Tuple, threshold int) (*datalog.DB, int, error) {
+	r, err := getRelation(u, "euter", "r")
+	if err != nil {
+		return nil, 0, err
+	}
+	db := datalog.NewDB()
+	r.Each(func(e object.Object) bool {
+		tp := e.(*object.Tuple)
+		d, _ := tp.Get("date")
+		s, _ := tp.Get("stkCode")
+		p, _ := tp.Get("clsPrice")
+		db.Fact("quote", d, s, p)
+		return true
+	})
+	rule := datalog.Rule{
+		Head: datalog.P("above", datalog.V("S")),
+		Body: []datalog.Atom{
+			datalog.P("quote", datalog.V("D"), datalog.V("S"), datalog.V("P")),
+			datalog.Cmp(datalog.V("P"), datalog.GT, datalog.C(threshold)),
+		},
+	}
+	if err := db.AddRule(rule); err != nil {
+		return nil, 0, err
+	}
+	return db, 1, nil
+}
+
+// DatalogOurce loads ource with one predicate per stock relation and
+// generates ONE RULE PER STOCK for the same intention — the program size
+// is linear in the schema, which is the paper's expressiveness argument
+// made concrete.
+func DatalogOurce(u *object.Tuple, stockRels []string, threshold int) (*datalog.DB, int, error) {
+	db := datalog.NewDB()
+	for _, s := range stockRels {
+		rel, err := getRelation(u, "ource", s)
+		if err != nil {
+			return nil, 0, err
+		}
+		rel.Each(func(e object.Object) bool {
+			tp := e.(*object.Tuple)
+			d, _ := tp.Get("date")
+			p, _ := tp.Get("clsPrice")
+			db.Fact("stk_"+s, d, p)
+			return true
+		})
+	}
+	rules := 0
+	for _, s := range stockRels {
+		rule := datalog.Rule{
+			Head: datalog.P("above", datalog.C(s)),
+			Body: []datalog.Atom{
+				datalog.P("stk_"+s, datalog.V("D"), datalog.V("P")),
+				datalog.Cmp(datalog.V("P"), datalog.GT, datalog.C(threshold)),
+			},
+		}
+		if err := db.AddRule(rule); err != nil {
+			return nil, 0, err
+		}
+		rules++
+	}
+	return db, rules, nil
+}
+
+// DatalogChwab likewise needs one rule per stock: the price sits in a
+// different column per stock, so each rule projects a different position
+// of a wide fact.
+func DatalogChwab(u *object.Tuple, stockAttrs []string, threshold int) (*datalog.DB, int, error) {
+	r, err := getRelation(u, "chwab", "r")
+	if err != nil {
+		return nil, 0, err
+	}
+	db := datalog.NewDB()
+	// Facts: col_<stock>(date, price) — the relational encoding a
+	// first-order system would need after "unpivoting" by hand.
+	r.Each(func(e object.Object) bool {
+		tp := e.(*object.Tuple)
+		d, _ := tp.Get("date")
+		for _, s := range stockAttrs {
+			if v, ok := tp.Get(s); ok && v.Kind() != object.KindNull {
+				db.Fact("col_"+s, d, v)
+			}
+		}
+		return true
+	})
+	rules := 0
+	for _, s := range stockAttrs {
+		rule := datalog.Rule{
+			Head: datalog.P("above", datalog.C(s)),
+			Body: []datalog.Atom{
+				datalog.P("col_"+s, datalog.V("D"), datalog.V("P")),
+				datalog.Cmp(datalog.V("P"), datalog.GT, datalog.C(threshold)),
+			},
+		}
+		if err := db.AddRule(rule); err != nil {
+			return nil, 0, err
+		}
+		rules++
+	}
+	return db, rules, nil
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func stringColumn(r *object.Set, attr string) []string {
+	seen := map[string]bool{}
+	r.Each(func(e object.Object) bool {
+		if tp, ok := e.(*object.Tuple); ok {
+			if v, ok := tp.Get(attr); ok {
+				if s, ok := v.(object.Str); ok {
+					seen[string(s)] = true
+				}
+			}
+		}
+		return true
+	})
+	return sortedKeys(seen)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortWinners(ws []DayWinner) {
+	sort.Slice(ws, func(i, j int) bool {
+		return ws[i].Date.Compare(ws[j].Date) < 0
+	})
+}
+
+func collectWinners(r *object.Set, stockAttr string) ([]DayWinner, error) {
+	var out []DayWinner
+	r.Each(func(e object.Object) bool {
+		tp := e.(*object.Tuple)
+		d, _ := tp.Get("date")
+		s, _ := tp.Get(stockAttr)
+		p, _ := tp.Get("clsPrice")
+		date, dok := d.(object.Date)
+		stock, sok := s.(object.Str)
+		price, pok := p.(object.Int)
+		if dok && sok && pok {
+			out = append(out, DayWinner{Date: date, Stock: string(stock), Price: int(price)})
+		}
+		return true
+	})
+	sortWinners(out)
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package stocks
+
+import "fmt"
+
+// Canonical IDL artifacts for the stock workload — the paper's §6 view
+// rules and §7 update programs, shared by tests, examples, experiments
+// and benchmarks.
+
+// QueryAnyAbove returns the paper's "did any stock ever close above N"
+// query for each schema (§2 query 1; §4.3): the same intention, one
+// expression per schema, with the stock quantified over data, attribute
+// names, and relation names respectively.
+func QueryAnyAbove(threshold int) map[string]string {
+	return map[string]string{
+		"euter": fmt.Sprintf("?.euter.r(.stkCode=S, .clsPrice>%d)", threshold),
+		"chwab": fmt.Sprintf("?.chwab.r(.S>%d)", threshold),
+		"ource": fmt.Sprintf("?.ource.S(.clsPrice>%d)", threshold),
+	}
+}
+
+// QueryHighestPerDay returns §2 query 2 ("for each day, the stock with
+// the highest closing price") per schema.
+func QueryHighestPerDay() map[string]string {
+	return map[string]string{
+		"euter": "?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)",
+		"chwab": "?.chwab.r(.date=D,.S=P), .chwab.r~(.date=D,.S2>P), S != date",
+		"ource": "?.ource.S(.date=D,.clsPrice=P), ~.ource.S2(.date=D, .clsPrice>P)",
+	}
+}
+
+// QueryCrossJoin is §4.3's cross-database join: stocks in ource and
+// chwab with the same closing price on the same day.
+const QueryCrossJoin = "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)"
+
+// RulesUnified defines the unified view dbI.p over the three schemas
+// (§6). The `S != date` guard keeps chwab's date attribute from being
+// read as a stock.
+var RulesUnified = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date",
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)",
+}
+
+// RulesUnifiedMapped is the name-mapping variant (§6's last example):
+// chwab/ource names translate to euter codes via maps.mapCE / maps.mapOE.
+var RulesUnifiedMapped = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .SC=P), .maps.mapCE(.from=SC, .to=S)",
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .ource.SO(.date=D, .clsPrice=P), .maps.mapOE(.from=SO, .to=S)",
+}
+
+// RulePnew reconciles value discrepancies by keeping the highest quote
+// (the schema administrator's policy choice; §6 leaves it open).
+const RulePnew = ".dbI.pnew+(.date=D,.stk=S,.price=P) <- .dbI.p(.date=D,.stk=S,.price=P), .dbI.p~(.date=D,.stk=S,.price>P)"
+
+// RulesCustomized re-render the unified view in each user's native
+// schema (Figure 1's D_i' views). dbO's rule is a higher-order view: its
+// relation set is data dependent.
+var RulesCustomized = []string{
+	".dbE.r+(.date=D, .stkCode=S, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+	".dbC.r+(.date=D, .S=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+	".dbO.S+(.date=D, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+}
+
+// ProgramDelStk deletes a stock's closing price on a date in all three
+// schemas; unbound parameters act as wildcards (§7.1).
+var ProgramDelStk = []string{
+	".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S,.date=D)",
+	".dbU.delStk(.stk=S, .date=D) -> .chwab.r(.date=D, .S-=X)",
+	".dbU.delStk(.stk=S, .date=D) -> .ource.S-(.date=D)",
+}
+
+// ProgramRmStk removes a stock entirely — data in euter, an attribute in
+// chwab, a relation in ource (§7.1's metadata-updating program).
+var ProgramRmStk = []string{
+	".dbU.rmStk(.stk=S) -> .euter.r-(.stkCode=S)",
+	".dbU.rmStk(.stk=S) -> .chwab.r(-.S)",
+	".dbU.rmStk(.stk=S) -> .ource-.S",
+}
+
+// ProgramInsStk inserts a quote into all three schemas; every parameter
+// is required (§7.1's binding-signature example).
+var ProgramInsStk = []string{
+	".dbU.insStk(.stk=S, .date=D, .price=P) -> .euter.r+(.stkCode=S,.date=D,.clsPrice=P)",
+	".dbU.insStk(.stk=S, .date=D, .price=P) -> .chwab.r(.date=D, +.S=P)",
+	".dbU.insStk(.stk=S, .date=D, .price=P) -> .ource.S+(.date=D,.clsPrice=P)",
+}
+
+// ViewUpdatePrograms are the §7.2 translations: updates on the unified
+// view map to base updates; customized-view updates reuse them.
+var ViewUpdatePrograms = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) -> .euter.r+(.date=D, .stkCode=S, .clsPrice=P)",
+	".dbI.p-(.date=D, .stk=S, .price=P) -> .euter.r-(.date=D, .stkCode=S, .clsPrice=P), .chwab.r(.date=D, .S-=P2), .ource.S-(.date=D)",
+	".dbO.S+(.date=D, .clsPrice=P) -> .dbI.p+(.date=D, .stk=S, .price=P)",
+	".dbE.r+(.date=D, .stkCode=S, .clsPrice=P) -> .dbI.p+(.date=D, .stk=S, .price=P)",
+	".dbC.r+(.date=D, .S=P) -> .dbI.p+(.date=D, .stk=S, .price=P)",
+}

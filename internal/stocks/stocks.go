@@ -1,0 +1,211 @@
+// Package stocks generates the paper's three-schema stock-market workload
+// at configurable scale, and carries the canonical IDL artifacts (unified
+// and customized view rules, update programs) plus the schema-specific
+// baseline plans the paper argues a first-order system is stuck with.
+//
+// The generator is deterministic: the same Config always produces the
+// same universe, so experiments and benchmarks are reproducible. The same
+// facts render into all three schemas:
+//
+//	euter: r{(date, stkCode, clsPrice)}
+//	chwab: r{(date, stk1, stk2, …)}
+//	ource: stk1{(date, clsPrice)}, stk2{…}, …
+package stocks
+
+import (
+	"fmt"
+
+	"idl/internal/object"
+)
+
+// Config sizes and seeds a workload.
+type Config struct {
+	// Stocks is how many stocks to generate (named stk001, stk002, …).
+	Stocks int
+	// Days is how many consecutive trading days, starting 1/2/85.
+	Days int
+	// Seed drives the deterministic price walk.
+	Seed uint64
+	// Discrepancies injects this many chwab prices that differ from the
+	// euter/ource quote (exercising §6's value-reconciliation examples).
+	Discrepancies int
+	// NameConflict renders chwab attribute names and ource relation
+	// names as vendor codes (cXXX/oXXX) different from euter's stkCodes,
+	// together with the mapCE/mapOE mapping relations in a `maps`
+	// database (§6's last example).
+	NameConflict bool
+}
+
+// DefaultConfig is a small, fast workload.
+func DefaultConfig() Config {
+	return Config{Stocks: 10, Days: 10, Seed: 42}
+}
+
+// Dataset is a generated workload before rendering into schemas.
+type Dataset struct {
+	Config Config
+	Stocks []string // euter stock codes
+	Dates  []object.Date
+	// Price[s][d] is the closing price (in whole dollars) of stock s on
+	// day d as euter and ource report it.
+	Price [][]int
+	// ChwabPrice mirrors Price with Discrepancies perturbations applied.
+	ChwabPrice [][]int
+	// ChwabName / OurceName map stock index to the attribute / relation
+	// name used in chwab / ource (same as Stocks unless NameConflict).
+	ChwabName []string
+	OurceName []string
+}
+
+// rng is a small deterministic xorshift* generator: the workload must not
+// depend on math/rand's version-dependent stream.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds a deterministic dataset from cfg.
+func Generate(cfg Config) *Dataset {
+	if cfg.Stocks <= 0 {
+		cfg.Stocks = 1
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	r := &rng{s: cfg.Seed*2862933555777941757 + 3037000493}
+	ds := &Dataset{Config: cfg}
+	for i := 0; i < cfg.Stocks; i++ {
+		ds.Stocks = append(ds.Stocks, fmt.Sprintf("stk%03d", i+1))
+	}
+	// Trading days: consecutive calendar days starting 1/2/85 (weekends
+	// don't matter to the semantics).
+	y, m, d := 1985, 1, 2
+	for i := 0; i < cfg.Days; i++ {
+		ds.Dates = append(ds.Dates, object.Date{Year: y, Month: m, Day: d})
+		d++
+		if d > 28 {
+			d = 1
+			m++
+			if m > 12 {
+				m = 1
+				y++
+			}
+		}
+	}
+	// Price walk: start in [20, 220), move ±0..4 per day, floor at 1.
+	ds.Price = make([][]int, cfg.Stocks)
+	for s := range ds.Stocks {
+		prices := make([]int, cfg.Days)
+		p := 20 + r.intn(200)
+		for day := 0; day < cfg.Days; day++ {
+			move := r.intn(9) - 4
+			p += move
+			if p < 1 {
+				p = 1
+			}
+			prices[day] = p
+		}
+		ds.Price[s] = prices
+	}
+	// Chwab prices: copy, then perturb Discrepancies entries by +1..5.
+	ds.ChwabPrice = make([][]int, cfg.Stocks)
+	for s := range ds.Price {
+		ds.ChwabPrice[s] = append([]int(nil), ds.Price[s]...)
+	}
+	for i := 0; i < cfg.Discrepancies; i++ {
+		s := r.intn(cfg.Stocks)
+		day := r.intn(cfg.Days)
+		ds.ChwabPrice[s][day] = ds.Price[s][day] + 1 + r.intn(5)
+	}
+	// Names per schema.
+	ds.ChwabName = make([]string, cfg.Stocks)
+	ds.OurceName = make([]string, cfg.Stocks)
+	for s, code := range ds.Stocks {
+		if cfg.NameConflict {
+			ds.ChwabName[s] = fmt.Sprintf("c%03d", s+1)
+			ds.OurceName[s] = fmt.Sprintf("o%03d", s+1)
+		} else {
+			ds.ChwabName[s] = code
+			ds.OurceName[s] = code
+		}
+	}
+	return ds
+}
+
+// Populate renders the dataset into a universe tuple, creating the
+// euter, chwab and ource databases (and maps, when NameConflict).
+func (ds *Dataset) Populate(u *object.Tuple) {
+	euterR := object.NewSet()
+	for s, code := range ds.Stocks {
+		for day, date := range ds.Dates {
+			euterR.Add(object.TupleOf("date", date, "stkCode", code, "clsPrice", ds.Price[s][day]))
+		}
+	}
+	euter := object.NewTuple()
+	euter.Put("r", euterR)
+	u.Put("euter", euter)
+
+	chwabR := object.NewSet()
+	for day, date := range ds.Dates {
+		tup := object.NewTuple()
+		tup.Put("date", date)
+		for s := range ds.Stocks {
+			tup.Put(ds.ChwabName[s], object.Int(ds.ChwabPrice[s][day]))
+		}
+		chwabR.Add(tup)
+	}
+	chwab := object.NewTuple()
+	chwab.Put("r", chwabR)
+	u.Put("chwab", chwab)
+
+	ource := object.NewTuple()
+	for s := range ds.Stocks {
+		rel := object.NewSet()
+		for day, date := range ds.Dates {
+			rel.Add(object.TupleOf("date", date, "clsPrice", ds.Price[s][day]))
+		}
+		ource.Put(ds.OurceName[s], rel)
+	}
+	u.Put("ource", ource)
+
+	if ds.Config.NameConflict {
+		mapCE := object.NewSet()
+		mapOE := object.NewSet()
+		for s, code := range ds.Stocks {
+			mapCE.Add(object.TupleOf("from", ds.ChwabName[s], "to", code))
+			mapOE.Add(object.TupleOf("from", ds.OurceName[s], "to", code))
+		}
+		maps := object.NewTuple()
+		maps.Put("mapCE", mapCE)
+		maps.Put("mapOE", mapOE)
+		u.Put("maps", maps)
+	}
+}
+
+// Universe generates and renders in one call.
+func Universe(cfg Config) (*object.Tuple, *Dataset) {
+	ds := Generate(cfg)
+	u := object.NewTuple()
+	ds.Populate(u)
+	return u, ds
+}
+
+// MaxPrice returns the highest euter price in the dataset (useful for
+// choosing selective thresholds).
+func (ds *Dataset) MaxPrice() int {
+	max := 0
+	for _, ps := range ds.Price {
+		for _, p := range ps {
+			if p > max {
+				max = p
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// ExportCSV writes a relation as CSV. The header is the union of
+// attribute names across tuples (sorted); tuples lacking an attribute
+// emit an empty cell, and null values emit the literal `\N`. Aggregate
+// values are rejected — CSV is for flat relations.
+func ExportCSV(w io.Writer, rel *object.Set) error {
+	attrSet := map[string]bool{}
+	var badKind object.Kind
+	bad := false
+	rel.Each(func(e object.Object) bool {
+		t, ok := e.(*object.Tuple)
+		if !ok {
+			bad, badKind = true, e.Kind()
+			return false
+		}
+		for _, a := range t.Attrs() {
+			attrSet[a] = true
+		}
+		return true
+	})
+	if bad {
+		return fmt.Errorf("storage: relation contains a %s element; CSV export needs tuples", badKind)
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(attrs); err != nil {
+		return err
+	}
+	var failure error
+	rel.Each(func(e object.Object) bool {
+		t := e.(*object.Tuple)
+		rec := make([]string, len(attrs))
+		for i, a := range attrs {
+			v, ok := t.Get(a)
+			if !ok {
+				rec[i] = ""
+				continue
+			}
+			cell, err := cellString(v)
+			if err != nil {
+				failure = err
+				return false
+			}
+			rec[i] = cell
+		}
+		if err := cw.Write(rec); err != nil {
+			failure = err
+			return false
+		}
+		return true
+	})
+	if failure != nil {
+		return failure
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func cellString(v object.Object) (string, error) {
+	switch x := v.(type) {
+	case object.Null:
+		return `\N`, nil
+	case object.Bool:
+		return strconv.FormatBool(bool(x)), nil
+	case object.Int:
+		return strconv.FormatInt(int64(x), 10), nil
+	case object.Float:
+		return strconv.FormatFloat(float64(x), 'g', -1, 64), nil
+	case object.Str:
+		return string(x), nil
+	case object.Date:
+		return fmt.Sprintf("%d/%d/%d", x.Month, x.Day, x.Year), nil
+	default:
+		return "", fmt.Errorf("storage: cannot export %s value to CSV", v.Kind())
+	}
+}
+
+// ImportCSV reads a relation from CSV written by ExportCSV (or by hand):
+// the first record is the attribute header; cells infer their type —
+// empty means "attribute absent", `\N` means null, then int, float, date
+// (m/d/y), bool, and finally string.
+func ImportCSV(r io.Reader) (*object.Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read CSV header: %w", err)
+	}
+	rel := object.NewSet()
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read CSV line %d: %w", line, err)
+		}
+		if len(rec) > len(header) {
+			return nil, fmt.Errorf("storage: CSV line %d has %d cells for %d columns", line, len(rec), len(header))
+		}
+		t := object.NewTuple()
+		for i, cell := range rec {
+			if cell == "" {
+				continue
+			}
+			t.Put(header[i], inferCell(cell))
+		}
+		rel.Add(t)
+	}
+}
+
+// inferCell parses a CSV cell into the most specific atom.
+func inferCell(cell string) object.Object {
+	if cell == `\N` {
+		return object.Null{}
+	}
+	if n, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return object.Int(n)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return object.Float(f)
+	}
+	if d, ok := parseDateCell(cell); ok {
+		return d
+	}
+	switch cell {
+	case "true":
+		return object.Bool(true)
+	case "false":
+		return object.Bool(false)
+	}
+	return object.Str(cell)
+}
+
+func parseDateCell(cell string) (object.Date, bool) {
+	parts := strings.Split(cell, "/")
+	if len(parts) != 3 {
+		return object.Date{}, false
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return object.Date{}, false
+		}
+		nums[i] = n
+	}
+	if nums[0] < 1 || nums[0] > 12 || nums[1] < 1 || nums[1] > 31 {
+		return object.Date{}, false
+	}
+	return object.NewDate(nums[2], nums[0], nums[1]), true
+}

@@ -1,0 +1,118 @@
+// Package storage persists a universe of databases as a JSON snapshot
+// with an integrity checksum, using atomic file replacement (write to a
+// temp file, fsync, rename). The snapshot format is versioned so future
+// layouts can migrate old files.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"idl/internal/object"
+)
+
+// FormatVersion identifies the snapshot layout produced by this package.
+const FormatVersion = 1
+
+// snapshot is the on-disk envelope.
+type snapshot struct {
+	Format   int             `json:"format"`
+	Checksum string          `json:"checksum"` // fnv64a of Universe bytes
+	Universe json.RawMessage `json:"universe"`
+}
+
+// Save writes the universe to w as a checksummed snapshot.
+func Save(w io.Writer, universe *object.Tuple) error {
+	raw, err := object.MarshalJSON(universe)
+	if err != nil {
+		return fmt.Errorf("storage: encode universe: %w", err)
+	}
+	env := snapshot{
+		Format:   FormatVersion,
+		Checksum: checksum(raw),
+		Universe: raw,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&env); err != nil {
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r, verifying format and checksum.
+func Load(r io.Reader) (*object.Tuple, error) {
+	var env snapshot
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	if env.Format != FormatVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot format %d (want %d)", env.Format, FormatVersion)
+	}
+	if got := checksum(env.Universe); got != env.Checksum {
+		return nil, fmt.Errorf("storage: snapshot corrupt: checksum %s != %s", got, env.Checksum)
+	}
+	obj, err := object.UnmarshalJSON(env.Universe)
+	if err != nil {
+		return nil, fmt.Errorf("storage: decode universe: %w", err)
+	}
+	u, ok := obj.(*object.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("storage: snapshot root is %s, want tuple", obj.Kind())
+	}
+	return u, nil
+}
+
+// SaveFile writes the universe to path atomically: the snapshot lands in
+// a temp file in the same directory, is synced, and replaces path by
+// rename, so a crash never leaves a torn snapshot.
+func SaveFile(path string, universe *object.Tuple) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".idl-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("storage: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	bw := bufio.NewWriter(tmp)
+	if err := Save(bw, universe); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: flush snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("storage: replace snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot file written by SaveFile.
+func LoadFile(path string) (*object.Tuple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func checksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+)
+
+func sampleUniverse() *object.Tuple {
+	u := object.NewTuple()
+	euter := object.NewTuple()
+	euter.Put("r", object.SetOf(
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 2), "stkCode", "hp", "clsPrice", 55),
+	))
+	u.Put("euter", euter)
+	ource := object.NewTuple()
+	ource.Put("hp", object.SetOf(object.TupleOf("date", object.NewDate(85, 3, 1), "clsPrice", 50)))
+	u.Put("ource", ource)
+	return u
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	u := sampleUniverse()
+	var buf bytes.Buffer
+	if err := Save(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(back) {
+		t.Error("round-trip changed the universe")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleUniverse()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+	// Flip a data byte inside the universe payload without breaking JSON.
+	corrupted := strings.Replace(data, "euter", "eutex", 1)
+	if corrupted == data {
+		t.Fatal("corruption did not apply")
+	}
+	_, err := Load(strings.NewReader(corrupted))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("want checksum error, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"format":99,"checksum":"x","universe":{}}`))
+	if err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("want format error, got %v", err)
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestLoadRejectsNonTupleRoot(t *testing.T) {
+	raw, err := object.MarshalJSON(object.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"format":1,"checksum":"`)
+	buf.WriteString(checksum(raw))
+	buf.WriteString(`","universe":`)
+	buf.Write(raw)
+	buf.WriteString(`}`)
+	_, err = Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "tuple") {
+		t.Errorf("want root-kind error, got %v", err)
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "universe.idl")
+	u := sampleUniverse()
+	if err := SaveFile(path, u); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(back) {
+		t.Error("file round-trip changed the universe")
+	}
+	// Overwrite with modified state; no temp files left behind.
+	euter, _ := u.Get("euter")
+	rel, _ := euter.(*object.Tuple).Get("r")
+	rel.(*object.Set).Add(object.TupleOf("date", object.NewDate(85, 3, 3), "stkCode", "hp", "clsPrice", 62))
+	if err := SaveFile(path, u); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the snapshot", len(entries))
+	}
+	back, err = LoadFile(path)
+	if err != nil || !u.Equal(back) {
+		t.Error("second round-trip failed")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.idl")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := object.SetOf(
+		object.TupleOf("date", object.NewDate(85, 3, 1), "stkCode", "hp", "clsPrice", 50),
+		object.TupleOf("date", object.NewDate(85, 3, 2), "stkCode", "hp", "clsPrice", 55.5),
+		object.TupleOf("stkCode", "weird"), // heterogeneous arity
+		object.TupleOf("stkCode", "nullish", "clsPrice", object.Null{}),
+	)
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(back) {
+		t.Errorf("CSV round-trip changed the relation:\n%s\nvs\n%s",
+			rel.CanonicalString(), back.CanonicalString())
+	}
+}
+
+func TestCSVExportRejectsAggregates(t *testing.T) {
+	rel := object.NewSet()
+	inner := object.NewTuple()
+	inner.Put("nested", object.SetOf(1))
+	rel.Add(inner)
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, rel); err == nil {
+		t.Error("nested set should be rejected")
+	}
+	rel2 := object.SetOf(5) // non-tuple element
+	if err := ExportCSV(&buf, rel2); err == nil {
+		t.Error("atom element should be rejected")
+	}
+}
+
+func TestCSVImportTypes(t *testing.T) {
+	csv := "a,b,c,d,e,f\n1,2.5,3/1/85,true,hello,\\N\n"
+	rel, err := ImportCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := rel.Elems()
+	if len(elems) != 1 {
+		t.Fatalf("rows = %d", len(elems))
+	}
+	tup := elems[0].(*object.Tuple)
+	checks := map[string]object.Object{
+		"a": object.Int(1),
+		"b": object.Float(2.5),
+		"c": object.NewDate(85, 3, 1),
+		"d": object.Bool(true),
+		"e": object.Str("hello"),
+		"f": object.Null{},
+	}
+	for attr, want := range checks {
+		got, ok := tup.Get(attr)
+		if !ok || !got.Equal(want) {
+			t.Errorf("%s = %v, want %v", attr, got, want)
+		}
+	}
+}
+
+func TestCSVImportErrors(t *testing.T) {
+	if _, err := ImportCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+	if _, err := ImportCSV(strings.NewReader("a,b\n1,2,3\n")); err == nil {
+		t.Error("too many cells should fail")
+	}
+}
+
+func TestCSVNonDateSlashes(t *testing.T) {
+	// Slash strings that are not valid dates stay strings.
+	rel, err := ImportCSV(strings.NewReader("a\n99/99/99\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := rel.Elems()[0].(*object.Tuple)
+	v, _ := tup.Get("a")
+	if _, isStr := v.(object.Str); !isStr {
+		t.Errorf("99/99/99 should stay a string, got %T", v)
+	}
+}
