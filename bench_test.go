@@ -10,6 +10,7 @@
 package idl_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -416,4 +417,37 @@ func BenchmarkMSQLvsIDL(b *testing.B) {
 			runQuery(b, e, q)
 		}
 	})
+}
+
+// --- B11: context plumbing overhead ---
+
+// BenchmarkCtxPlumbing measures what threading a context through the
+// evaluator costs. Query (no context) and QueryCtx with a cancellable
+// context run the same plans; the amortized cancellation check (one
+// atomic-free poll every 1024 evaluator ops) should keep the cancellable
+// path within a few percent of the bare one.
+func BenchmarkCtxPlumbing(b *testing.B) {
+	cfg := stocks.Config{Stocks: 32, Days: 30, Seed: 7}
+	e, ds := engineFor(b, cfg, core.DefaultOptions())
+	threshold := ds.MaxPrice() * 3 / 4
+	qs := map[string]*ast.Query{
+		"anyAbove":      parseQ(b, stocks.QueryAnyAbove(threshold)["euter"]),
+		"highestPerDay": parseQ(b, stocks.QueryHighestPerDay()["euter"]),
+	}
+	for name, q := range qs {
+		b.Run(name+"/bare", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runQuery(b, e, q)
+			}
+		})
+		b.Run(name+"/ctx", func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.QueryCtx(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

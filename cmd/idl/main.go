@@ -13,6 +13,13 @@
 //	                 it back on exit (created if missing)
 //	-demo            preload the paper's three stock databases
 //	-tokens          with -e: dump the token stream (debugging)
+//	-best-effort     degrade queries gracefully when a federated member
+//	                 database is unreachable (default: fail fast)
+//	-timeout d       per-attempt timeout for federated member operations
+//	-retries n       retry attempts for federated member operations
+//	-chaos-seed n    with -demo: mount the stock databases as federated
+//	                 members behind a seeded fault injector (0 = off);
+//	                 the same seed reproduces the same fault schedule
 //
 // Shell meta-commands:
 //
@@ -34,42 +41,67 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"idl"
+	"idl/internal/federation"
 	"idl/internal/lex"
 	"idl/internal/stocks"
 )
 
+// config collects everything the CLI needs to build and drive a DB.
+type config struct {
+	snapshot string
+	script   string
+	expr     string
+	demo     bool
+	tokens   bool
+
+	// Federation knobs.
+	bestEffort bool
+	timeout    time.Duration
+	retries    int
+	chaosSeed  uint64
+}
+
+func defaultConfig() config {
+	fed := idl.DefaultFederationConfig()
+	return config{timeout: fed.Timeout, retries: fed.Retries}
+}
+
 func main() {
-	var (
-		snapshot = flag.String("snapshot", "", "load/save the universe snapshot at this path")
-		script   = flag.String("script", "", "run an IDL script file and exit")
-		expr     = flag.String("e", "", "run one statement and exit")
-		demo     = flag.Bool("demo", false, "preload the paper's three stock databases")
-		tokens   = flag.Bool("tokens", false, "with -e: print the token stream instead of evaluating")
-	)
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "load/save the universe snapshot at this path")
+	flag.StringVar(&cfg.script, "script", "", "run an IDL script file and exit")
+	flag.StringVar(&cfg.expr, "e", "", "run one statement and exit")
+	flag.BoolVar(&cfg.demo, "demo", false, "preload the paper's three stock databases")
+	flag.BoolVar(&cfg.tokens, "tokens", false, "with -e: print the token stream instead of evaluating")
+	flag.BoolVar(&cfg.bestEffort, "best-effort", false, "answer queries best-effort when a federated member is unreachable")
+	flag.DurationVar(&cfg.timeout, "timeout", cfg.timeout, "per-attempt timeout for federated member operations")
+	flag.IntVar(&cfg.retries, "retries", cfg.retries, "retry attempts for federated member operations")
+	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "with -demo: mount the stock databases behind a seeded fault injector (0 = off)")
 	flag.Parse()
-	if err := run(*snapshot, *script, *expr, *demo, *tokens); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(snapshot, script, expr string, demo, tokens bool) error {
-	db, err := openDB(snapshot, demo)
+func run(cfg config) error {
+	db, err := openDB(cfg)
 	if err != nil {
 		return err
 	}
 	switch {
-	case tokens && expr != "":
-		fmt.Println(lex.Describe(lex.Tokens(expr)))
+	case cfg.tokens && cfg.expr != "":
+		fmt.Println(lex.Describe(lex.Tokens(cfg.expr)))
 		return nil
-	case expr != "":
-		if err := execute(db, expr); err != nil {
+	case cfg.expr != "":
+		if err := execute(db, cfg.expr); err != nil {
 			return err
 		}
-	case script != "":
-		src, err := os.ReadFile(script)
+	case cfg.script != "":
+		src, err := os.ReadFile(cfg.script)
 		if err != nil {
 			return err
 		}
@@ -79,19 +111,19 @@ func run(snapshot, script, expr string, demo, tokens bool) error {
 	default:
 		repl(db)
 	}
-	if snapshot != "" {
-		if err := db.Save(snapshot); err != nil {
+	if cfg.snapshot != "" {
+		if err := db.Save(cfg.snapshot); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 	}
 	return nil
 }
 
-func openDB(snapshot string, demo bool) (*idl.DB, error) {
+func openDB(cfg config) (*idl.DB, error) {
 	var db *idl.DB
-	if snapshot != "" {
-		if _, err := os.Stat(snapshot); err == nil {
-			loaded, err := idl.OpenSnapshot(snapshot)
+	if cfg.snapshot != "" {
+		if _, err := os.Stat(cfg.snapshot); err == nil {
+			loaded, err := idl.OpenSnapshot(cfg.snapshot)
 			if err != nil {
 				return nil, err
 			}
@@ -99,15 +131,54 @@ func openDB(snapshot string, demo bool) (*idl.DB, error) {
 		}
 	}
 	if db == nil {
-		db = idl.Open()
+		opts := idl.DefaultOptions()
+		opts.BestEffort = cfg.bestEffort
+		db = idl.OpenWithOptions(opts)
 	}
-	if demo {
-		u := db.Engine().Base()
-		ds := stocks.Generate(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
-		ds.Populate(u)
-		db.Engine().Invalidate()
+	if cfg.demo {
+		if cfg.chaosSeed != 0 {
+			if err := mountChaosDemo(db, cfg); err != nil {
+				return nil, err
+			}
+		} else {
+			u := db.Engine().Base()
+			ds := stocks.Generate(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
+			ds.Populate(u)
+			db.Engine().Invalidate()
+		}
 	}
 	return db, nil
+}
+
+// mountChaosDemo mounts the paper's three stock databases as federated
+// members behind a seeded fault injector and the resilience stack, so
+// failure semantics can be demonstrated (and reproduced: a fixed seed
+// over the same statement sequence injects the same faults).
+func mountChaosDemo(db *idl.DB, cfg config) error {
+	u, _ := stocks.Universe(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
+	fed := idl.DefaultFederationConfig()
+	fed.Timeout = cfg.timeout
+	fed.Retries = cfg.retries
+	fed.Seed = cfg.chaosSeed
+	for i, name := range []string{"chwab", "euter", "ource"} {
+		v, _ := u.Get(name)
+		member, ok := v.(*idl.Tuple)
+		if !ok {
+			return fmt.Errorf("demo database %s missing", name)
+		}
+		injected := federation.Inject(federation.NewMemorySource(name, member), federation.InjectorConfig{
+			Seed:          cfg.chaosSeed + uint64(i)*7919, // distinct schedule per member
+			ErrorRate:     0.2,
+			SlowRate:      0.1,
+			TruncateRate:  0.05,
+			Latency:       5 * time.Millisecond,
+			TruncateAfter: 1,
+		})
+		if err := db.Mount(name, idl.Resilient(injected, fed)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // execute runs a script chunk and prints each statement's outcome.
@@ -133,6 +204,9 @@ func printResult(r *idl.ScriptResult) {
 		fmt.Println(r.Answer.String())
 		if len(r.Answer.Vars) > 0 {
 			fmt.Printf("(%d rows)\n", r.Answer.Len())
+		}
+		if r.Answer.Degraded != nil {
+			fmt.Println(r.Answer.Degraded.String())
 		}
 	}
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestOpenDBDemo(t *testing.T) {
-	db, err := openDB("", true)
+	db, err := openDB(config{demo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,14 +22,14 @@ func TestOpenDBDemo(t *testing.T) {
 
 func TestOpenDBSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "u.idl")
-	db, err := openDB(path, true) // missing snapshot: start fresh + demo
+	db, err := openDB(config{snapshot: path, demo: true}) // missing snapshot: start fresh + demo
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	back, err := openDB(path, false)
+	back, err := openDB(config{snapshot: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestExecuteScript(t *testing.T) {
 
 func TestMetaCommands(t *testing.T) {
 	out := captureStdout(t, func() {
-		db, _ := openDB("", true)
+		db, _ := openDB(config{demo: true})
 		for _, cmd := range []string{
 			`\help`, `\dbs`, `\rels euter`, `\rels`, `\rels nosuch`,
 			`\stats`, `\views`, `\programs`, `\estats`, `\save`, `\bogus`,
@@ -84,7 +84,7 @@ func TestMetaCommands(t *testing.T) {
 
 func TestMetaSave(t *testing.T) {
 	silenceStdout(t)
-	db, _ := openDB("", true)
+	db, _ := openDB(config{demo: true})
 	path := filepath.Join(t.TempDir(), "s.idl")
 	if !meta(db, `\save `+path) {
 		t.Fatal("save should not exit")
@@ -137,9 +137,43 @@ func captureStdout(t *testing.T, fn func()) string {
 	return out
 }
 
+// TestChaosRunDeterministic is the CLI-level reproducibility guarantee:
+// the same -chaos-seed over the same script yields byte-identical
+// output, degraded reports included.
+func TestChaosRunDeterministic(t *testing.T) {
+	script := `?.euter.r(.stkCode=S, .clsPrice=P);
+?.chwab.r(.date=D);
+?.ource.stk001(.clsPrice=P);
+?.euter.r(.stkCode=S, .clsPrice>90);`
+	run := func() string {
+		return captureStdout(t, func() {
+			cfg := defaultConfig()
+			cfg.demo = true
+			cfg.bestEffort = true
+			cfg.retries = 0 // no retries: injected faults surface as degradation
+			cfg.chaosSeed = 7
+			db, err := openDB(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := execute(db, script); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("chaos run not reproducible:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "degraded:") {
+		t.Errorf("seed 7 should degrade at least one statement:\n%s", a)
+	}
+}
+
 func TestShippedDemoScript(t *testing.T) {
 	silenceStdout(t)
-	db, err := openDB("", true)
+	db, err := openDB(config{demo: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,14 @@
 package idl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"idl/internal/stocks"
 )
 
 // The DB (and the underlying Engine) serialize all operations behind one
@@ -112,4 +117,102 @@ func TestConcurrentProgramCalls(t *testing.T) {
 	if res.Len() != 120 {
 		t.Errorf("rows = %d, want 120", res.Len())
 	}
+}
+
+// TestCtxPreCancelled: a context cancelled before the call starts is
+// honored at the entry point, before the engine does any work.
+func TestCtxPreCancelled(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCtx(ctx, "?.euter.r(.stkCode=S)"); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryCtx on cancelled ctx: %v", err)
+	}
+	if _, err := db.ExecCtx(ctx, "?.euter.r+(.date=4/1/85, .stkCode=zz, .clsPrice=1)"); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecCtx on cancelled ctx: %v", err)
+	}
+	if _, err := db.LoadCtx(ctx, "?.euter.r(.stkCode=S)"); !errors.Is(err, context.Canceled) {
+		t.Errorf("LoadCtx on cancelled ctx: %v", err)
+	}
+	// The cancelled update must not have mutated the universe.
+	res, err := db.Query("?.euter.r(.stkCode=zz)")
+	if err != nil || res.Len() != 0 {
+		t.Errorf("cancelled exec leaked a write: %v %v", res, err)
+	}
+}
+
+// TestCtxCancelMidEnumeration aborts a deliberately explosive join
+// (500³ candidate combinations, no satisfying rows) shortly after it
+// starts; the evaluator's amortized cancellation checks must surface
+// context.Canceled long before the enumeration could finish.
+func TestCtxCancelMidEnumeration(t *testing.T) {
+	db := Open()
+	u, _ := stocks.Universe(stocks.Config{Stocks: 25, Days: 20, Seed: 7})
+	u.Each(func(name string, v Value) bool {
+		db.Engine().Base().Put(name, v)
+		return true
+	})
+	db.Engine().Invalidate()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Cross product of euter.r with itself twice, with a constraint
+		// no row can meet — the engine would enumerate all 1.25e8
+		// combinations if left alone.
+		_, err := db.QueryCtx(ctx,
+			"?.euter.r(.clsPrice=P1), .euter.r(.clsPrice=P2), .euter.r(.clsPrice=P3), P1 > 100000")
+		done <- err
+	}()
+	time.AfterFunc(10*time.Millisecond, cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-enumeration cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("query did not honor cancellation within 10s")
+	}
+}
+
+// TestCtxCancelDuringConcurrentLoad mixes cancelled and uncancelled
+// queries under the race detector: cancellation of one caller must not
+// disturb the answers of others.
+func TestCtxCancelDuringConcurrentLoad(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				res, err := db.Query("?.euter.r(.stkCode=S, .clsPrice>100)")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() == 0 {
+					t.Error("steady query lost rows")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				if _, err := db.QueryCtx(ctx, "?.euter.r(.stkCode=S)"); !errors.Is(err, context.Canceled) {
+					t.Errorf("cancelled query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"idl/internal/federation"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -70,7 +72,69 @@ func renderScriptResults(results []*ScriptResult) string {
 			r.Answer.Sort()
 			b.WriteString(r.Answer.String())
 			b.WriteString("\n")
+			if r.Answer.Degraded != nil {
+				b.WriteString(r.Answer.Degraded.String())
+				b.WriteString("\n")
+			}
 		}
 	}
 	return b.String()
+}
+
+// TestGoldenBestEffort runs the federation script against a best-effort
+// DB whose members sit behind scripted fault injectors: chwab fails
+// every operation, euter stays healthy. The golden file pins the
+// degraded output — partial answers plus the degradation report —
+// byte for byte.
+func TestGoldenBestEffort(t *testing.T) {
+	script := filepath.Join("testdata", "scripts", "federation", "best_effort.idl")
+	src, err := os.ReadFile(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.BestEffort = true
+	db := OpenWithOptions(opts)
+	mountFederationFixture(t, db)
+	results, err := db.Load(string(src))
+	if err != nil {
+		t.Fatalf("script failed: %v", err)
+	}
+	got := renderScriptResults(results)
+	goldenPath := strings.TrimSuffix(script, ".idl") + ".golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drift for %s:\n--- got ---\n%s\n--- want ---\n%s", script, got, want)
+	}
+}
+
+// mountFederationFixture mounts two members: euter (healthy) and chwab
+// (every operation fails). Data mirrors the paper's running example.
+func mountFederationFixture(t *testing.T, db *DB) {
+	t.Helper()
+	euter := Tup("r", SetOf(
+		Tup("date", Date(85, 3, 3), "stkCode", "hp", "clsPrice", 50),
+		Tup("date", Date(85, 3, 3), "stkCode", "ibm", "clsPrice", 140),
+		Tup("date", Date(85, 3, 4), "stkCode", "hp", "clsPrice", 51),
+	))
+	chwab := Tup("r", SetOf(
+		Tup("date", Date(85, 3, 3), "hp", 50, "ibm", 141),
+		Tup("date", Date(85, 3, 4), "hp", 52, "ibm", 142),
+	))
+	if err := db.Mount("euter", NewMemorySource("euter", euter)); err != nil {
+		t.Fatal(err)
+	}
+	dead := federation.Inject(federation.NewMemorySource("chwab", chwab), federation.InjectorConfig{ErrorRate: 1})
+	if err := db.Mount("chwab", dead); err != nil {
+		t.Fatal(err)
+	}
 }

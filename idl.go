@@ -20,6 +20,7 @@
 package idl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -120,15 +121,24 @@ type DB struct {
 	schema *schema.Registry
 }
 
+// DefaultOptions returns the production engine defaults — the options
+// Open uses. Start from these when customizing (e.g. Options.BestEffort
+// for federated degradation).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
 // Open creates an empty universe with default engine options.
-func Open() *DB { return OpenWithOptions(core.DefaultOptions()) }
+func Open() *DB { return OpenWithOptions(DefaultOptions()) }
 
 // OpenWithOptions creates an empty universe with explicit options.
 func OpenWithOptions(opts Options) *DB {
 	engine := core.NewEngineWithOptions(opts)
+	cat := catalog.New(engine.Base(), engine.Invalidate)
+	// Federated member snapshots install through the engine mutex so
+	// source syncs stay coherent with concurrent queries.
+	cat.SetApplier(engine.UpdateBase)
 	return &DB{
 		engine: engine,
-		cat:    catalog.New(engine.Base(), engine.Invalidate),
+		cat:    cat,
 	}
 }
 
@@ -162,27 +172,17 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 func (db *DB) Engine() *core.Engine { return db.engine }
 
 // Query evaluates a pure query (the leading `?` is optional) against the
-// effective universe — base databases plus materialized views.
+// effective universe — base databases plus materialized views. Mounted
+// member databases (see Mount) are synced first.
 func (db *DB) Query(src string) (*Result, error) {
-	q, err := parser.ParseQuery(src)
-	if err != nil {
-		return nil, err
-	}
-	if ast.HasUpdate(q.Body) {
-		return nil, fmt.Errorf("idl: %q is an update request; use Exec", src)
-	}
-	return db.engine.Query(q)
+	return db.QueryCtx(context.Background(), src)
 }
 
 // Exec runs an update request: a conjunction of query expressions, update
 // expressions, and update-program calls, executed left to right under a
 // shared substitution bag. Requests are atomic.
 func (db *DB) Exec(src string) (*ExecInfo, error) {
-	q, err := parser.ParseQuery(src)
-	if err != nil {
-		return nil, err
-	}
-	return db.engine.Execute(q)
+	return db.ExecCtx(context.Background(), src)
 }
 
 // DefineView registers one view rule, e.g.
@@ -249,6 +249,10 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 			return nil, fmt.Errorf("idl: unsupported parameter type %T for %s", v, k)
 		}
 	}
+	// Programs run updates; member sync is fail-fast like Exec.
+	if _, err := db.syncSources(context.Background(), false); err != nil {
+		return nil, err
+	}
 	return db.engine.Call(namespace, name, converted)
 }
 
@@ -256,40 +260,7 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 // queries / update requests execute in order. It returns the results of
 // the executed statements.
 func (db *DB) Load(src string) ([]*ScriptResult, error) {
-	stmts, err := parser.ParseProgram(src)
-	if err != nil {
-		return nil, err
-	}
-	var out []*ScriptResult
-	for _, st := range stmts {
-		switch s := st.(type) {
-		case *ast.Rule:
-			if err := db.engine.AddRule(s); err != nil {
-				return out, fmt.Errorf("idl: rule %q: %w", s.String(), err)
-			}
-			out = append(out, &ScriptResult{Statement: s.String(), Kind: "rule"})
-		case *ast.Clause:
-			if err := db.engine.AddClause(s); err != nil {
-				return out, fmt.Errorf("idl: clause %q: %w", s.String(), err)
-			}
-			out = append(out, &ScriptResult{Statement: s.String(), Kind: "clause"})
-		case *ast.Query:
-			if ast.HasUpdate(s.Body) || db.isProgramCall(s) {
-				info, err := db.engine.Execute(s)
-				if err != nil {
-					return out, fmt.Errorf("idl: request %q: %w", s.String(), err)
-				}
-				out = append(out, &ScriptResult{Statement: s.String(), Kind: "exec", Exec: info})
-			} else {
-				ans, err := db.engine.Query(s)
-				if err != nil {
-					return out, fmt.Errorf("idl: query %q: %w", s.String(), err)
-				}
-				out = append(out, &ScriptResult{Statement: s.String(), Kind: "query", Answer: ans})
-			}
-		}
-	}
-	return out, nil
+	return db.LoadCtx(context.Background(), src)
 }
 
 // isProgramCall reports whether any conjunct targets a registered update
@@ -368,10 +339,15 @@ func (db *DB) ValidateSchema() error {
 }
 
 // Explain returns the engine's evaluation plan for a query: scheduled
-// conjunct order, access paths (index/scan), and variable flow.
+// conjunct order, access paths (index/scan), and variable flow. With
+// federated members mounted, a best-effort sync runs first so conjuncts
+// over unreachable members are marked skipped.
 func (db *DB) Explain(src string) (string, error) {
 	q, err := parser.ParseQuery(src)
 	if err != nil {
+		return "", err
+	}
+	if _, err := db.syncSources(context.Background(), true); err != nil {
 		return "", err
 	}
 	plan, err := db.engine.ExplainQuery(q)

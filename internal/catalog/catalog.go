@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"idl/internal/federation"
 	"idl/internal/object"
 )
 
@@ -21,6 +22,12 @@ import (
 type Catalog struct {
 	universe *object.Tuple
 	onChange func() // invoked after every mutation (engine invalidation)
+
+	// Federated members (see sources.go): name -> source, plus the hook
+	// through which snapshot installs reach the universe coherently with
+	// a concurrently evaluating engine.
+	sources map[string]federation.Source
+	apply   func(func(base *object.Tuple) bool)
 }
 
 // New wraps a universe tuple. onChange (optional) runs after each

@@ -1,0 +1,145 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"idl/internal/federation"
+	"idl/internal/object"
+)
+
+// Federation support: a catalog can mount member databases that live
+// behind a federation.Source instead of in local memory. Mounted members
+// are synced into the universe as snapshots before queries run; the
+// resilience stack (timeouts, retries, circuit breakers) lives in the
+// Source implementation, composed by the caller.
+
+// Mount attaches a federated member database under name (the source's
+// own name when name is empty). The member's contents appear in the
+// universe only after the first SyncSources. It fails if a local
+// database or another source already uses the name.
+func (c *Catalog) Mount(name string, src federation.Source) error {
+	if src == nil {
+		return fmt.Errorf("catalog: cannot mount a nil source")
+	}
+	if name == "" {
+		name = src.Name()
+	}
+	if name == "" {
+		return fmt.Errorf("catalog: source database name must not be empty")
+	}
+	if c.universe.Has(name) {
+		return fmt.Errorf("catalog: database %q already exists", name)
+	}
+	if _, dup := c.sources[name]; dup {
+		return fmt.Errorf("catalog: source %q is already mounted", name)
+	}
+	if c.sources == nil {
+		c.sources = map[string]federation.Source{}
+	}
+	c.sources[name] = src
+	return nil
+}
+
+// Unmount detaches a federated member and removes its snapshot from the
+// universe.
+func (c *Catalog) Unmount(name string) error {
+	if _, ok := c.sources[name]; !ok {
+		return fmt.Errorf("catalog: no source %q is mounted", name)
+	}
+	delete(c.sources, name)
+	c.applyUniverse(func(u *object.Tuple) bool {
+		return u.Delete(name)
+	})
+	return nil
+}
+
+// Sources lists the mounted member database names, sorted.
+func (c *Catalog) Sources() []string {
+	names := make([]string, 0, len(c.sources))
+	for n := range c.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasSources reports whether any member database is mounted.
+func (c *Catalog) HasSources() bool { return len(c.sources) > 0 }
+
+// SetApplier installs the hook through which source snapshots reach the
+// universe. Wire it to Engine.UpdateBase so installs are coherent with
+// concurrent queries; without one, mutations apply directly and fire
+// onChange.
+func (c *Catalog) SetApplier(fn func(func(base *object.Tuple) bool)) {
+	c.apply = fn
+}
+
+func (c *Catalog) applyUniverse(fn func(*object.Tuple) bool) {
+	if c.apply != nil {
+		c.apply(fn)
+		return
+	}
+	if fn(c.universe) {
+		c.changed()
+	}
+}
+
+// SyncSources refreshes every mounted member's snapshot: fetches happen
+// outside any engine lock, then all universe changes install in one
+// applier call. In fail-fast mode (bestEffort=false) the first
+// unreachable member aborts the sync with its *federation.SourceError.
+// In best-effort mode an unreachable member's snapshot is removed — the
+// member evaluates as empty — and the returned report records every
+// member's health. An unchanged snapshot is not reinstalled, so view
+// caches stay warm across healthy syncs.
+func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation.Report, error) {
+	names := c.Sources()
+	report := &federation.Report{}
+	if len(names) == 0 {
+		return report, nil
+	}
+	snaps := make(map[string]*object.Tuple, len(names))
+	for _, name := range names {
+		src := c.sources[name]
+		snap, err := federation.Fetch(ctx, src)
+		health := federation.SourceHealth{Name: name}
+		health.Breaker, health.Attempts = federation.Probe(src)
+		if err != nil {
+			if !bestEffort {
+				return nil, err
+			}
+			if serr, ok := err.(*federation.SourceError); ok {
+				health.Err = fmt.Sprintf("%s: %v", serr.Op, serr.Err)
+			} else {
+				health.Err = err.Error()
+			}
+		} else {
+			snaps[name] = snap
+		}
+		report.Sources = append(report.Sources, health)
+	}
+	c.applyUniverse(func(u *object.Tuple) bool {
+		changed := false
+		for _, name := range names {
+			snap, ok := snaps[name]
+			if !ok {
+				// Unreachable member: drop the stale snapshot so the
+				// best-effort answer is exactly the full answer restricted
+				// to live members.
+				if u.Delete(name) {
+					changed = true
+				}
+				continue
+			}
+			if old, ok := u.Get(name); ok && old.Equal(snap) {
+				continue
+			}
+			u.Put(name, snap)
+			changed = true
+		}
+		return changed
+	})
+	return report, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,6 +35,13 @@ type Options struct {
 	// top of the existing overlay instead of from scratch. Any other
 	// change falls back to full recomputation.
 	IncrementalViews bool
+	// BestEffort degrades queries gracefully when a federated member
+	// database is unreachable: instead of failing, the member is treated
+	// as empty and the answer carries a Degraded report (which members
+	// failed, which conjuncts were skipped). Default false — fail fast,
+	// preserving single-site semantics. Updates ignore this setting and
+	// always fail fast (they are all-or-nothing).
+	BestEffort bool
 }
 
 // DefaultOptions returns the production defaults.
@@ -75,6 +83,15 @@ type Engine struct {
 	// (integrity enforcement — see internal/schema).
 	validator func(*object.Tuple) error
 
+	// unavailable names federated member databases whose last sync
+	// failed (best-effort mode); Explain marks conjuncts over them as
+	// skipped. Maintained by the federation layer via SetUnavailable.
+	unavailable map[string]bool
+	// readOnly names databases backed by federated sources: their
+	// contents are snapshots, so update requests targeting them are
+	// rejected rather than silently lost on the next sync.
+	readOnly map[string]bool
+
 	lastRecompute RecomputeStats
 }
 
@@ -109,6 +126,68 @@ func NewEngineWithOptions(opts Options) *Engine {
 // Base returns the extensional universe tuple. Callers who mutate it
 // directly (e.g. bulk loaders) must call Invalidate afterwards.
 func (e *Engine) Base() *object.Tuple { return e.base }
+
+// Options returns a copy of the engine options.
+func (e *Engine) Options() Options {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts
+}
+
+// UpdateBase runs fn against the base universe under the engine mutex
+// and marks derived state dirty when fn reports a change. It is the
+// hook for components that must mutate the base coherently with
+// concurrent queries — notably the federation sync installing member
+// snapshots.
+func (e *Engine) UpdateBase(fn func(base *object.Tuple) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fn(e.base) {
+		e.markDirty(false)
+	}
+}
+
+// SetUnavailable records which federated member databases are currently
+// unreachable (nil clears). Explain marks conjuncts over them.
+func (e *Engine) SetUnavailable(names []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(names) == 0 {
+		e.unavailable = nil
+		return
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	e.unavailable = m
+}
+
+// SetReadOnly marks databases as federated snapshots: update requests
+// that target them fail with a *ReadOnlyDBError.
+func (e *Engine) SetReadOnly(names []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(names) == 0 {
+		e.readOnly = nil
+		return
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	e.readOnly = m
+}
+
+// ReadOnlyDBError reports an update request that targeted a federated
+// (source-backed) database. Member snapshots are read-only: a write
+// would be silently lost on the next sync instead of reaching the
+// autonomously administered member.
+type ReadOnlyDBError struct{ DB string }
+
+func (e *ReadOnlyDBError) Error() string {
+	return fmt.Sprintf("core: database %s is a federated source snapshot and cannot be updated through this engine", e.DB)
+}
 
 // Invalidate marks derived views stale; the next query rematerializes
 // from scratch (external mutations are assumed non-monotone).
@@ -236,12 +315,23 @@ func (e *Engine) LookupProgram(db, name string) (*Program, bool) {
 // Query answers a pure query (§4) against the effective universe
 // (base ∪ materialized views). It rejects update requests.
 func (e *Engine) Query(q *ast.Query) (*Answer, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a context: evaluation observes cancellation
+// and deadlines, with checks amortized so the enumeration hot path
+// stays fast. A cancelled query returns ctx.Err().
+func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ast.HasUpdate(q.Body) {
 		return nil, fmt.Errorf("core: query contains update expressions; use Execute")
 	}
-	eff, err := e.refreshEffective()
+	cctx := cancellable(ctx)
+	eff, err := e.refreshEffective(cctx)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +339,7 @@ func (e *Engine) Query(q *ast.Query) (*Answer, error) {
 	// confined to negations are existential and never bind outward.
 	vars := ast.PositiveVars(q.Body)
 	ans := newAnswer(vars)
-	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats}
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cctx}
 	err = ev.satisfy(q.Body, eff, func() error {
 		ans.add(ev.env.Snapshot(vars))
 		return nil
@@ -260,15 +350,35 @@ func (e *Engine) Query(q *ast.Query) (*Answer, error) {
 	return ans, nil
 }
 
+// cancellable strips never-cancelled contexts down to nil so the
+// evaluator's amortized check compiles to a single pointer test on the
+// legacy (context-free) entry points.
+func cancellable(ctx context.Context) context.Context {
+	if ctx == nil || ctx == context.Background() || ctx == context.TODO() {
+		return nil
+	}
+	return ctx
+}
+
 // Execute runs an update request (§5.2): a conjunction of query
 // expressions, update expressions, and update-program calls, processed
 // left → right under a shared substitution bag. The request is atomic —
 // any error rolls every mutation back.
 func (e *Engine) Execute(q *ast.Query) (*ExecResult, error) {
+	return e.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is Execute under a context. Cancellation aborts the
+// request and rolls back every mutation already applied — the request
+// stays atomic.
+func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	u := &updater{
-		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats},
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
 		result: &ExecResult{},
 	}
@@ -303,6 +413,14 @@ func (e *Engine) validate(u *updater) error {
 // Call invokes a named update program with explicit parameter bindings —
 // the API-level equivalent of `?.db.prog(.param=value, …)`.
 func (e *Engine) Call(db, name string, params map[string]object.Object) (*ExecResult, error) {
+	return e.CallCtx(context.Background(), db, name, params)
+}
+
+// CallCtx is Call under a context; cancellation aborts and rolls back.
+func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string]object.Object) (*ExecResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p, ok := e.regs.lookup(db, name)
@@ -310,7 +428,7 @@ func (e *Engine) Call(db, name string, params map[string]object.Object) (*ExecRe
 		return nil, fmt.Errorf("core: no update program %s.%s", db, name)
 	}
 	u := &updater{
-		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats},
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
 		result: &ExecResult{},
 	}
@@ -334,7 +452,7 @@ func (e *Engine) Call(db, name string, params map[string]object.Object) (*ExecRe
 func (e *Engine) EffectiveUniverse() (*object.Tuple, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.refreshEffective()
+	return e.refreshEffective(nil)
 }
 
 // DerivedOverlay returns the current derived overlay (views only),
@@ -342,14 +460,15 @@ func (e *Engine) EffectiveUniverse() (*object.Tuple, error) {
 func (e *Engine) DerivedOverlay() (*object.Tuple, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.refreshEffective(); err != nil {
+	if _, err := e.refreshEffective(nil); err != nil {
 		return nil, err
 	}
 	return e.derived, nil
 }
 
 // refreshEffective rematerializes views when stale. Callers hold e.mu.
-func (e *Engine) refreshEffective() (*object.Tuple, error) {
+// A nil ctx means uncancellable.
+func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 	if !e.dirty && e.effective != nil {
 		return e.effective, nil
 	}
@@ -360,10 +479,10 @@ func (e *Engine) refreshEffective() (*object.Tuple, error) {
 		// Purely additive change + negation-free rules: grow the
 		// existing overlay (sound because derivation is monotone).
 		derived = e.derived
-		stats, err = e.materializeInto(derived)
+		stats, err = e.materializeInto(ctx, derived)
 		stats.Incremental = true
 	} else {
-		derived, stats, err = e.materialize()
+		derived, stats, err = e.materialize(ctx)
 	}
 	if err != nil {
 		return nil, err
@@ -417,7 +536,7 @@ func (e *Engine) execBody(body *ast.TupleExpr, u *updater, seed map[string]objec
 				}
 				continue
 			}
-			eff, err := e.refreshEffective()
+			eff, err := e.refreshEffective(u.ev.ctx)
 			if err != nil {
 				return err
 			}
@@ -607,6 +726,11 @@ func (e *Engine) execUpdateConjunct(conjunct ast.Expr, u *updater, active map[*c
 	// Guard: an update conjunct whose database level is derived but whose
 	// shape we could not match is an error rather than a silent base write.
 	if a, ok := conjunct.(*ast.AttrExpr); ok {
+		if len(e.readOnly) > 0 {
+			if db, ok := resolveName(a.Name, u.ev.env); ok && e.readOnly[db] {
+				return &ReadOnlyDBError{DB: db}
+			}
+		}
 		if db, ok := constStrName(a.Name); ok && e.dbIsDerived(db) {
 			if _, _, _, _, matched := e.updateTarget(conjunct, u.ev.env); !matched {
 				return fmt.Errorf("core: cannot update derived database %s: only relation-level +/- set expressions are translatable", db)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"idl/internal/federation"
 	"idl/internal/object"
 )
 
@@ -123,6 +124,12 @@ func rowsEqual(a, b Row) bool {
 type Answer struct {
 	Vars []string // free variables in first-occurrence order
 	Rows []Row    // deduplicated satisfying substitutions
+
+	// Degraded, when non-nil, reports that the answer was computed
+	// best-effort against a federation with unreachable members: which
+	// members failed and which conjuncts were skipped. nil for single-site
+	// queries and fully healthy federations in fail-fast mode.
+	Degraded *federation.Report
 
 	rowIndex map[uint64][]int
 }

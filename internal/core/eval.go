@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,6 +40,25 @@ type evaluator struct {
 	// analysis is environment independent, and set expressions re-enter
 	// satisfyTuple once per element, so this is hot.
 	consumedCache map[*ast.TupleExpr][][]string
+	// ctx, when non-nil, is polled during enumeration so long-running
+	// queries observe cancellation. nil (the context-free entry points)
+	// reduces checkCtx to a pointer test plus a counter increment.
+	ctx context.Context
+	ops uint64 // operations since the last ctx poll (amortizes ctx.Err)
+}
+
+// checkCtx polls the evaluation context once every 1024 operations.
+// Called from the enumeration hot paths; the amortization keeps the
+// overhead of context support below the benchmark noise floor.
+func (ev *evaluator) checkCtx() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	ev.ops++
+	if ev.ops&1023 != 0 {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // UnsafeError reports a query that cannot be evaluated safely: an
@@ -295,6 +315,9 @@ func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string
 	if left == 0 {
 		return k()
 	}
+	if err := ev.checkCtx(); err != nil {
+		return err
+	}
 	pick := -1
 	for idx := range conjuncts {
 		if used[idx] {
@@ -409,6 +432,9 @@ func (ev *evaluator) satisfySet(x *ast.SetExpr, o object.Object, k cont) error {
 		if cands, ok := ev.indexCandidates(x, set); ok {
 			ev.stats.IndexProbes++
 			for _, elem := range cands {
+				if err := ev.checkCtx(); err != nil {
+					return err
+				}
 				if err := ev.satisfy(x.X, elem, k); err != nil {
 					return err
 				}
@@ -419,6 +445,10 @@ func (ev *evaluator) satisfySet(x *ast.SetExpr, o object.Object, k cont) error {
 	var failure error
 	set.Each(func(elem object.Object) bool {
 		ev.stats.ElementsScanned++
+		if err := ev.checkCtx(); err != nil {
+			failure = err
+			return false
+		}
 		if err := ev.satisfy(x.X, elem, k); err != nil {
 			failure = err
 			return false

@@ -25,6 +25,10 @@ type ExplainStep struct {
 	Binds    []string // variables this conjunct can produce
 	Consumes []string // variables it needs bound first
 	Deferred bool     // true when scheduling moved it later than written
+	// Skipped marks a conjunct over a federated member database whose
+	// last sync failed: in best-effort mode it evaluates against an empty
+	// member and contributes nothing.
+	Skipped bool
 }
 
 // String renders the plan as an indented list.
@@ -41,6 +45,9 @@ func (e *Explain) String() string {
 		if s.Deferred {
 			b.WriteString("  (deferred)")
 		}
+		if s.Skipped {
+			b.WriteString("  (skipped: member unavailable)")
+		}
 		if i < len(e.Steps)-1 {
 			b.WriteByte('\n')
 		}
@@ -56,7 +63,7 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 	if ast.HasUpdate(q.Body) {
 		return nil, fmt.Errorf("core: cannot explain an update request")
 	}
-	eff, err := e.refreshEffective()
+	eff, err := e.refreshEffective(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +101,13 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 		}
 		idx := remaining[pick]
 		step := e.explainConjunct(conjuncts[idx], consumed[idx], eff)
+		if len(e.unavailable) > 0 {
+			if a, ok := conjuncts[idx].(*ast.AttrExpr); ok {
+				if db, ok := constTermName(a.Name); ok && e.unavailable[db] {
+					step.Skipped = true
+				}
+			}
+		}
 		// Deferred: a textually later conjunct ran first.
 		for _, done := range scheduled {
 			if done > idx {

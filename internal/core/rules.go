@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"idl/internal/ast"
@@ -297,9 +298,9 @@ type RecomputeStats struct {
 // derived overlay, reading base ∪ overlay. With semiNaive, within a
 // stratum a rule re-runs only when the previous iteration changed a head
 // its body may read (rule-level semi-naive evaluation).
-func (e *Engine) materialize() (*object.Tuple, RecomputeStats, error) {
+func (e *Engine) materialize(ctx context.Context) (*object.Tuple, RecomputeStats, error) {
 	derived := object.NewTuple()
-	stats, err := e.materializeInto(derived)
+	stats, err := e.materializeInto(ctx, derived)
 	return derived, stats, err
 }
 
@@ -307,7 +308,7 @@ func (e *Engine) materialize() (*object.Tuple, RecomputeStats, error) {
 // overlay. With a fresh overlay this is a full materialization; with the
 // previous overlay it is the incremental path (sound only for additive
 // base changes and negation-free rules — the engine checks both).
-func (e *Engine) materializeInto(derived *object.Tuple) (RecomputeStats, error) {
+func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple) (RecomputeStats, error) {
 	stats := RecomputeStats{}
 	maxStratum := 0
 	for _, r := range e.rules {
@@ -331,6 +332,11 @@ func (e *Engine) materializeInto(derived *object.Tuple) (RecomputeStats, error) 
 			if iter >= e.opts.MaxIterations {
 				return stats, fmt.Errorf("core: view materialization exceeded %d iterations (non-terminating rule set?)", e.opts.MaxIterations)
 			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return stats, err
+				}
+			}
 			stats.Iterations++
 			effective := mergeUniverse(e.base, derived)
 			changedNow := map[int]bool{}
@@ -340,7 +346,7 @@ func (e *Engine) materializeInto(derived *object.Tuple) (RecomputeStats, error) 
 					continue
 				}
 				stats.RuleRuns++
-				n, err := e.runRule(rule, effective, derived)
+				n, err := e.runRule(ctx, rule, effective, derived)
 				if err != nil {
 					return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
 				}
@@ -379,8 +385,8 @@ func (e *Engine) ruleAffected(rule *compiledRule, stratum []*compiledRule, chang
 // runRule enumerates body substitutions against the effective universe
 // and makes the head true in the derived overlay for each; it returns how
 // many make-true operations changed the overlay.
-func (e *Engine) runRule(rule *compiledRule, effective, derived *object.Tuple) (int, error) {
-	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats}
+func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple) (int, error) {
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: ctx}
 	changed := 0
 	// Collect head instantiations first: makeTrue mutates the overlay the
 	// body may be reading through the merged universe.

@@ -1,0 +1,198 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"idl/internal/object"
+)
+
+// FaultKind classifies what the injector does to one operation.
+type FaultKind uint8
+
+const (
+	// FaultNone lets the operation through untouched.
+	FaultNone FaultKind = iota
+	// FaultError fails the operation immediately with ErrInjected.
+	FaultError
+	// FaultLatency stalls the operation before it runs (a slow member);
+	// the stall honors context cancellation, so a timeout wrapper turns
+	// it into context.DeadlineExceeded.
+	FaultLatency
+	// FaultTruncate lets a Scan deliver a prefix of its elements and
+	// then fails it — a connection dropped mid-transfer. Non-scan
+	// operations treat it as FaultError.
+	FaultTruncate
+)
+
+// String names the fault kind for reports and test output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one scripted injection decision.
+type Fault struct {
+	Kind    FaultKind
+	Latency time.Duration // FaultLatency: how long the operation stalls
+	After   int           // FaultTruncate: elements delivered before the cut
+}
+
+// InjectorConfig drives an Injector. With a Script, faults are consumed
+// one per operation in order (operations past the script run clean) —
+// the form chaos tests use to assert exact breaker schedules. Without a
+// Script, each operation draws independently from the seeded rates,
+// which is what the CLI's -chaos-seed exposes: the same seed over the
+// same operation sequence always injects the same faults.
+type InjectorConfig struct {
+	Seed uint64
+	// ErrorRate, SlowRate, TruncateRate are per-operation probabilities
+	// in [0, 1], tested in that order.
+	ErrorRate    float64
+	SlowRate     float64
+	TruncateRate float64
+	// Latency is the stall applied by seeded latency faults.
+	Latency time.Duration
+	// TruncateAfter is how many elements a seeded truncation delivers.
+	TruncateAfter int
+	// Script, when non-empty, overrides the rates entirely.
+	Script []Fault
+}
+
+// Injector wraps a Source with a deterministic fault schedule. It is
+// safe for concurrent use, but determinism of course also requires a
+// deterministic operation order from the caller.
+type Injector struct {
+	inner Source
+	cfg   InjectorConfig
+
+	mu       sync.Mutex
+	r        rng
+	calls    int
+	injected int
+}
+
+// Inject wraps inner with the given fault schedule.
+func Inject(inner Source, cfg InjectorConfig) *Injector {
+	return &Injector{inner: inner, cfg: cfg, r: newRNG(cfg.Seed)}
+}
+
+// Calls reports how many operations the injector has seen.
+func (in *Injector) Calls() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// Injected reports how many operations were faulted.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// draw consumes the next fault decision.
+func (in *Injector) draw() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := in.calls
+	in.calls++
+	var f Fault
+	switch {
+	case len(in.cfg.Script) > 0:
+		if idx < len(in.cfg.Script) {
+			f = in.cfg.Script[idx]
+		}
+	case in.r.chance(in.cfg.ErrorRate):
+		f = Fault{Kind: FaultError}
+	case in.r.chance(in.cfg.SlowRate):
+		f = Fault{Kind: FaultLatency, Latency: in.cfg.Latency}
+	case in.r.chance(in.cfg.TruncateRate):
+		f = Fault{Kind: FaultTruncate, After: in.cfg.TruncateAfter}
+	}
+	if f.Kind != FaultNone {
+		in.injected++
+	}
+	return f
+}
+
+// Name implements Source.
+func (in *Injector) Name() string { return in.inner.Name() }
+
+// Relations implements Source.
+func (in *Injector) Relations(ctx context.Context) ([]string, error) {
+	if err := in.pre(ctx, in.draw()); err != nil {
+		return nil, err
+	}
+	return in.inner.Relations(ctx)
+}
+
+// Attributes implements Source.
+func (in *Injector) Attributes(ctx context.Context, rel string) ([]string, error) {
+	if err := in.pre(ctx, in.draw()); err != nil {
+		return nil, err
+	}
+	return in.inner.Attributes(ctx, rel)
+}
+
+// Scan implements Source. A truncation fault yields a prefix and then
+// fails the scan, as a dropped connection would.
+func (in *Injector) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	f := in.draw()
+	if f.Kind == FaultTruncate {
+		n := 0
+		err := in.inner.Scan(ctx, rel, func(e object.Object) bool {
+			if n >= f.After {
+				return false
+			}
+			n++
+			return yield(e)
+		})
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("scan truncated after %d elements: %w", n, ErrInjected)
+	}
+	if err := in.pre(ctx, f); err != nil {
+		return err
+	}
+	return in.inner.Scan(ctx, rel, yield)
+}
+
+// pre applies error and latency faults before an operation runs.
+func (in *Injector) pre(ctx context.Context, f Fault) error {
+	switch f.Kind {
+	case FaultError, FaultTruncate:
+		return fmt.Errorf("%w", ErrInjected)
+	case FaultLatency:
+		return sleepCtx(ctx, f.Latency)
+	}
+	return nil
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

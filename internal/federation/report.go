@@ -1,0 +1,119 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"idl/internal/object"
+)
+
+// Fetch pulls a complete snapshot of a member database: every relation
+// scanned into a fresh set, assembled as a database tuple the engine
+// can evaluate. On failure it returns a *SourceError naming the member
+// and the operation that failed.
+func Fetch(ctx context.Context, src Source) (*object.Tuple, error) {
+	rels, err := src.Relations(ctx)
+	if err != nil {
+		return nil, &SourceError{Source: src.Name(), Op: "relations", Err: err}
+	}
+	sort.Strings(rels)
+	db := object.NewTuple()
+	for _, rel := range rels {
+		set := object.NewSet()
+		if err := src.Scan(ctx, rel, func(e object.Object) bool { set.Add(e); return true }); err != nil {
+			return nil, &SourceError{Source: src.Name(), Op: fmt.Sprintf("scan %q", rel), Err: err}
+		}
+		db.Put(rel, set)
+	}
+	return db, nil
+}
+
+// Probe reports a source's observable resilience state, for sync
+// reports: the breaker state name ("" when the source has no breaker)
+// and the attempt count of the last operation (0 when unknown).
+func Probe(src Source) (breaker string, attempts int) {
+	return probeBreaker(src), probeAttempts(src)
+}
+
+// SourceHealth describes one member database after a sync pass.
+type SourceHealth struct {
+	Name     string
+	Err      string // "" when the member was reachable
+	Attempts int    // fetch attempts of the failing/last operation (0 = unknown)
+	Breaker  string // breaker state name, "" when the source has none
+}
+
+// Report describes how degraded a best-effort answer is: the health of
+// every member database at evaluation time and the query conjuncts that
+// could not be grounded because their member was unreachable. Its
+// rendering carries no wall-clock values, so a scripted chaos run is
+// byte-reproducible.
+type Report struct {
+	Sources []SourceHealth // every mounted member, sorted by name
+	Skipped []string       // conjuncts whose member database was dropped
+}
+
+// Degraded reports whether any member was unreachable.
+func (r *Report) Degraded() bool {
+	for _, s := range r.Sources {
+		if s.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Unavailable lists the unreachable members, sorted.
+func (r *Report) Unavailable() []string {
+	var out []string
+	for _, s := range r.Sources {
+		if s.Err != "" {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Health returns one member's status by name.
+func (r *Report) Health(name string) (SourceHealth, bool) {
+	for _, s := range r.Sources {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SourceHealth{}, false
+}
+
+// String renders the report deterministically, one line per unreachable
+// member plus the skipped conjuncts.
+func (r *Report) String() string {
+	down := r.Unavailable()
+	if len(down) == 0 {
+		return fmt.Sprintf("all %d member databases reachable", len(r.Sources))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degraded: %d/%d member databases unreachable", len(down), len(r.Sources))
+	for _, s := range r.Sources {
+		if s.Err == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s: %s", s.Name, s.Err)
+		var notes []string
+		if s.Attempts > 0 {
+			notes = append(notes, fmt.Sprintf("attempts=%d", s.Attempts))
+		}
+		if s.Breaker != "" {
+			notes = append(notes, "breaker="+s.Breaker)
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(notes, ", "))
+		}
+	}
+	for _, c := range r.Skipped {
+		fmt.Fprintf(&b, "\n  skipped: %s", c)
+	}
+	return b.String()
+}

@@ -1,0 +1,474 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"idl/internal/object"
+)
+
+// ---------------------------------------------------------------------------
+// Timeout
+
+// TimeoutSource bounds every operation against a member database with a
+// per-operation deadline. A member that stalls longer than d fails the
+// operation with context.DeadlineExceeded.
+type TimeoutSource struct {
+	inner Source
+	d     time.Duration
+}
+
+// WithTimeout wraps inner; d <= 0 returns inner unchanged.
+func WithTimeout(inner Source, d time.Duration) Source {
+	if d <= 0 {
+		return inner
+	}
+	return &TimeoutSource{inner: inner, d: d}
+}
+
+// Name implements Source.
+func (t *TimeoutSource) Name() string { return t.inner.Name() }
+
+// Relations implements Source.
+func (t *TimeoutSource) Relations(ctx context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return t.inner.Relations(ctx)
+}
+
+// Scan implements Source.
+func (t *TimeoutSource) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return t.inner.Scan(ctx, rel, yield)
+}
+
+// Attributes implements Source.
+func (t *TimeoutSource) Attributes(ctx context.Context, rel string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return t.inner.Attributes(ctx, rel)
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+
+// Retrier retries failed operations with capped exponential backoff and
+// deterministic jitter. Scans are buffered internally and replayed to
+// the caller only after a fully successful pass, so a retried
+// truncation never delivers duplicate or partial data downstream.
+//
+// It does not retry caller cancellation (the caller's context is dead)
+// or ErrOpen (the breaker already decided the member is down).
+type Retrier struct {
+	inner Source
+	max   int // additional attempts after the first
+	base  time.Duration
+	cap   time.Duration
+	sleep func(ctx context.Context, d time.Duration) error // test hook
+
+	mu           sync.Mutex
+	r            rng
+	lastAttempts int
+}
+
+// NewRetrier wraps inner with max retries (attempts = max+1), backoff
+// doubling from base up to cap, and jitter drawn from seed.
+func NewRetrier(inner Source, max int, base, cap time.Duration, seed uint64) *Retrier {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Retrier{inner: inner, max: max, base: base, cap: cap, sleep: sleepCtx, r: newRNG(seed)}
+}
+
+// LastAttempts reports how many attempts the most recent operation
+// took (1 = first try succeeded).
+func (rt *Retrier) LastAttempts() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.lastAttempts
+}
+
+// backoff returns the jittered delay before attempt n (n = 1 is the
+// first retry): a draw from [d/2, d] where d = min(cap, base·2ⁿ⁻¹).
+func (rt *Retrier) backoff(n int) time.Duration {
+	d := rt.base << uint(n-1)
+	if d > rt.cap || d <= 0 {
+		d = rt.cap
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rt.r.next()%uint64(half+1))
+}
+
+// retryable reports whether an error is worth another attempt under the
+// caller's context.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false // the caller's own deadline or cancellation
+	}
+	return !errors.Is(err, ErrOpen)
+}
+
+// do runs op up to max+1 times.
+func (rt *Retrier) do(ctx context.Context, op func() error) error {
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		err = op()
+		if err == nil || attempts > rt.max || !retryable(ctx, err) {
+			break
+		}
+		if serr := rt.sleep(ctx, rt.backoff(attempts)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	rt.mu.Lock()
+	rt.lastAttempts = attempts
+	rt.mu.Unlock()
+	return err
+}
+
+// Name implements Source.
+func (rt *Retrier) Name() string { return rt.inner.Name() }
+
+// Relations implements Source.
+func (rt *Retrier) Relations(ctx context.Context) (rels []string, err error) {
+	err = rt.do(ctx, func() error {
+		rels, err = rt.inner.Relations(ctx)
+		return err
+	})
+	return rels, err
+}
+
+// Scan implements Source.
+func (rt *Retrier) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	var buf []object.Object
+	err := rt.do(ctx, func() error {
+		buf = buf[:0]
+		return rt.inner.Scan(ctx, rel, func(e object.Object) bool {
+			buf = append(buf, e)
+			return true
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range buf {
+		if !yield(e) {
+			break
+		}
+	}
+	return nil
+}
+
+// Attributes implements Source.
+func (rt *Retrier) Attributes(ctx context.Context, rel string) (attrs []string, err error) {
+	err = rt.do(ctx, func() error {
+		attrs, err = rt.inner.Attributes(ctx, rel)
+		return err
+	})
+	return attrs, err
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+// BreakerState is the classic three-state circuit.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes operations through, counting consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects operations immediately with ErrOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe operation; success closes
+	// the circuit, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-source circuit breaker: after threshold consecutive
+// failures it opens and rejects operations without touching the member,
+// giving a struggling source air; after cooldown it half-opens and lets
+// one probe through.
+type Breaker struct {
+	inner     Source
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreaker wraps inner. threshold <= 0 defaults to 5; cooldown <= 0
+// defaults to 5s.
+func NewBreaker(inner Source, threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{inner: inner, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests drive cooldown
+// expiry with a fake clock).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// State reports the current circuit state, applying any due
+// open → half-open transition first.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	return b.state
+}
+
+// tick applies the time-driven open → half-open transition. Callers
+// hold b.mu.
+func (b *Breaker) tick() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// admit decides whether an operation may proceed.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case BreakerOpen:
+		return fmt.Errorf("source %s: %w", b.inner.Name(), ErrOpen)
+	case BreakerHalfOpen:
+		if b.probing {
+			return fmt.Errorf("source %s: probe in flight: %w", b.inner.Name(), ErrOpen)
+		}
+		b.probing = true
+	}
+	return nil
+}
+
+// record folds an operation outcome into the circuit. Caller
+// cancellation is not evidence about the member's health and is not
+// counted.
+func (b *Breaker) record(ctx context.Context, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		b.probing = false
+		return
+	}
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		b.probing = false
+		return
+	}
+	b.consecutive++
+	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// Name implements Source.
+func (b *Breaker) Name() string { return b.inner.Name() }
+
+// Relations implements Source.
+func (b *Breaker) Relations(ctx context.Context) ([]string, error) {
+	if err := b.admit(); err != nil {
+		return nil, err
+	}
+	rels, err := b.inner.Relations(ctx)
+	b.record(ctx, err)
+	return rels, err
+}
+
+// Scan implements Source.
+func (b *Breaker) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	if err := b.admit(); err != nil {
+		return err
+	}
+	err := b.inner.Scan(ctx, rel, yield)
+	b.record(ctx, err)
+	return err
+}
+
+// Attributes implements Source.
+func (b *Breaker) Attributes(ctx context.Context, rel string) ([]string, error) {
+	if err := b.admit(); err != nil {
+		return nil, err
+	}
+	attrs, err := b.inner.Attributes(ctx, rel)
+	b.record(ctx, err)
+	return attrs, err
+}
+
+// ---------------------------------------------------------------------------
+// The composed stack
+
+// Config sizes a full resilience stack around one member database.
+type Config struct {
+	// Timeout bounds each operation (0 disables).
+	Timeout time.Duration
+	// Retries is how many times a failed operation is re-attempted.
+	Retries int
+	// RetryBase and RetryCap bound the exponential backoff.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold consecutive failures open the circuit
+	// (0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay.
+	BreakerCooldown time.Duration
+	// Seed makes retry jitter deterministic.
+	Seed uint64
+}
+
+// DefaultConfig is a sane production stack: 2s per operation, two
+// retries backing off 10ms→500ms, breaker opening after 5 consecutive
+// failures with a 5s cooldown.
+func DefaultConfig() Config {
+	return Config{
+		Timeout:          2 * time.Second,
+		Retries:          2,
+		RetryBase:        10 * time.Millisecond,
+		RetryCap:         500 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+	}
+}
+
+// Stack is the composed resilient view of one member database:
+// breaker(retrier(timeout(source))) — the breaker outermost so an open
+// circuit costs nothing, the timeout innermost so each retry attempt
+// gets its own deadline.
+type Stack struct {
+	src     Source
+	breaker *Breaker
+	retrier *Retrier
+}
+
+// Resilient builds the stack. Zero-valued Config fields disable the
+// corresponding layer.
+func Resilient(inner Source, cfg Config) *Stack {
+	st := &Stack{}
+	s := WithTimeout(inner, cfg.Timeout)
+	if cfg.Retries > 0 {
+		st.retrier = NewRetrier(s, cfg.Retries, cfg.RetryBase, cfg.RetryCap, cfg.Seed)
+		s = st.retrier
+	}
+	if cfg.BreakerThreshold > 0 {
+		st.breaker = NewBreaker(s, cfg.BreakerThreshold, cfg.BreakerCooldown)
+		s = st.breaker
+	}
+	st.src = s
+	return st
+}
+
+// Breaker exposes the stack's circuit breaker (nil when disabled).
+func (st *Stack) Breaker() *Breaker { return st.breaker }
+
+// Name implements Source.
+func (st *Stack) Name() string { return st.src.Name() }
+
+// Relations implements Source.
+func (st *Stack) Relations(ctx context.Context) ([]string, error) { return st.src.Relations(ctx) }
+
+// Scan implements Source.
+func (st *Stack) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	return st.src.Scan(ctx, rel, yield)
+}
+
+// Attributes implements Source.
+func (st *Stack) Attributes(ctx context.Context, rel string) ([]string, error) {
+	return st.src.Attributes(ctx, rel)
+}
+
+// BreakerState implements the report probe used by the catalog sync.
+func (st *Stack) BreakerState() (BreakerState, bool) {
+	if st.breaker == nil {
+		return BreakerClosed, false
+	}
+	return st.breaker.State(), true
+}
+
+// LastAttempts implements the report probe used by the catalog sync.
+func (st *Stack) LastAttempts() int {
+	if st.retrier == nil {
+		return 0
+	}
+	return st.retrier.LastAttempts()
+}
+
+// breakerStater is probed by sync reports to surface circuit state.
+type breakerStater interface {
+	BreakerState() (BreakerState, bool)
+}
+
+// attemptsReporter is probed by sync reports to surface retry counts.
+type attemptsReporter interface {
+	LastAttempts() int
+}
+
+// probeBreaker extracts a breaker state name from any source wrapper
+// that exposes one ("" when none does).
+func probeBreaker(s Source) string {
+	switch x := s.(type) {
+	case *Breaker:
+		return x.State().String()
+	case breakerStater:
+		if st, ok := x.BreakerState(); ok {
+			return st.String()
+		}
+	}
+	return ""
+}
+
+// probeAttempts extracts the last attempt count (0 = unknown).
+func probeAttempts(s Source) int {
+	if a, ok := s.(attemptsReporter); ok {
+		return a.LastAttempts()
+	}
+	return 0
+}
