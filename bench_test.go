@@ -19,6 +19,7 @@ import (
 	"idl/internal/datalog"
 	"idl/internal/msql"
 	"idl/internal/object"
+	"idl/internal/obs"
 	"idl/internal/parser"
 	"idl/internal/stocks"
 )
@@ -450,4 +451,43 @@ func BenchmarkCtxPlumbing(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- B12: observability overhead ---
+
+// BenchmarkObservability measures what the observability layer costs in
+// each state. "off" is the production default: nil registry and tracer,
+// so every instrumented path reduces to one pointer test — it should be
+// within noise of the pre-observability engine (compare B11's bare
+// numbers). "metrics" adds the registry (a handful of atomic adds and
+// one histogram observe per operation). "traced" adds span construction
+// and per-conjunct probes, the bound CI enforces via idlbench.
+func BenchmarkObservability(b *testing.B) {
+	cfg := stocks.Config{Stocks: 16, Days: 20, Seed: 43}
+	q := parseQ(b, stocks.QueryHighestPerDay()["euter"])
+	newEngine := func() *core.Engine {
+		e, _ := engineFor(b, cfg, core.DefaultOptions())
+		return e
+	}
+	b.Run("off", func(b *testing.B) {
+		e := newEngine()
+		for i := 0; i < b.N; i++ {
+			runQuery(b, e, q)
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		e := newEngine()
+		e.SetMetrics(obs.NewRegistry())
+		for i := 0; i < b.N; i++ {
+			runQuery(b, e, q)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		e := newEngine()
+		e.SetMetrics(obs.NewRegistry())
+		e.SetTracer(obs.NewTracer(4))
+		for i := 0; i < b.N; i++ {
+			runQuery(b, e, q)
+		}
+	})
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"idl"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests may start several debug servers.
+var publishOnce sync.Once
+
+// debugHandler serves the observability endpoints for one DB:
+//
+//	/debug/metrics  the metrics registry as JSON
+//	/debug/vars     expvar (includes idl.metrics and Go runtime stats)
+//	/debug/pprof/   the standard pprof profiles
+func debugHandler(db *idl.DB) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("idl.metrics", expvar.Func(func() any {
+			return db.Metrics().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		db.Metrics().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startDebugServer listens on addr and serves debugHandler in the
+// background, returning the bound address (useful with ":0").
+func startDebugServer(addr string, db *idl.DB) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: debugHandler(db)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -20,19 +20,28 @@
 //	-chaos-seed n    with -demo: mount the stock databases as federated
 //	                 members behind a seeded fault injector (0 = off);
 //	                 the same seed reproduces the same fault schedule
+//	-debug-addr a    serve debug endpoints on this address:
+//	                 /debug/metrics (engine metrics as JSON),
+//	                 /debug/vars (expvar), /debug/pprof/ (profiles)
 //
 // Shell meta-commands:
 //
-//	\dbs               list databases
-//	\rels <db>         list relations in a database
-//	\stats             catalog statistics (tuples, attributes)
-//	\views             registered view rules
-//	\programs          registered update programs and binding signatures
-//	\save <path>       save a snapshot
-//	\estats            evaluator counters
-//	\explain <query>   show the evaluation plan
-//	\help              this list
-//	\quit              exit
+//	\dbs                       list databases
+//	\rels <db>                 list relations in a database
+//	\cat                       catalog statistics (tuples, attributes)
+//	\stats                     engine metrics (counters, gauges, latency
+//	                           histograms) and federation member health
+//	\reset-stats               zero the metrics and evaluator counters
+//	\views                     registered view rules
+//	\programs                  registered update programs and signatures
+//	\save <path>               save a snapshot
+//	\estats                    evaluator counters
+//	\explain <query>           show the evaluation plan
+//	\explain analyze <query>   run the query; show the plan with actual
+//	                           rows, scans, probes, and per-conjunct time
+//	\trace on|off|show         toggle span tracing / show recent traces
+//	\help                      this list
+//	\quit                      exit
 package main
 
 import (
@@ -62,6 +71,9 @@ type config struct {
 	timeout    time.Duration
 	retries    int
 	chaosSeed  uint64
+
+	// Observability.
+	debugAddr string
 }
 
 func defaultConfig() config {
@@ -80,6 +92,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", cfg.timeout, "per-attempt timeout for federated member operations")
 	flag.IntVar(&cfg.retries, "retries", cfg.retries, "retry attempts for federated member operations")
 	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "with -demo: mount the stock databases behind a seeded fault injector (0 = off)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/vars, and /debug/pprof/ on this address")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idl:", err)
@@ -91,6 +104,17 @@ func run(cfg config) error {
 	db, err := openDB(cfg)
 	if err != nil {
 		return err
+	}
+	// Collect metrics for the whole session so the first \stats (or a
+	// scrape of -debug-addr) reflects every statement, not just those
+	// after it. The registry costs nothing measurable (B11).
+	db.Metrics()
+	if cfg.debugAddr != "" {
+		addr, err := startDebugServer(cfg.debugAddr, db)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/\n", addr)
 	}
 	switch {
 	case cfg.tokens && cfg.expr != "":
@@ -257,13 +281,25 @@ func meta(db *idl.DB, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \stats \views \programs \estats \explain <query> \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats \reset-stats \views \programs \estats \explain [analyze] <query> \trace on|off|show \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
-			fmt.Println("usage: \\explain <query>")
+			fmt.Println("usage: \\explain [analyze] <query>")
 			break
 		}
-		plan, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`)))
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`))
+		var plan string
+		var err error
+		if fields[1] == "analyze" {
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, "analyze"))
+			if rest == "" {
+				fmt.Println("usage: \\explain analyze <query>")
+				break
+			}
+			plan, err = db.ExplainAnalyze(rest)
+		} else {
+			plan, err = db.Explain(rest)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -286,10 +322,26 @@ func meta(db *idl.DB, cmd string) bool {
 		for _, r := range rels {
 			fmt.Println(r)
 		}
-	case `\stats`:
+	case `\cat`:
 		for _, s := range db.Catalog().Stats() {
 			fmt.Printf("%s.%s\t%d tuples\tattrs: %s\n", s.Database, s.Relation, s.Tuples, strings.Join(s.Attributes, ","))
 		}
+	case `\stats`:
+		snap := db.Metrics().Snapshot()
+		if tbl := snap.Table(); tbl != "" {
+			fmt.Print(tbl)
+		} else {
+			fmt.Println("no metrics recorded yet")
+		}
+		if rep := db.LastSyncReport(); rep != nil {
+			fmt.Println("federation:", rep.String())
+		}
+	case `\reset-stats`:
+		db.ResetMetrics()
+		db.Engine().ResetStats()
+		fmt.Println("metrics and evaluator counters reset")
+	case `\trace`:
+		metaTrace(db, fields[1:])
 	case `\views`:
 		for _, v := range db.Views() {
 			fmt.Println(v)
@@ -317,4 +369,40 @@ func meta(db *idl.DB, cmd string) bool {
 		fmt.Println("unknown meta-command; try \\help")
 	}
 	return true
+}
+
+// metaTrace drives the span tracer: on [capacity] / off / show.
+func metaTrace(db *idl.DB, args []string) {
+	mode := "show"
+	if len(args) > 0 {
+		mode = args[0]
+	}
+	switch mode {
+	case "on":
+		capacity := 16
+		if len(args) > 1 {
+			fmt.Sscanf(args[1], "%d", &capacity)
+		}
+		db.EnableTracing(capacity)
+		fmt.Printf("tracing on (keeping last %d operations)\n", capacity)
+	case "off":
+		db.DisableTracing()
+		fmt.Println("tracing off")
+	case "show":
+		t := db.Tracer()
+		if t == nil {
+			fmt.Println(`tracing is off; enable with \trace on`)
+			return
+		}
+		spans := t.Recent()
+		if len(spans) == 0 {
+			fmt.Println("no traced operations yet")
+			return
+		}
+		for _, s := range spans {
+			fmt.Println(s.String())
+		}
+	default:
+		fmt.Println("usage: \\trace on [capacity] | off | show")
+	}
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,9 +66,10 @@ func TestExecuteScript(t *testing.T) {
 func TestMetaCommands(t *testing.T) {
 	out := captureStdout(t, func() {
 		db, _ := openDB(config{demo: true})
+		db.Query("?.euter.r(.stkCode=S)") // populate metrics for \stats
 		for _, cmd := range []string{
 			`\help`, `\dbs`, `\rels euter`, `\rels`, `\rels nosuch`,
-			`\stats`, `\views`, `\programs`, `\estats`, `\save`, `\bogus`,
+			`\cat`, `\stats`, `\views`, `\programs`, `\estats`, `\save`, `\bogus`,
 		} {
 			if !meta(db, cmd) {
 				t.Errorf("%s should not exit", cmd)
@@ -79,6 +83,101 @@ func TestMetaCommands(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("meta output missing %q", want)
 		}
+	}
+}
+
+// TestMetaStats: \stats renders the metrics registry (query counters
+// recorded by the engine) and \reset-stats zeroes it.
+func TestMetaStats(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	db.Metrics() // enable before the query so engine counters record
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, `\stats`) })
+	for _, want := range []string{"engine.query.count", "engine.query.latency", "engine.eval.elements_scanned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\stats output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() {
+		meta(db, `\reset-stats`)
+		meta(db, `\stats`)
+	})
+	if !strings.Contains(out, "reset") {
+		t.Errorf("\\reset-stats should confirm:\n%s", out)
+	}
+	if db.Metrics().CounterValue("engine.query.count") != 0 {
+		t.Error("reset should zero counters")
+	}
+	st := db.Stats()
+	if st.ElementsScanned != 0 {
+		t.Error("reset should zero evaluator counters")
+	}
+}
+
+// TestMetaStatsFederation: with chaos members mounted, \stats surfaces
+// per-member resilience counters and the last sync report.
+func TestMetaStatsFederation(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.demo = true
+	cfg.bestEffort = true
+	cfg.retries = 0
+	cfg.chaosSeed = 7
+	db, err := openDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silenceStdout(t)
+	if err := execute(db, "?.euter.r(.stkCode=S);\n?.chwab.r(.date=D);"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, `\stats`) })
+	for _, want := range []string{"federation.member.euter.ops", "federation.sync.count", "federation:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetaExplainAnalyze: the analyze variant runs the query and
+// annotates every step with actuals.
+func TestMetaExplainAnalyze(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	out := captureStdout(t, func() {
+		meta(db, `\explain analyze ?.euter.r(.stkCode=S, .clsPrice=P)`)
+	})
+	for _, want := range []string{"actual rows=", "total time="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() { meta(db, `\explain analyze`) })
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("bare analyze should print usage:\n%s", out)
+	}
+}
+
+// TestMetaTrace: \trace on/show/off drives the span tracer.
+func TestMetaTrace(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	out := captureStdout(t, func() {
+		meta(db, `\trace show`)
+		meta(db, `\trace on 4`)
+	})
+	if !strings.Contains(out, "tracing is off") || !strings.Contains(out, "tracing on") {
+		t.Errorf("trace toggle output:\n%s", out)
+	}
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() { meta(db, `\trace show`) })
+	if !strings.Contains(out, "query") || !strings.Contains(out, "rows=") {
+		t.Errorf("trace show should render the query span tree:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, `\trace off`) })
+	if !strings.Contains(out, "tracing off") {
+		t.Errorf("trace off output:\n%s", out)
 	}
 }
 
@@ -188,5 +287,59 @@ func TestShippedDemoScript(t *testing.T) {
 	res, err := db.Query("?.ource.newco(.clsPrice=P)")
 	if err != nil || !res.Bool() {
 		t.Errorf("script end state: %v, %v", res, err)
+	}
+}
+
+// TestDebugServer: -debug-addr serves metrics JSON, expvar, and the
+// pprof index.
+func TestDebugServer(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	db.Metrics()
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := startDebugServer("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	metrics := get("/debug/metrics")
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(metrics), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not JSON: %v\n%s", err, metrics)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "engine.query.count" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/metrics missing engine.query.count:\n%s", metrics)
+	}
+	if !strings.Contains(get("/debug/vars"), "idl.metrics") {
+		t.Error("/debug/vars missing idl.metrics")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Error("/debug/pprof/ index not served")
 	}
 }

@@ -216,3 +216,61 @@ func TestCtxCancelDuringConcurrentLoad(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentStatsAndMetrics hammers Stats/ResetStats and the
+// metrics registry while queries, traced queries, and ExplainAnalyze
+// run from other goroutines. Every operation evaluates into a local
+// Stats merged under the engine mutex, so the counters must stay
+// coherent under the race detector.
+func TestConcurrentStatsAndMetrics(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	reg := db.Metrics()
+	db.EnableTracing(8)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if _, err := db.Query("?.euter.r(.stkCode=S, .clsPrice>100)"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := db.ExplainAnalyzeCtx(context.Background(), "?.ource.S(.clsPrice=P)"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					_ = db.Stats()
+					_ = reg.Snapshot()
+					_ = reg.CounterValue("engine.query.count")
+				case 3:
+					db.Engine().ResetStats()
+					db.ResetMetrics()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles, one more query must record coherently.
+	db.Engine().ResetStats()
+	db.ResetMetrics()
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().ElementsScanned == 0 {
+		t.Error("stats should record the final query")
+	}
+	if reg.CounterValue("engine.query.count") != 1 {
+		t.Errorf("query count = %d, want 1", reg.CounterValue("engine.query.count"))
+	}
+	if tr := db.Tracer(); len(tr.Recent()) == 0 {
+		t.Error("tracer should retain the final query span")
+	}
+}

@@ -61,6 +61,12 @@ func DefaultFederationConfig() FederationConfig { return federation.DefaultConfi
 func (db *DB) Mount(name string, src Source) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if src != nil {
+		// Mounting turns metrics on: federated deployments want member
+		// health visible, and the registry also meters every operation
+		// against this source under federation.member.<name>.*.
+		src = federation.Meter(name, src, db.metricsLocked())
+	}
 	if err := db.cat.Mount(name, src); err != nil {
 		return err
 	}
@@ -111,6 +117,7 @@ func (db *DB) syncSources(ctx context.Context, bestEffort bool) (*federation.Rep
 	if err != nil {
 		return nil, err
 	}
+	db.lastReport = rep
 	db.engine.SetUnavailable(rep.Unavailable())
 	return rep, nil
 }
@@ -130,6 +137,7 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 	if rep != nil && rep.Degraded() {
 		rep.Skipped = skippedConjuncts(q, rep)
 		ans.Degraded = rep
+		db.metricsRef().Counter("federation.degraded_answers").Inc()
 	}
 	return ans, nil
 }

@@ -1,10 +1,12 @@
 package idl
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -114,6 +116,95 @@ func TestGoldenBestEffort(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("output drift for %s:\n--- got ---\n%s\n--- want ---\n%s", script, got, want)
+	}
+}
+
+// seedStocksOrdered is seedStocks with a fixed stock insertion order.
+// Negation conjuncts short-circuit on the first counterexample, so the
+// golden scanned= counts depend on set order; map-order seeding would
+// make them flap.
+func seedStocksOrdered(t *testing.T, db *DB) {
+	t.Helper()
+	cat := db.Catalog()
+	dates := []DateValue{Date(85, 3, 1), Date(85, 3, 2), Date(85, 3, 3)}
+	prices := map[string][]int{"hp": {50, 55, 62}, "ibm": {140, 155, 160}, "sun": {201, 210, 150}}
+	for _, s := range []string{"hp", "ibm", "sun"} {
+		for i, p := range prices[s] {
+			if _, err := cat.Insert("euter", "r", Tup("date", dates[i], "stkCode", s, "clsPrice", p)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cat.Insert("ource", s, Tup("date", dates[i], "clsPrice", p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, d := range dates {
+		row := Tup("date", d)
+		for _, s := range []string{"hp", "ibm", "sun"} {
+			row.Put(s, Int(prices[s][i]))
+		}
+		if _, err := cat.Insert("chwab", "r", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// analyzeTimeRE matches the wall-clock fields of an analyzed plan —
+// the only nondeterministic part of its rendering.
+var analyzeTimeRE = regexp.MustCompile(`time=[^\s)]+`)
+
+// TestGoldenExplainAnalyze pins the `\explain analyze` output for the
+// E5 highest-close query on all three schemas against the paper
+// fixture. Durations are normalized to time=<t>; everything else —
+// step order, access paths, actual rows, scans, probes, answer counts —
+// must match byte for byte.
+func TestGoldenExplainAnalyze(t *testing.T) {
+	db := Open()
+	seedStocksOrdered(t, db)
+	queries := map[string]string{
+		"euter": "?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)",
+		"chwab": "?.chwab.r(.date=D,.S=P), .chwab.r~(.date=D,.S2>P), S != date",
+		"ource": "?.ource.S(.date=D,.clsPrice=P), ~.ource.S2(.date=D, .clsPrice>P)",
+	}
+	var b strings.Builder
+	for _, schema := range []string{"euter", "chwab", "ource"} {
+		src := queries[schema]
+		fmt.Fprintf(&b, ">> %s\n", src)
+		plan, ans, err := db.ExplainAnalyzeCtx(context.Background(), src)
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		if plan.Rows != 3 {
+			t.Errorf("%s: highest-close should find 3 day winners, got %d", schema, plan.Rows)
+		}
+		for i, s := range plan.Steps {
+			if s.Analyze == nil {
+				t.Errorf("%s step %d: no actuals attached", schema, i)
+			}
+		}
+		ans.Sort()
+		b.WriteString(analyzeTimeRE.ReplaceAllString(plan.String(), "time=<t>"))
+		b.WriteString("\n")
+		b.WriteString(ans.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "scripts", "analyze", "highest_close.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("analyze output drift:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

@@ -23,11 +23,14 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"idl/internal/ast"
 	"idl/internal/catalog"
 	"idl/internal/core"
+	"idl/internal/federation"
 	"idl/internal/object"
+	"idl/internal/obs"
 	"idl/internal/parser"
 	"idl/internal/schema"
 	"idl/internal/storage"
@@ -119,6 +122,13 @@ type DB struct {
 	engine *core.Engine
 	cat    *catalog.Catalog
 	schema *schema.Registry
+
+	// Observability (see obs.go): the registry is created lazily by
+	// Metrics (or the first Mount) and attached to engine and catalog;
+	// nil means metrics are off and instrumented paths cost one nil test.
+	metrics       *obs.Registry
+	lastReport    *federation.Report
+	snapshotBytes int64 // size of the last snapshot saved or loaded
 }
 
 // DefaultOptions returns the production engine defaults — the options
@@ -144,7 +154,7 @@ func OpenWithOptions(opts Options) *DB {
 
 // OpenSnapshot loads a universe previously written by Save.
 func OpenSnapshot(path string) (*DB, error) {
-	u, err := storage.LoadFile(path)
+	u, size, err := storage.LoadFileSized(path)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +164,7 @@ func OpenSnapshot(path string) (*DB, error) {
 		return true
 	})
 	db.engine.Invalidate()
+	db.snapshotBytes = size
 	return db, nil
 }
 
@@ -161,7 +172,24 @@ func OpenSnapshot(path string) (*DB, error) {
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return storage.SaveFile(path, db.engine.Base())
+	var start time.Time
+	if db.metrics != nil {
+		start = time.Now()
+	}
+	size, err := storage.SaveFileSized(path, db.engine.Base())
+	if err == nil {
+		db.snapshotBytes = size
+	}
+	if db.metrics != nil {
+		db.metrics.Counter("storage.save.count").Inc()
+		if err != nil {
+			db.metrics.Counter("storage.save.errors").Inc()
+		} else {
+			db.metrics.Gauge("storage.snapshot_bytes").Set(size)
+		}
+		db.metrics.Histogram("storage.save.latency").Observe(time.Since(start))
+	}
+	return err
 }
 
 // Catalog exposes DDL and metadata introspection.

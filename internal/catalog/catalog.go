@@ -15,6 +15,7 @@ import (
 
 	"idl/internal/federation"
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // Catalog wraps a universe tuple with DDL and introspection operations.
@@ -28,6 +29,15 @@ type Catalog struct {
 	// a concurrently evaluating engine.
 	sources map[string]federation.Source
 	apply   func(func(base *object.Tuple) bool)
+
+	// Sync metrics (see SetMetrics); all nil-safe, so an unconfigured
+	// catalog pays nothing.
+	syncCount    *obs.Counter
+	syncFailures *obs.Counter
+	syncLatency  *obs.Histogram
+	membersG     *obs.Gauge
+	unavailableG *obs.Gauge
+	metrics      *obs.Registry
 }
 
 // New wraps a universe tuple. onChange (optional) runs after each

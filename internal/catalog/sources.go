@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"idl/internal/federation"
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // Federation support: a catalog can mount member databases that live
@@ -39,6 +41,7 @@ func (c *Catalog) Mount(name string, src federation.Source) error {
 		c.sources = map[string]federation.Source{}
 	}
 	c.sources[name] = src
+	c.membersG.Set(int64(len(c.sources)))
 	return nil
 }
 
@@ -49,6 +52,7 @@ func (c *Catalog) Unmount(name string) error {
 		return fmt.Errorf("catalog: no source %q is mounted", name)
 	}
 	delete(c.sources, name)
+	c.membersG.Set(int64(len(c.sources)))
 	c.applyUniverse(func(u *object.Tuple) bool {
 		return u.Delete(name)
 	})
@@ -76,6 +80,25 @@ func (c *Catalog) SetApplier(fn func(func(base *object.Tuple) bool)) {
 	c.apply = fn
 }
 
+// SetMetrics publishes sync health into a registry:
+// federation.sync.{count,failures,latency} for the sync pass itself and
+// federation.{members,unavailable} gauges for the current mount state.
+// A nil registry disables publication.
+func (c *Catalog) SetMetrics(r *obs.Registry) {
+	c.metrics = r
+	if r == nil {
+		c.syncCount, c.syncFailures, c.syncLatency = nil, nil, nil
+		c.membersG, c.unavailableG = nil, nil
+		return
+	}
+	c.syncCount = r.Counter("federation.sync.count")
+	c.syncFailures = r.Counter("federation.sync.failures")
+	c.syncLatency = r.Histogram("federation.sync.latency")
+	c.membersG = r.Gauge("federation.members")
+	c.unavailableG = r.Gauge("federation.unavailable")
+	c.membersG.Set(int64(len(c.sources)))
+}
+
 func (c *Catalog) applyUniverse(fn func(*object.Tuple) bool) {
 	if c.apply != nil {
 		c.apply(fn)
@@ -100,6 +123,12 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 	if len(names) == 0 {
 		return report, nil
 	}
+	var start time.Time
+	if c.syncCount != nil {
+		start = time.Now()
+		c.syncCount.Inc()
+		defer func() { c.syncLatency.Observe(time.Since(start)) }()
+	}
 	snaps := make(map[string]*object.Tuple, len(names))
 	for _, name := range names {
 		src := c.sources[name]
@@ -107,7 +136,11 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 		health := federation.SourceHealth{Name: name}
 		health.Breaker, health.Attempts = federation.Probe(src)
 		if err != nil {
+			if c.metrics != nil {
+				c.metrics.Counter("federation.member." + name + ".fetch_errors").Inc()
+			}
 			if !bestEffort {
+				c.syncFailures.Inc()
 				return nil, err
 			}
 			if serr, ok := err.(*federation.SourceError); ok {
@@ -120,6 +153,7 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 		}
 		report.Sources = append(report.Sources, health)
 	}
+	c.unavailableG.Set(int64(len(report.Unavailable())))
 	c.applyUniverse(func(u *object.Tuple) bool {
 		changed := false
 		for _, name := range names {

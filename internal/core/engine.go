@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"idl/internal/ast"
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // Options configure an Engine. The zero value selects the defaults noted
@@ -65,6 +67,14 @@ type Engine struct {
 	indexes *indexCache
 	opts    Options
 	stats   Stats
+
+	// metrics/tracer are the optional observability hooks (obs.go); em
+	// caches per-metric pointers so operations skip registry lookups.
+	// All three are nil by default — instrumentation sites reduce to
+	// pointer tests, keeping observability zero-cost when disabled.
+	metrics *obs.Registry
+	em      *engineMetrics
+	tracer  *obs.Tracer
 
 	derivedDynamic map[string]bool            // db -> has higher-order heads
 	derivedRels    map[string]map[string]bool // db -> rel -> derived
@@ -335,15 +345,43 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	obsOn := e.em != nil || e.tracer != nil
+	var start time.Time
+	var span *obs.Span
+	if obsOn {
+		start = time.Now()
+		span = e.tracer.Start("query")
+	}
 	// Answer variables are those with a positive occurrence; variables
 	// confined to negations are existential and never bind outward.
 	vars := ast.PositiveVars(q.Body)
 	ans := newAnswer(vars)
-	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cctx}
+	var local Stats
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cctx}
+	var probes map[ast.Expr]*conjunctProbe
+	if span != nil {
+		// Traced queries carry per-conjunct child spans, measured by the
+		// same probes EXPLAIN ANALYZE uses.
+		probes = newProbes(q.Body.Conjuncts)
+		ev.analyze = &analyzeState{probes: probes}
+	}
 	err = ev.satisfy(q.Body, eff, func() error {
 		ans.add(ev.env.Snapshot(vars))
 		return nil
 	})
+	e.stats.add(local)
+	if obsOn {
+		if e.em != nil {
+			e.em.record(&e.em.query, start, local, err)
+		}
+		if span != nil {
+			span.SetInt("rows", int64(ans.Len()))
+			span.SetInt("elements_scanned", int64(local.ElementsScanned))
+			span.SetInt("index_probes", int64(local.IndexProbes))
+			attachConjunctSpans(span, q.Body.Conjuncts, probes)
+			span.End()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -377,14 +415,34 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	obsOn := e.em != nil || e.tracer != nil
+	var start time.Time
+	var span *obs.Span
+	if obsOn {
+		start = time.Now()
+		span = e.tracer.Start("exec")
+	}
+	var local Stats
 	u := &updater{
-		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cancellable(ctx)},
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
 		result: &ExecResult{},
+		span:   span,
 	}
 	err := e.execBody(q.Body, u, map[string]object.Object{}, map[*compiledClause]bool{})
 	if err == nil {
 		err = e.validate(u)
+	}
+	e.stats.add(local)
+	if obsOn {
+		if e.em != nil {
+			e.em.record(&e.em.exec, start, local, err)
+		}
+		if span != nil {
+			span.SetInt("bindings", int64(u.result.Bindings))
+			span.SetInt("changes", int64(u.result.total()))
+			span.End()
+		}
 	}
 	if err != nil {
 		u.undo.rollback()
@@ -427,14 +485,33 @@ func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string
 	if !ok {
 		return nil, fmt.Errorf("core: no update program %s.%s", db, name)
 	}
+	obsOn := e.em != nil || e.tracer != nil
+	var start time.Time
+	var span *obs.Span
+	if obsOn {
+		start = time.Now()
+		span = e.tracer.Start("call")
+	}
+	var local Stats
 	u := &updater{
-		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: cancellable(ctx)},
+		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
 		result: &ExecResult{},
+		span:   span,
 	}
 	err := e.invokeProgramDirect(p, params, u, map[*compiledClause]bool{})
 	if err == nil {
 		err = e.validate(u)
+	}
+	e.stats.add(local)
+	if obsOn {
+		if e.em != nil {
+			e.em.record(&e.em.call, start, local, err)
+		}
+		if span != nil {
+			span.SetInt("changes", int64(u.result.total()))
+			span.End()
+		}
 	}
 	if err != nil {
 		u.undo.rollback()
@@ -472,6 +549,13 @@ func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 	if !e.dirty && e.effective != nil {
 		return e.effective, nil
 	}
+	obsOn := e.em != nil || e.tracer != nil
+	var start time.Time
+	var span *obs.Span
+	if obsOn && len(e.rules) > 0 {
+		start = time.Now()
+		span = e.tracer.Start("materialize")
+	}
 	var derived *object.Tuple
 	var stats RecomputeStats
 	var err error
@@ -479,10 +563,29 @@ func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 		// Purely additive change + negation-free rules: grow the
 		// existing overlay (sound because derivation is monotone).
 		derived = e.derived
-		stats, err = e.materializeInto(ctx, derived)
+		stats, err = e.materializeInto(ctx, derived, span)
 		stats.Incremental = true
 	} else {
-		derived, stats, err = e.materialize(ctx)
+		derived, stats, err = e.materialize(ctx, span)
+	}
+	if !start.IsZero() && e.em != nil {
+		e.em.matCount.Inc()
+		if stats.Incremental {
+			e.em.matIncremental.Inc()
+		}
+		e.em.matIterations.Add(uint64(stats.Iterations))
+		e.em.matRuleRuns.Add(uint64(stats.RuleRuns))
+		e.em.matFactsDerived.Add(uint64(stats.FactsDerived))
+		e.em.matLatency.Observe(time.Since(start))
+	}
+	if span != nil {
+		span.SetInt("iterations", int64(stats.Iterations))
+		span.SetInt("rule_runs", int64(stats.RuleRuns))
+		span.SetInt("facts_derived", int64(stats.FactsDerived))
+		if stats.Incremental {
+			span.SetStr("mode", "incremental")
+		}
+		span.End()
 	}
 	if err != nil {
 		return nil, err
@@ -661,6 +764,17 @@ func (e *Engine) invokeProgramDirect(p *Program, bound map[string]object.Object,
 		if active[cc] {
 			return fmt.Errorf("core: recursive invocation of update program %s.%s", p.DB, p.Name)
 		}
+	}
+	if e.em != nil {
+		e.em.programCalls.Inc()
+	}
+	if u.span != nil {
+		// Nested program invocations hang off the caller's span, giving
+		// the traced request an update-program call tree.
+		parent := u.span
+		sp := parent.Child("program " + p.DB + "." + p.Name)
+		u.span = sp
+		defer func() { sp.End(); u.span = parent }()
 	}
 	for _, cc := range p.Clauses {
 		// Check the clause's binding signature.

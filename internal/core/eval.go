@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"idl/internal/ast"
 	"idl/internal/object"
@@ -27,6 +28,45 @@ type Stats struct {
 	AttrEnums       uint64 // higher-order enumerations over attribute names
 }
 
+// add accumulates o into s. Each engine operation evaluates against its
+// own Stats and merges into the engine totals under the engine mutex, so
+// per-operation deltas (EXPLAIN ANALYZE, metrics) come for free.
+func (s *Stats) add(o Stats) {
+	s.ElementsScanned += o.ElementsScanned
+	s.IndexProbes += o.IndexProbes
+	s.IndexBuilds += o.IndexBuilds
+	s.AttrEnums += o.AttrEnums
+}
+
+// statsDelta returns after − before, field-wise.
+func statsDelta(before, after Stats) Stats {
+	return Stats{
+		ElementsScanned: after.ElementsScanned - before.ElementsScanned,
+		IndexProbes:     after.IndexProbes - before.IndexProbes,
+		IndexBuilds:     after.IndexBuilds - before.IndexBuilds,
+		AttrEnums:       after.AttrEnums - before.AttrEnums,
+	}
+}
+
+// conjunctProbe accumulates the runtime behaviour of one top-level query
+// conjunct during an ANALYZE (or traced) run: rows produced, evaluator
+// work, and self wall time (time inside the conjunct's enumeration minus
+// time spent in the downstream continuation).
+type conjunctProbe struct {
+	rows        uint64
+	selfTime    time.Duration
+	scanned     uint64
+	indexProbes uint64
+}
+
+// analyzeState maps the top-level conjuncts under measurement to their
+// probes, keyed by expression identity. Only the conjuncts of the query
+// body are registered; nested tuple expressions miss the map and run
+// unprobed.
+type analyzeState struct {
+	probes map[ast.Expr]*conjunctProbe
+}
+
 // evaluator carries one query evaluation: the substitution under
 // construction, the index cache shared with the engine, and feature
 // switches.
@@ -45,6 +85,10 @@ type evaluator struct {
 	// reduces checkCtx to a pointer test plus a counter increment.
 	ctx context.Context
 	ops uint64 // operations since the last ctx poll (amortizes ctx.Err)
+	// analyze, when non-nil, measures per-conjunct rows/work/self-time
+	// for EXPLAIN ANALYZE and traced queries. nil (the default) costs one
+	// pointer test per scheduled conjunct.
+	analyze *analyzeState
 }
 
 // checkCtx polls the evaluation context once every 1024 operations.
@@ -351,10 +395,52 @@ func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string
 		}
 	}
 	used[pick] = true
-	err := ev.satisfy(conjuncts[pick], o, func() error {
+	next := func() error {
 		return ev.scheduleConjuncts(conjuncts, consumed, used, left-1, o, k)
-	})
+	}
+	var err error
+	if p := ev.probeFor(conjuncts[pick]); p != nil {
+		err = ev.satisfyProbed(p, conjuncts[pick], o, next)
+	} else {
+		err = ev.satisfy(conjuncts[pick], o, next)
+	}
 	used[pick] = false
+	return err
+}
+
+// probeFor returns the analyze probe registered for a conjunct, or nil —
+// the common case, and the only cost of ANALYZE support on unmeasured
+// evaluations.
+func (ev *evaluator) probeFor(c ast.Expr) *conjunctProbe {
+	if ev.analyze == nil {
+		return nil
+	}
+	return ev.analyze.probes[c]
+}
+
+// satisfyProbed runs one measured conjunct: rows are counted at each
+// continuation entry, and both wall time and stats deltas attribute to
+// the conjunct only what its own enumeration consumed — time and work
+// inside the downstream continuation (which evaluates the remaining
+// conjuncts, themselves possibly probed) are subtracted out.
+func (ev *evaluator) satisfyProbed(p *conjunctProbe, c ast.Expr, o object.Object, next cont) error {
+	before := *ev.stats
+	var childStats Stats
+	var childTime time.Duration
+	start := time.Now()
+	err := ev.satisfy(c, o, func() error {
+		p.rows++
+		cb := *ev.stats
+		cs := time.Now()
+		err := next()
+		childTime += time.Since(cs)
+		childStats.add(statsDelta(cb, *ev.stats))
+		return err
+	})
+	p.selfTime += time.Since(start) - childTime
+	d := statsDelta(before, *ev.stats)
+	p.scanned += d.ElementsScanned - childStats.ElementsScanned
+	p.indexProbes += d.IndexProbes - childStats.IndexProbes
 	return err
 }
 

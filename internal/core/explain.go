@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"idl/internal/ast"
 	"idl/internal/object"
@@ -15,6 +17,12 @@ import (
 // beyond resolving index applicability — backing the CLI's `\explain`.
 type Explain struct {
 	Steps []ExplainStep
+
+	// Analyzed is set by ExplainAnalyzeQuery: the query was executed and
+	// each step carries actuals; Rows/Total summarize the run.
+	Analyzed bool
+	Rows     int
+	Total    time.Duration
 }
 
 // ExplainStep describes one scheduled conjunct.
@@ -29,9 +37,23 @@ type ExplainStep struct {
 	// last sync failed: in best-effort mode it evaluates against an empty
 	// member and contributes nothing.
 	Skipped bool
+	// Analyze carries runtime actuals when the plan came from
+	// ExplainAnalyzeQuery; nil on static plans.
+	Analyze *StepActuals
 }
 
-// String renders the plan as an indented list.
+// StepActuals are one conjunct's measured runtime behaviour: rows it
+// produced (continuation entries), evaluator work, and self wall time
+// (excluding downstream conjuncts).
+type StepActuals struct {
+	Rows        uint64
+	Scanned     uint64
+	IndexProbes uint64
+	Time        time.Duration
+}
+
+// String renders the plan as an indented list; analyzed plans append
+// per-step actuals and a summary line.
 func (e *Explain) String() string {
 	var b strings.Builder
 	for i, s := range e.Steps {
@@ -48,9 +70,16 @@ func (e *Explain) String() string {
 		if s.Skipped {
 			b.WriteString("  (skipped: member unavailable)")
 		}
-		if i < len(e.Steps)-1 {
+		if s.Analyze != nil {
+			fmt.Fprintf(&b, "  (actual rows=%d scanned=%d probes=%d time=%s)",
+				s.Analyze.Rows, s.Analyze.Scanned, s.Analyze.IndexProbes, s.Analyze.Time)
+		}
+		if i < len(e.Steps)-1 || e.Analyzed {
 			b.WriteByte('\n')
 		}
+	}
+	if e.Analyzed {
+		fmt.Fprintf(&b, "-- %d rows, total time=%s", e.Rows, e.Total)
 	}
 	return b.String()
 }
@@ -67,6 +96,81 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan, _ := e.planQuery(q, eff)
+	return plan, nil
+}
+
+// ExplainAnalyzeQuery produces the plan and then executes the query,
+// annotating each step with its measured actuals (rows produced, set
+// elements scanned, index probes, self wall time). Both the plan and the
+// answer are returned.
+func (e *Engine) ExplainAnalyzeQuery(ctx context.Context, q *ast.Query) (*Explain, *Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ast.HasUpdate(q.Body) {
+		return nil, nil, fmt.Errorf("core: cannot explain an update request")
+	}
+	cctx := cancellable(ctx)
+	eff, err := e.refreshEffective(cctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, order := e.planQuery(q, eff)
+	probes := newProbes(q.Body.Conjuncts)
+	vars := ast.PositiveVars(q.Body)
+	ans := newAnswer(vars)
+	var local Stats
+	ev := &evaluator{
+		env: NewEnv(), indexes: e.indexes,
+		useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule,
+		stats: &local, ctx: cctx,
+		analyze: &analyzeState{probes: probes},
+	}
+	span := e.tracer.Start("explain-analyze")
+	start := time.Now()
+	err = ev.satisfy(q.Body, eff, func() error {
+		ans.add(ev.env.Snapshot(vars))
+		return nil
+	})
+	total := time.Since(start)
+	e.stats.add(local)
+	if e.em != nil {
+		e.em.record(&e.em.query, start, local, err)
+	}
+	if span != nil {
+		span.SetInt("rows", int64(ans.Len()))
+		span.SetInt("elements_scanned", int64(local.ElementsScanned))
+		span.SetInt("index_probes", int64(local.IndexProbes))
+		attachConjunctSpans(span, q.Body.Conjuncts, probes)
+		span.End()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, c := range order {
+		if p := probes[c]; p != nil {
+			plan.Steps[i].Analyze = &StepActuals{
+				Rows:        p.rows,
+				Scanned:     p.scanned,
+				IndexProbes: p.indexProbes,
+				Time:        p.selfTime,
+			}
+		}
+	}
+	plan.Analyzed = true
+	plan.Rows = ans.Len()
+	plan.Total = total
+	return plan, ans, nil
+}
+
+// planQuery simulates the conjunct scheduler against the effective
+// universe, returning the static plan plus the scheduled conjuncts in
+// step order (the mapping ANALYZE uses to attach actuals). Callers hold
+// e.mu.
+func (e *Engine) planQuery(q *ast.Query, eff *object.Tuple) (*Explain, []ast.Expr) {
 	conjuncts := q.Body.Conjuncts
 	consumed := make([][]string, len(conjuncts))
 	for i, c := range conjuncts {
@@ -80,6 +184,7 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 		remaining[i] = i
 	}
 	plan := &Explain{}
+	var order []ast.Expr
 	var scheduled []int
 	for len(remaining) > 0 {
 		pick := -1
@@ -117,12 +222,13 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 		}
 		scheduled = append(scheduled, idx)
 		plan.Steps = append(plan.Steps, step)
+		order = append(order, conjuncts[idx])
 		for _, v := range step.Binds {
 			bound[v] = true
 		}
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 	}
-	return plan, nil
+	return plan, order
 }
 
 // explainConjunct classifies one conjunct and resolves its access path

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"idl/internal/ast"
+	"idl/internal/obs"
+)
+
+// opMetrics are one operation kind's instruments (query / exec / call),
+// resolved once at SetMetrics time so the hot paths never take the
+// registry lock.
+type opMetrics struct {
+	count   *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+// engineMetrics caches every engine-level metric pointer. A nil
+// *engineMetrics means no registry is attached; operation paths check
+// that single pointer.
+type engineMetrics struct {
+	query opMetrics
+	exec  opMetrics
+	call  opMetrics
+
+	elementsScanned *obs.Counter
+	indexProbes     *obs.Counter
+	indexBuilds     *obs.Counter
+	attrEnums       *obs.Counter
+
+	matCount        *obs.Counter
+	matIncremental  *obs.Counter
+	matIterations   *obs.Counter
+	matRuleRuns     *obs.Counter
+	matFactsDerived *obs.Counter
+	matLatency      *obs.Histogram
+
+	programCalls *obs.Counter
+}
+
+func opMetricsFor(r *obs.Registry, op string) opMetrics {
+	return opMetrics{
+		count:   r.Counter("engine." + op + ".count"),
+		errors:  r.Counter("engine." + op + ".errors"),
+		latency: r.Histogram("engine." + op + ".latency"),
+	}
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		query:           opMetricsFor(r, "query"),
+		exec:            opMetricsFor(r, "exec"),
+		call:            opMetricsFor(r, "call"),
+		elementsScanned: r.Counter("engine.eval.elements_scanned"),
+		indexProbes:     r.Counter("engine.eval.index_probes"),
+		indexBuilds:     r.Counter("engine.eval.index_builds"),
+		attrEnums:       r.Counter("engine.eval.attr_enums"),
+		matCount:        r.Counter("engine.materialize.count"),
+		matIncremental:  r.Counter("engine.materialize.incremental"),
+		matIterations:   r.Counter("engine.materialize.iterations"),
+		matRuleRuns:     r.Counter("engine.materialize.rule_runs"),
+		matFactsDerived: r.Counter("engine.materialize.facts_derived"),
+		matLatency:      r.Histogram("engine.materialize.latency"),
+		programCalls:    r.Counter("engine.program.calls"),
+	}
+}
+
+// record publishes one finished operation.
+func (em *engineMetrics) record(om *opMetrics, start time.Time, local Stats, err error) {
+	om.count.Inc()
+	if err != nil {
+		om.errors.Inc()
+	}
+	om.latency.Observe(time.Since(start))
+	em.evalWork(local)
+}
+
+// evalWork publishes evaluator counters accumulated by one operation.
+func (em *engineMetrics) evalWork(local Stats) {
+	em.elementsScanned.Add(local.ElementsScanned)
+	em.indexProbes.Add(local.IndexProbes)
+	em.indexBuilds.Add(local.IndexBuilds)
+	em.attrEnums.Add(local.AttrEnums)
+}
+
+// SetMetrics attaches a metrics registry (nil detaches). Operations
+// publish counts, error counts, latency histograms and evaluator work
+// under the engine.* namespace.
+func (e *Engine) SetMetrics(r *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metrics = r
+	e.em = newEngineMetrics(r)
+}
+
+// Metrics returns the attached registry, possibly nil.
+func (e *Engine) Metrics() *obs.Registry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics
+}
+
+// SetTracer attaches a span tracer (nil detaches). Traced operations
+// build hierarchical spans: queries get per-conjunct children, view
+// materializations per-round children, update requests a program call
+// tree.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = t
+}
+
+// Tracer returns the attached tracer, possibly nil.
+func (e *Engine) Tracer() *obs.Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
+// attachConjunctSpans converts analyze probes into per-conjunct child
+// spans, in source order. Durations are each conjunct's self time.
+func attachConjunctSpans(span *obs.Span, conjuncts []ast.Expr, probes map[ast.Expr]*conjunctProbe) {
+	for _, c := range conjuncts {
+		p := probes[c]
+		if p == nil {
+			continue
+		}
+		span.AddChild(conjunctLabel(c), p.selfTime).
+			SetInt("rows", int64(p.rows)).
+			SetInt("scanned", int64(p.scanned)).
+			SetInt("index_probes", int64(p.indexProbes))
+	}
+}
+
+// conjunctLabel renders a conjunct for span trees, truncated so one
+// monster conjunct cannot flood the output.
+func conjunctLabel(c ast.Expr) string {
+	s := c.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// newProbes registers an analyze probe per top-level conjunct.
+func newProbes(conjuncts []ast.Expr) map[ast.Expr]*conjunctProbe {
+	probes := make(map[ast.Expr]*conjunctProbe, len(conjuncts))
+	for _, c := range conjuncts {
+		probes[c] = &conjunctProbe{}
+	}
+	return probes
+}

@@ -6,6 +6,7 @@ import (
 
 	"idl/internal/ast"
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // A compiledRule is a validated view rule with the metadata stratification
@@ -298,18 +299,26 @@ type RecomputeStats struct {
 // derived overlay, reading base ∪ overlay. With semiNaive, within a
 // stratum a rule re-runs only when the previous iteration changed a head
 // its body may read (rule-level semi-naive evaluation).
-func (e *Engine) materialize(ctx context.Context) (*object.Tuple, RecomputeStats, error) {
+func (e *Engine) materialize(ctx context.Context, span *obs.Span) (*object.Tuple, RecomputeStats, error) {
 	derived := object.NewTuple()
-	stats, err := e.materializeInto(ctx, derived)
+	stats, err := e.materializeInto(ctx, derived, span)
 	return derived, stats, err
 }
 
 // materializeInto runs the stratified fixpoint on top of an existing
 // overlay. With a fresh overlay this is a full materialization; with the
 // previous overlay it is the incremental path (sound only for additive
-// base changes and negation-free rules — the engine checks both).
-func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple) (RecomputeStats, error) {
+// base changes and negation-free rules — the engine checks both). A
+// non-nil span gets one child per fixpoint round.
+func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, span *obs.Span) (RecomputeStats, error) {
 	stats := RecomputeStats{}
+	var evalStats Stats
+	defer func() {
+		e.stats.add(evalStats)
+		if e.em != nil {
+			e.em.evalWork(evalStats)
+		}
+	}()
 	maxStratum := 0
 	for _, r := range e.rules {
 		if r.stratum > maxStratum {
@@ -338,6 +347,11 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple) (Re
 				}
 			}
 			stats.Iterations++
+			var round *obs.Span
+			if span != nil {
+				round = span.Child(fmt.Sprintf("stratum%d.round%d", s, iter))
+			}
+			runsBefore, factsBefore := stats.RuleRuns, stats.FactsDerived
 			effective := mergeUniverse(e.base, derived)
 			changedNow := map[int]bool{}
 			anyChange := false
@@ -346,8 +360,9 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple) (Re
 					continue
 				}
 				stats.RuleRuns++
-				n, err := e.runRule(ctx, rule, effective, derived)
+				n, err := e.runRule(ctx, rule, effective, derived, &evalStats)
 				if err != nil {
+					round.End()
 					return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
 				}
 				if n > 0 {
@@ -355,6 +370,11 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple) (Re
 					changedNow[ri] = true
 					anyChange = true
 				}
+			}
+			if round != nil {
+				round.SetInt("rule_runs", int64(stats.RuleRuns-runsBefore))
+				round.SetInt("facts", int64(stats.FactsDerived-factsBefore))
+				round.End()
 			}
 			if !anyChange {
 				break
@@ -385,8 +405,8 @@ func (e *Engine) ruleAffected(rule *compiledRule, stratum []*compiledRule, chang
 // runRule enumerates body substitutions against the effective universe
 // and makes the head true in the derived overlay for each; it returns how
 // many make-true operations changed the overlay.
-func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple) (int, error) {
-	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &e.stats, ctx: ctx}
+func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple, stats *Stats) (int, error) {
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: stats, ctx: ctx}
 	changed := 0
 	// Collect head instantiations first: makeTrue mutates the overlay the
 	// body may be reading through the merged universe.

@@ -6,6 +6,7 @@ import (
 
 	"idl/internal/ast"
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // ExecResult tallies the effects of an update request.
@@ -59,6 +60,9 @@ type updater struct {
 	ev     *evaluator
 	undo   *undoLog
 	result *ExecResult
+	// span is the current position in the traced update call tree (nil
+	// when tracing is off); program invocations hang children off it.
+	span *obs.Span
 }
 
 // validateUpdateConjunct rejects update signs under negation and inside

@@ -1,0 +1,88 @@
+package federation
+
+import (
+	"context"
+	"time"
+
+	"idl/internal/object"
+	"idl/internal/obs"
+)
+
+// meteredSource counts and times every operation against a member
+// database, whatever wrappers sit underneath (so breaker rejections and
+// retry latency are visible too). It forwards the resilience probes so
+// sync reports still see the stack's breaker state and attempt counts.
+type meteredSource struct {
+	inner Source
+	ops   *obs.Counter
+	errs  *obs.Counter
+	lat   *obs.Histogram
+}
+
+// Meter wraps a source with per-operation metrics published under
+// federation.member.<name>.{ops,op_errors,op_latency}. name defaults to
+// the source's own name; a nil registry returns inner unchanged.
+func Meter(name string, inner Source, reg *obs.Registry) Source {
+	if reg == nil {
+		return inner
+	}
+	if name == "" {
+		name = inner.Name()
+	}
+	prefix := "federation.member." + name + "."
+	return &meteredSource{
+		inner: inner,
+		ops:   reg.Counter(prefix + "ops"),
+		errs:  reg.Counter(prefix + "op_errors"),
+		lat:   reg.Histogram(prefix + "op_latency"),
+	}
+}
+
+func (m *meteredSource) observe(start time.Time, err error) {
+	m.ops.Inc()
+	if err != nil {
+		m.errs.Inc()
+	}
+	m.lat.Observe(time.Since(start))
+}
+
+// Name implements Source.
+func (m *meteredSource) Name() string { return m.inner.Name() }
+
+// Relations implements Source.
+func (m *meteredSource) Relations(ctx context.Context) ([]string, error) {
+	start := time.Now()
+	rels, err := m.inner.Relations(ctx)
+	m.observe(start, err)
+	return rels, err
+}
+
+// Scan implements Source.
+func (m *meteredSource) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
+	start := time.Now()
+	err := m.inner.Scan(ctx, rel, yield)
+	m.observe(start, err)
+	return err
+}
+
+// Attributes implements Source.
+func (m *meteredSource) Attributes(ctx context.Context, rel string) ([]string, error) {
+	start := time.Now()
+	attrs, err := m.inner.Attributes(ctx, rel)
+	m.observe(start, err)
+	return attrs, err
+}
+
+// BreakerState forwards the report probe through the wrapper.
+func (m *meteredSource) BreakerState() (BreakerState, bool) {
+	switch x := m.inner.(type) {
+	case *Breaker:
+		return x.State(), true
+	case breakerStater:
+		return x.BreakerState()
+	}
+	return BreakerClosed, false
+}
+
+// LastAttempts forwards the report probe through the wrapper.
+func (m *meteredSource) LastAttempts() int { return probeAttempts(m.inner) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"idl/internal/object"
+	"idl/internal/obs"
 )
 
 // ---------------------------------------------------------------------------
@@ -19,6 +20,17 @@ import (
 type TimeoutSource struct {
 	inner Source
 	d     time.Duration
+	// timeouts counts operations that died on this wrapper's own
+	// deadline (nil-safe; wired by Resilient when Config.Metrics is set).
+	timeouts *obs.Counter
+}
+
+// timedOut reports whether err is this wrapper's deadline rather than
+// the caller's own cancellation, and counts it.
+func (t *TimeoutSource) timedOut(parent context.Context, err error) {
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		t.timeouts.Inc()
+	}
 }
 
 // WithTimeout wraps inner; d <= 0 returns inner unchanged.
@@ -33,24 +45,30 @@ func WithTimeout(inner Source, d time.Duration) Source {
 func (t *TimeoutSource) Name() string { return t.inner.Name() }
 
 // Relations implements Source.
-func (t *TimeoutSource) Relations(ctx context.Context) ([]string, error) {
-	ctx, cancel := context.WithTimeout(ctx, t.d)
+func (t *TimeoutSource) Relations(parent context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(parent, t.d)
 	defer cancel()
-	return t.inner.Relations(ctx)
+	rels, err := t.inner.Relations(ctx)
+	t.timedOut(parent, err)
+	return rels, err
 }
 
 // Scan implements Source.
-func (t *TimeoutSource) Scan(ctx context.Context, rel string, yield func(object.Object) bool) error {
-	ctx, cancel := context.WithTimeout(ctx, t.d)
+func (t *TimeoutSource) Scan(parent context.Context, rel string, yield func(object.Object) bool) error {
+	ctx, cancel := context.WithTimeout(parent, t.d)
 	defer cancel()
-	return t.inner.Scan(ctx, rel, yield)
+	err := t.inner.Scan(ctx, rel, yield)
+	t.timedOut(parent, err)
+	return err
 }
 
 // Attributes implements Source.
-func (t *TimeoutSource) Attributes(ctx context.Context, rel string) ([]string, error) {
-	ctx, cancel := context.WithTimeout(ctx, t.d)
+func (t *TimeoutSource) Attributes(parent context.Context, rel string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(parent, t.d)
 	defer cancel()
-	return t.inner.Attributes(ctx, rel)
+	attrs, err := t.inner.Attributes(ctx, rel)
+	t.timedOut(parent, err)
+	return attrs, err
 }
 
 // ---------------------------------------------------------------------------
@@ -69,6 +87,10 @@ type Retrier struct {
 	base  time.Duration
 	cap   time.Duration
 	sleep func(ctx context.Context, d time.Duration) error // test hook
+
+	// retries counts re-attempts across all operations (nil-safe;
+	// wired by Resilient when Config.Metrics is set).
+	retries *obs.Counter
 
 	mu           sync.Mutex
 	r            rng
@@ -138,6 +160,9 @@ func (rt *Retrier) do(ctx context.Context, op func() error) error {
 	rt.mu.Lock()
 	rt.lastAttempts = attempts
 	rt.mu.Unlock()
+	if attempts > 1 {
+		rt.retries.Add(uint64(attempts - 1))
+	}
 	return err
 }
 
@@ -225,11 +250,27 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
+	// opened counts closed/half-open → open transitions; stateGauge
+	// mirrors the current state (0 closed, 1 open, 2 half-open). Both are
+	// nil-safe and wired by Resilient when Config.Metrics is set.
+	opened     *obs.Counter
+	stateGauge *obs.Gauge
+
 	mu          sync.Mutex
 	state       BreakerState
 	consecutive int
 	openedAt    time.Time
 	probing     bool
+}
+
+// setState records a transition and mirrors it to the state gauge.
+// Callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	if s == BreakerOpen && b.state != BreakerOpen {
+		b.opened.Inc()
+	}
+	b.state = s
+	b.stateGauge.Set(int64(s))
 }
 
 // NewBreaker wraps inner. threshold <= 0 defaults to 5; cooldown <= 0
@@ -265,7 +306,7 @@ func (b *Breaker) State() BreakerState {
 // hold b.mu.
 func (b *Breaker) tick() {
 	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = false
 	}
 }
@@ -294,7 +335,7 @@ func (b *Breaker) record(ctx context.Context, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
-		b.state = BreakerClosed
+		b.setState(BreakerClosed)
 		b.consecutive = 0
 		b.probing = false
 		return
@@ -305,7 +346,7 @@ func (b *Breaker) record(ctx context.Context, err error) {
 	}
 	b.consecutive++
 	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.now()
 		b.probing = false
 	}
@@ -363,6 +404,10 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Seed makes retry jitter deterministic.
 	Seed uint64
+	// Metrics, when set, instruments every layer of the stack under
+	// federation.member.<name>.*: timeouts, retries, breaker transitions
+	// and the breaker state gauge. nil (the default) disables metrics.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is a sane production stack: 2s per operation, two
@@ -393,13 +438,24 @@ type Stack struct {
 // corresponding layer.
 func Resilient(inner Source, cfg Config) *Stack {
 	st := &Stack{}
+	prefix := "federation.member." + inner.Name() + "."
 	s := WithTimeout(inner, cfg.Timeout)
+	if ts, ok := s.(*TimeoutSource); ok && cfg.Metrics != nil {
+		ts.timeouts = cfg.Metrics.Counter(prefix + "timeouts")
+	}
 	if cfg.Retries > 0 {
 		st.retrier = NewRetrier(s, cfg.Retries, cfg.RetryBase, cfg.RetryCap, cfg.Seed)
+		if cfg.Metrics != nil {
+			st.retrier.retries = cfg.Metrics.Counter(prefix + "retries")
+		}
 		s = st.retrier
 	}
 	if cfg.BreakerThreshold > 0 {
 		st.breaker = NewBreaker(s, cfg.BreakerThreshold, cfg.BreakerCooldown)
+		if cfg.Metrics != nil {
+			st.breaker.opened = cfg.Metrics.Counter(prefix + "breaker_opened")
+			st.breaker.stateGauge = cfg.Metrics.Gauge(prefix + "breaker_state")
+		}
 		s = st.breaker
 	}
 	st.src = s

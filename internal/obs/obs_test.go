@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{999, 0},
+		{1000, 0}, // exactly 1µs stays in bucket 0
+		{1001, 1}, // just past 1µs
+		{2000, 1}, // exactly 2µs
+		{2001, 2}, // just past 2µs
+		{4000, 2},
+		{4001, 3},
+		{time.Millisecond, 10},        // 1ms fits 1µs·2^10 = 1.024ms
+		{1025 * time.Microsecond, 11}, // just past bucket 10's bound
+		{time.Second, 20},                  // 1s ≈ 1µs·2^20 (1.048576s bound)
+		{100 * time.Hour, HistBuckets - 1}, // clamped to last bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+		// The invariant the index encodes: d ≤ upper(i), and d > upper(i-1)
+		// unless clamped.
+		i := bucketIndex(c.d)
+		if c.d > BucketUpper(i) && i != HistBuckets-1 {
+			t.Errorf("d=%v exceeds its bucket upper bound %v", c.d, BucketUpper(i))
+		}
+		if i > 0 && i != HistBuckets-1 && c.d <= BucketUpper(i-1) {
+			t.Errorf("d=%v fits the previous bucket (upper %v) but landed in %d", c.d, BucketUpper(i-1), i)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at 500ns (bucket 0), 10 slow at 3µs (bucket 2).
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	wantSum := 90*500*time.Nanosecond + 10*3*time.Microsecond
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/100 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), wantSum/100)
+	}
+	if got := h.Quantile(0.5); got != BucketUpper(0) {
+		t.Errorf("p50 = %v, want %v", got, BucketUpper(0))
+	}
+	if got := h.Quantile(0.99); got != BucketUpper(2) {
+		t.Errorf("p99 = %v, want %v", got, BucketUpper(2))
+	}
+	if got := h.Quantile(1); got != BucketUpper(2) {
+		t.Errorf("p100 = %v, want %v", got, BucketUpper(2))
+	}
+	b := h.Buckets()
+	if b[0] != 90 || b[2] != 10 {
+		t.Errorf("buckets = %v, want 90 in [0] and 10 in [2]", b[:4])
+	}
+	// Negative observations clamp to zero instead of corrupting the sum.
+	h.Observe(-time.Second)
+	if h.Count() != 101 || h.Sum() != wantSum {
+		t.Errorf("negative observe: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram: mean=%v p99=%v count=%d", h.Mean(), h.Quantile(0.99), h.Count())
+	}
+}
+
+func TestRegistryGetOrCreateAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Add(5)
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter lookup is not stable")
+	}
+	r.Gauge("a.gauge").Set(-3)
+	r.Histogram("a.lat").Observe(time.Microsecond)
+
+	if v := r.CounterValue("a.count"); v != 5 {
+		t.Errorf("CounterValue = %d, want 5", v)
+	}
+	if v := r.GaugeValue("a.gauge"); v != -3 {
+		t.Errorf("GaugeValue = %d, want -3", v)
+	}
+	if v := r.CounterValue("missing"); v != 0 {
+		t.Errorf("missing counter = %d, want 0", v)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || r.GaugeValue("a.gauge") != 0 || r.Histogram("a.lat").Count() != 0 {
+		t.Error("Reset did not zero metrics")
+	}
+	c.Inc() // held pointer survives reset
+	if r.CounterValue("a.count") != 1 {
+		t.Error("held counter pointer detached after Reset")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(2)
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(1)
+	r.Histogram("x").Observe(time.Second)
+	r.Reset()
+	if r.CounterValue("x") != 0 || r.GaugeValue("x") != 0 {
+		t.Error("nil registry returned nonzero values")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	sp := tr.Start("op")
+	if sp != nil {
+		t.Fatal("nil tracer Start returned non-nil span")
+	}
+	sp.SetInt("k", 1).SetStr("s", "v")
+	child := sp.Child("c")
+	child.End()
+	sp.AddChild("pre", time.Second)
+	sp.End()
+	if sp.String() != "" {
+		t.Error("nil span rendered non-empty")
+	}
+	if tr.Recent() != nil {
+		t.Error("nil tracer has recent spans")
+	}
+	tr.Clear()
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.CounterValue("shared"); v != 8000 {
+		t.Errorf("shared counter = %d, want 8000", v)
+	}
+	if n := r.Histogram("lat").Count(); n != 8000 {
+		t.Errorf("histogram count = %d, want 8000", n)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("query")
+	root.SetStr("schema", "euter")
+	c1 := root.Child("conjunct-0")
+	c1.SetInt("rows", 9)
+	c1.End()
+	c2 := root.Child("conjunct-1")
+	g := c2.Child("probe")
+	g.End()
+	c2.End()
+	root.AddChild("premeasured", 5*time.Millisecond)
+	root.End()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("Recent len = %d, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.Name != "query" || len(got.Children) != 3 {
+		t.Fatalf("root = %q with %d children, want query/3", got.Name, len(got.Children))
+	}
+	if got.Children[1].Children[0].Name != "probe" {
+		t.Errorf("grandchild = %q, want probe", got.Children[1].Children[0].Name)
+	}
+	if got.Children[1].Children[0].Depth() != 2 {
+		t.Errorf("grandchild depth = %d, want 2", got.Children[1].Children[0].Depth())
+	}
+	if got.Children[2].Duration != 5*time.Millisecond {
+		t.Errorf("premeasured child duration = %v", got.Children[2].Duration)
+	}
+	if got.Duration <= 0 {
+		t.Error("root duration not stamped")
+	}
+	s := got.String()
+	for _, want := range []string{"query", "  conjunct-0", "rows=9", "    probe", "schema=euter"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTracerRingCapacity(t *testing.T) {
+	tr := NewTracer(2)
+	for _, name := range []string{"a", "b", "c"} {
+		tr.Start(name).End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].Name != "b" || recent[1].Name != "c" {
+		names := make([]string, len(recent))
+		for i, s := range recent {
+			names[i] = s.Name
+		}
+		t.Fatalf("ring = %v, want [b c]", names)
+	}
+	tr.Clear()
+	if len(tr.Recent()) != 0 {
+		t.Error("Clear left spans behind")
+	}
+}
+
+func TestSnapshotTableAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.query.count").Add(3)
+	r.Counter("a").Inc()
+	r.Gauge("fed.members").Set(2)
+	r.Histogram("engine.query.latency").Observe(2 * time.Microsecond)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	table := s.Table()
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), table)
+	}
+	// Aligned: every value column starts at the same offset.
+	if !strings.Contains(lines[0], "a                    ") && !strings.Contains(table, "engine.query.count") {
+		t.Errorf("unexpected table:\n%s", table)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if len(decoded.Counters) != 2 || decoded.Counters[1].Value != 3 {
+		t.Errorf("decoded snapshot = %+v", decoded)
+	}
+}

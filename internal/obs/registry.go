@@ -1,0 +1,428 @@
+// Package obs is the engine's observability layer: a stdlib-only metrics
+// registry (atomic counters, gauges, fixed-bucket latency histograms) and
+// a hierarchical span tracer (trace.go).
+//
+// Everything is nil-safe: methods on a nil *Registry, *Counter, *Gauge,
+// *Histogram, *Tracer or *Span are no-ops, so instrumented code reads
+// unconditionally —
+//
+//	reg.Counter("engine.query.count").Inc()
+//
+// — and costs a single pointer test when observability is disabled. Hot
+// loops should still hoist the metric lookup (or accumulate locally and
+// publish once per operation) since get-or-create takes a lock.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value (breaker state, mounted members,
+// cache sizes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// HistBuckets is the number of fixed exponential histogram buckets.
+// Bucket 0 holds observations ≤ 1µs; each following bucket doubles the
+// upper bound, so the last covers everything past ~4.6 hours — wide
+// enough for any latency this engine can produce.
+const HistBuckets = 34
+
+// Histogram is a fixed-bucket latency histogram with exponential bucket
+// bounds (1µs, 2µs, 4µs, …). Observations are durations; counts and the
+// running sum are atomic, so concurrent Observe calls need no lock.
+type Histogram struct {
+	counts [HistBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 1µs·2^i, clamped to the last bucket.
+func bucketIndex(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 1000 {
+		return 0
+	}
+	i := bits.Len64(uint64((ns - 1) / 1000))
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns bucket i's inclusive upper bound.
+func BucketUpper(i int) time.Duration {
+	return time.Duration(1000 << uint(i))
+}
+
+// Observe records one duration (negative observations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 ≤ q ≤ 1) — an overestimate by at most one doubling.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Buckets returns a copy of the raw bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]uint64 {
+	var out [HistBuckets]uint64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Registry is a named collection of metrics. Lookup is get-or-create and
+// safe for concurrent use; the returned metric pointers are stable, so
+// hot paths can look a metric up once and keep the pointer.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. nil
+// registry returns nil (a no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Reset zeroes every registered metric (the metrics stay registered, so
+// held pointers remain valid).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// CounterValue reads a counter without creating it (0 when absent).
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[name].Value()
+}
+
+// GaugeValue reads a gauge without creating it (0 when absent).
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gauges[name].Value()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// CounterVal is one counter in a snapshot.
+type CounterVal struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeVal is one gauge in a snapshot.
+type GaugeVal struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistVal summarizes one histogram in a snapshot. Durations are
+// nanoseconds; P50/P99 are bucket upper bounds.
+type HistVal struct {
+	Name   string `json:"name"`
+	Count  uint64 `json:"count"`
+	SumNS  int64  `json:"sum_ns"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P99NS  int64  `json:"p99_ns"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted by
+// name — the unit the debug endpoint serializes and the CLI renders.
+type Snapshot struct {
+	Counters   []CounterVal `json:"counters"`
+	Gauges     []GaugeVal   `json:"gauges"`
+	Histograms []HistVal    `json:"histograms"`
+}
+
+// Snapshot captures the registry. Values are read atomically per metric;
+// the snapshot as a whole is not a consistent cut (fine for monitoring).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterVal{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeVal{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistVal{
+			Name:   name,
+			Count:  h.Count(),
+			SumNS:  int64(h.Sum()),
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.5)),
+			P99NS:  int64(h.Quantile(0.99)),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON serializes a snapshot of the registry to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Table renders the snapshot as an aligned two-column table (histograms
+// get a summary column), sorted by name — the CLI's `\stats` view.
+func (s Snapshot) Table() string {
+	width := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, g := range s.Gauges {
+		if len(g.Name) > width {
+			width = len(g.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-*s  n=%d mean=%s p50≤%s p99≤%s\n",
+			width, h.Name, h.Count,
+			time.Duration(h.MeanNS), time.Duration(h.P50NS), time.Duration(h.P99NS))
+	}
+	return b.String()
+}

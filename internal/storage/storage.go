@@ -111,6 +111,37 @@ func LoadFile(path string) (*object.Tuple, error) {
 	return Load(f)
 }
 
+// SaveFileSized is SaveFile plus the snapshot's on-disk size, for
+// callers publishing storage metrics.
+func SaveFileSized(path string, universe *object.Tuple) (int64, error) {
+	if err := SaveFile(path, universe); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, nil // saved fine; size is best-effort
+	}
+	return fi.Size(), nil
+}
+
+// LoadFileSized is LoadFile plus the snapshot's on-disk size.
+func LoadFileSized(path string) (*object.Tuple, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	defer f.Close()
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	u, err := Load(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return u, size, nil
+}
+
 func checksum(b []byte) string {
 	h := fnv.New64a()
 	h.Write(b)

@@ -1,0 +1,146 @@
+package idl
+
+import (
+	"context"
+	"fmt"
+
+	"idl/internal/ast"
+	"idl/internal/core"
+	"idl/internal/federation"
+	"idl/internal/obs"
+	"idl/internal/parser"
+)
+
+// Observability facade. A DB can expose a metrics registry (counters,
+// gauges, latency histograms across the engine, federation, and storage
+// layers) and a hierarchical span tracer. Both are off by default and
+// cost a single nil check per instrumented operation until enabled.
+
+type (
+	// MetricsRegistry is a named collection of counters, gauges, and
+	// latency histograms, safe for concurrent use.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time, sorted copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// QueryTracer retains the span trees of recent engine operations.
+	QueryTracer = obs.Tracer
+	// QuerySpan is one timed node in an operation's span tree.
+	QuerySpan = obs.Span
+	// ExplainPlan is a query evaluation plan; after ExplainAnalyze each
+	// step also carries measured actuals.
+	ExplainPlan = core.Explain
+)
+
+// Metrics returns the DB's metrics registry, creating it on first use
+// and attaching it to the engine, the federation catalog, and storage
+// operations. Subsequent calls return the same registry.
+func (db *DB) Metrics() *MetricsRegistry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.metricsLocked()
+}
+
+// metricsLocked lazily creates and wires the registry; callers hold
+// db.mu.
+func (db *DB) metricsLocked() *obs.Registry {
+	if db.metrics == nil {
+		db.metrics = obs.NewRegistry()
+		db.engine.SetMetrics(db.metrics)
+		db.cat.SetMetrics(db.metrics)
+		if db.snapshotBytes > 0 {
+			db.metrics.Gauge("storage.snapshot_bytes").Set(db.snapshotBytes)
+		}
+	}
+	return db.metrics
+}
+
+// metricsRef returns the registry without creating one (nil when
+// metrics are off; all registry methods are nil-safe no-ops).
+func (db *DB) metricsRef() *obs.Registry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.metrics
+}
+
+// ResetMetrics zeroes every counter, gauge, and histogram (the
+// instruments stay registered, so cached references remain valid). A
+// no-op when metrics were never enabled.
+func (db *DB) ResetMetrics() {
+	db.metricsRef().Reset()
+}
+
+// EnableTracing attaches a span tracer retaining the last capacity root
+// operations (queries, update requests, program calls, view
+// materializations), each a tree of timed child spans. It returns the
+// tracer for inspection; enabling replaces any previous tracer.
+func (db *DB) EnableTracing(capacity int) *QueryTracer {
+	t := obs.NewTracer(capacity)
+	db.engine.SetTracer(t)
+	return t
+}
+
+// DisableTracing detaches the tracer; traced operations return to a
+// single nil check of overhead.
+func (db *DB) DisableTracing() {
+	db.engine.SetTracer(nil)
+}
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (db *DB) Tracer() *QueryTracer {
+	return db.engine.Tracer()
+}
+
+// LastSyncReport returns the member-health report of the most recent
+// federation sync (nil before any sync or when no members are mounted).
+// Unlike Result.Degraded it is present even when all members were
+// reachable.
+func (db *DB) LastSyncReport() *DegradedReport {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastReport
+}
+
+// ExplainAnalyze executes the query and renders its plan annotated with
+// per-conjunct actuals: rows produced, set elements scanned, index
+// probes, and self evaluation time (excluding downstream conjuncts).
+// With federated members mounted, a best-effort sync runs first.
+func (db *DB) ExplainAnalyze(src string) (string, error) {
+	plan, _, err := db.ExplainAnalyzeCtx(context.Background(), src)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context, returning the
+// structured plan and the query's answer.
+func (db *DB) ExplainAnalyzeCtx(ctx context.Context, src string) (*ExplainPlan, *Result, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ast.HasUpdate(q.Body) {
+		return nil, nil, fmt.Errorf("idl: %q is an update request; explain analyze runs queries only", src)
+	}
+	rep, err := db.syncSources(ctx, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, ans, err := db.engine.ExplainAnalyzeQuery(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep != nil && rep.Degraded() {
+		rep.Skipped = skippedConjuncts(q, rep)
+		ans.Degraded = rep
+	}
+	return plan, ans, nil
+}
+
+// MeteredSource wraps a source so every operation against it is counted
+// and timed under federation.member.<name>.* in reg; resilience probes
+// (breaker state, retry attempts) pass through. Mount applies this
+// automatically — the explicit wrapper is for sources used outside a DB.
+func MeteredSource(name string, inner Source, reg *MetricsRegistry) Source {
+	return federation.Meter(name, inner, reg)
+}

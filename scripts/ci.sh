@@ -1,9 +1,15 @@
 #!/bin/sh
 # Full CI gate: compile everything, vet, then run the whole test suite
 # (chaos, concurrency and cancellation tests included) under the race
-# detector. Run from the repository root: scripts/ci.sh
+# detector, and finally regenerate the benchmark snapshot in short mode
+# and validate it — the build fails on a malformed BENCH_report.json or
+# when enabled-tracing overhead exceeds the bound stated in DESIGN.md §8.
+# Run from the repository root: scripts/ci.sh
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+go run ./cmd/idlbench -short -out BENCH_report.json
+go run ./cmd/idlbench -validate BENCH_report.json -max-trace-overhead 3.0
