@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"idl"
 	"idl/internal/ast"
 	"idl/internal/core"
 	"idl/internal/datalog"
@@ -490,4 +491,29 @@ func BenchmarkObservability(b *testing.B) {
 			runQuery(b, e, q)
 		}
 	})
+	// The flight recorder hooks in at the DB layer (events wrap whole
+	// statements), so its overhead is measured there: recorder off vs
+	// the default ring, tracing and metrics off either way.
+	src := stocks.QueryHighestPerDay()["euter"]
+	newDB := func(ring int) *idl.DB {
+		db := idl.Open()
+		stocks.Generate(cfg).Populate(db.Engine().Base())
+		db.Engine().Invalidate()
+		db.SetFlightRecorderSize(ring)
+		return db
+	}
+	for _, tc := range []struct {
+		name string
+		ring int
+	}{{"flightrec-off", 0}, {"flightrec-on", 256}} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := newDB(tc.ring)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,7 +18,10 @@ var publishOnce sync.Once
 
 // debugHandler serves the observability endpoints for one DB:
 //
-//	/debug/metrics  the metrics registry as JSON
+//	/debug/metrics  the metrics registry as JSON (?format=table for the
+//	                \stats rendering)
+//	/debug/events   the flight recorder as JSON (?format=text for the
+//	                \flightrec rendering)
 //	/debug/vars     expvar (includes idl.metrics and Go runtime stats)
 //	/debug/pprof/   the standard pprof profiles
 func debugHandler(db *idl.DB) http.Handler {
@@ -27,8 +32,24 @@ func debugHandler(db *idl.DB) http.Handler {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, db.Metrics().Snapshot().Table())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		db.Metrics().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			db.DumpEvents(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(db.Events())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -21,17 +21,28 @@
 //	                 members behind a seeded fault injector (0 = off);
 //	                 the same seed reproduces the same fault schedule
 //	-debug-addr a    serve debug endpoints on this address:
-//	                 /debug/metrics (engine metrics as JSON),
+//	                 /debug/metrics (engine metrics, JSON or ?format=table),
+//	                 /debug/events (flight recorder, JSON or ?format=text),
 //	                 /debug/vars (expvar), /debug/pprof/ (profiles)
+//	-journal path    append every statement and its answer to a .idlog
+//	                 workload journal, replayable with cmd/idlreplay
+//	-log path        structured event log: one JSON line per statement
+//	                 ("-" = stderr)
+//	-slow-query d    log statements slower than d at WARN (0 = off)
+//	-flightrec n     flight recorder capacity (0 disables it)
+//	-dump-on-error   dump the flight recorder to stderr when a statement
+//	                 fails or a member's circuit breaker opens
+//	-no-metrics      do not collect engine metrics for the session
 //
 // Shell meta-commands:
 //
 //	\dbs                       list databases
 //	\rels <db>                 list relations in a database
 //	\cat                       catalog statistics (tuples, attributes)
-//	\stats                     engine metrics (counters, gauges, latency
+//	\stats [json]              engine metrics (counters, gauges, latency
 //	                           histograms) and federation member health
 //	\reset-stats               zero the metrics and evaluator counters
+//	\flightrec [json|clear]    dump (or clear) the flight recorder
 //	\views                     registered view rules
 //	\programs                  registered update programs and signatures
 //	\save <path>               save a snapshot
@@ -46,6 +57,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,9 +65,9 @@ import (
 	"time"
 
 	"idl"
-	"idl/internal/federation"
 	"idl/internal/lex"
-	"idl/internal/stocks"
+	"idl/internal/qlog"
+	"idl/internal/workload"
 )
 
 // config collects everything the CLI needs to build and drive a DB.
@@ -73,12 +85,18 @@ type config struct {
 	chaosSeed  uint64
 
 	// Observability.
-	debugAddr string
+	debugAddr   string
+	journal     string
+	logPath     string
+	slowQuery   time.Duration
+	flightRec   int
+	dumpOnError bool
+	noMetrics   bool
 }
 
 func defaultConfig() config {
 	fed := idl.DefaultFederationConfig()
-	return config{timeout: fed.Timeout, retries: fed.Retries}
+	return config{timeout: fed.Timeout, retries: fed.Retries, flightRec: qlog.DefaultRingSize}
 }
 
 func main() {
@@ -92,7 +110,13 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", cfg.timeout, "per-attempt timeout for federated member operations")
 	flag.IntVar(&cfg.retries, "retries", cfg.retries, "retry attempts for federated member operations")
 	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "with -demo: mount the stock databases behind a seeded fault injector (0 = off)")
-	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/vars, and /debug/pprof/ on this address")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/events, /debug/vars, and /debug/pprof/ on this address")
+	flag.StringVar(&cfg.journal, "journal", "", "append a replayable .idlog workload journal at this path")
+	flag.StringVar(&cfg.logPath, "log", "", `structured event log path ("-" = stderr)`)
+	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log statements slower than this at WARN (0 = off)")
+	flag.IntVar(&cfg.flightRec, "flightrec", cfg.flightRec, "flight recorder capacity in events (0 disables it)")
+	flag.BoolVar(&cfg.dumpOnError, "dump-on-error", false, "dump the flight recorder to stderr on statement failure or breaker open")
+	flag.BoolVar(&cfg.noMetrics, "no-metrics", false, "do not collect engine metrics for the session")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idl:", err)
@@ -105,10 +129,10 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	// Collect metrics for the whole session so the first \stats (or a
-	// scrape of -debug-addr) reflects every statement, not just those
-	// after it. The registry costs nothing measurable (B11).
-	db.Metrics()
+	cleanup, err := setupObservability(db, cfg)
+	if err != nil {
+		return err
+	}
 	if cfg.debugAddr != "" {
 		addr, err := startDebugServer(cfg.debugAddr, db)
 		if err != nil {
@@ -119,28 +143,84 @@ func run(cfg config) error {
 	switch {
 	case cfg.tokens && cfg.expr != "":
 		fmt.Println(lex.Describe(lex.Tokens(cfg.expr)))
-		return nil
+		return cleanup()
 	case cfg.expr != "":
 		if err := execute(db, cfg.expr); err != nil {
+			cleanup()
 			return err
 		}
 	case cfg.script != "":
 		src, err := os.ReadFile(cfg.script)
 		if err != nil {
+			cleanup()
 			return err
 		}
 		if err := execute(db, string(src)); err != nil {
+			cleanup()
 			return err
 		}
 	default:
-		repl(db)
+		repl(db, cfg)
 	}
 	if cfg.snapshot != "" {
 		if err := db.Save(cfg.snapshot); err != nil {
+			cleanup()
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 	}
-	return nil
+	return cleanup()
+}
+
+// setupObservability applies the session's observability flags: metrics,
+// flight recorder size, event log, slow-query threshold, auto-dump, and
+// the workload journal. The returned cleanup closes the journal and
+// surfaces its sticky write error.
+func setupObservability(db *idl.DB, cfg config) (cleanup func() error, err error) {
+	// Collect metrics for the whole session (unless refused) so the first
+	// \stats or a scrape of -debug-addr reflects every statement, not
+	// just those after it. The registry costs nothing measurable (B11).
+	if !cfg.noMetrics {
+		db.Metrics()
+	}
+	db.SetFlightRecorderSize(cfg.flightRec)
+	db.SetSlowQueryThreshold(cfg.slowQuery)
+	if cfg.dumpOnError {
+		db.SetAutoDump(os.Stderr)
+	}
+	if cfg.logPath != "" {
+		if cfg.logPath == "-" {
+			db.SetEventLog(os.Stderr)
+		} else {
+			f, err := os.OpenFile(cfg.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("event log: %w", err)
+			}
+			db.SetEventLog(f)
+		}
+	}
+	if cfg.journal != "" {
+		if err := db.StartJournal(cfg.journal, workloadConfig(cfg).Meta()); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	return func() error {
+		if err := db.CloseJournal(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// workloadConfig renders the CLI flags as a workload configuration —
+// the same structure cmd/idlreplay rebuilds from a journal header.
+func workloadConfig(cfg config) workload.Config {
+	w := workload.Default()
+	w.Demo = cfg.demo
+	w.BestEffort = cfg.bestEffort
+	w.ChaosSeed = cfg.chaosSeed
+	w.Timeout = cfg.timeout
+	w.Retries = cfg.retries
+	return w
 }
 
 func openDB(cfg config) (*idl.DB, error) {
@@ -159,50 +239,12 @@ func openDB(cfg config) (*idl.DB, error) {
 		opts.BestEffort = cfg.bestEffort
 		db = idl.OpenWithOptions(opts)
 	}
-	if cfg.demo {
-		if cfg.chaosSeed != 0 {
-			if err := mountChaosDemo(db, cfg); err != nil {
-				return nil, err
-			}
-		} else {
-			u := db.Engine().Base()
-			ds := stocks.Generate(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
-			ds.Populate(u)
-			db.Engine().Invalidate()
-		}
+	// The demo universe (and its chaos-mounted variant) comes from
+	// internal/workload so a journaled session replays from its header.
+	if err := workload.Apply(db, workloadConfig(cfg)); err != nil {
+		return nil, err
 	}
 	return db, nil
-}
-
-// mountChaosDemo mounts the paper's three stock databases as federated
-// members behind a seeded fault injector and the resilience stack, so
-// failure semantics can be demonstrated (and reproduced: a fixed seed
-// over the same statement sequence injects the same faults).
-func mountChaosDemo(db *idl.DB, cfg config) error {
-	u, _ := stocks.Universe(stocks.Config{Stocks: 5, Days: 5, Seed: 1991})
-	fed := idl.DefaultFederationConfig()
-	fed.Timeout = cfg.timeout
-	fed.Retries = cfg.retries
-	fed.Seed = cfg.chaosSeed
-	for i, name := range []string{"chwab", "euter", "ource"} {
-		v, _ := u.Get(name)
-		member, ok := v.(*idl.Tuple)
-		if !ok {
-			return fmt.Errorf("demo database %s missing", name)
-		}
-		injected := federation.Inject(federation.NewMemorySource(name, member), federation.InjectorConfig{
-			Seed:          cfg.chaosSeed + uint64(i)*7919, // distinct schedule per member
-			ErrorRate:     0.2,
-			SlowRate:      0.1,
-			TruncateRate:  0.05,
-			Latency:       5 * time.Millisecond,
-			TruncateAfter: 1,
-		})
-		if err := db.Mount(name, idl.Resilient(injected, fed)); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // execute runs a script chunk and prints each statement's outcome.
@@ -235,7 +277,7 @@ func printResult(r *idl.ScriptResult) {
 	}
 }
 
-func repl(db *idl.DB) {
+func repl(db *idl.DB, cfg config) {
 	fmt.Println("IDL shell — Interoperable Database Language (SIGMOD 1991 reproduction)")
 	fmt.Println(`type statements ending with ';', or \help for meta-commands`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -253,7 +295,7 @@ func repl(db *idl.DB) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(db, trimmed) {
+			if !meta(db, cfg, trimmed) {
 				return
 			}
 			prompt()
@@ -275,13 +317,13 @@ func repl(db *idl.DB) {
 }
 
 // meta handles a \command; returns false to exit the shell.
-func meta(db *idl.DB, cmd string) bool {
+func meta(db *idl.DB, cfg config, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats \reset-stats \views \programs \estats \explain [analyze] <query> \trace on|off|show \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -327,6 +369,18 @@ func meta(db *idl.DB, cmd string) bool {
 			fmt.Printf("%s.%s\t%d tuples\tattrs: %s\n", s.Database, s.Relation, s.Tuples, strings.Join(s.Attributes, ","))
 		}
 	case `\stats`:
+		if cfg.noMetrics {
+			// db.Metrics() would lazily attach a registry, silently undoing
+			// the flag for the rest of the session.
+			fmt.Println("metrics disabled (-no-metrics)")
+			break
+		}
+		if len(fields) > 1 && fields[1] == "json" {
+			if err := db.Metrics().WriteJSON(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+			break
+		}
 		snap := db.Metrics().Snapshot()
 		if tbl := snap.Table(); tbl != "" {
 			fmt.Print(tbl)
@@ -335,6 +389,30 @@ func meta(db *idl.DB, cmd string) bool {
 		}
 		if rep := db.LastSyncReport(); rep != nil {
 			fmt.Println("federation:", rep.String())
+		}
+	case `\flightrec`:
+		mode := "text"
+		if len(fields) > 1 {
+			mode = fields[1]
+		}
+		switch mode {
+		case "text":
+			if len(db.Events()) == 0 {
+				fmt.Println("flight recorder is off (-flightrec 0) or empty")
+			} else {
+				db.DumpEvents(os.Stdout)
+			}
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(db.Events()); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "clear":
+			db.SetFlightRecorderSize(db.FlightRecorderSize())
+			fmt.Println("flight recorder cleared")
+		default:
+			fmt.Println("usage: \\flightrec [json|clear]")
 		}
 	case `\reset-stats`:
 		db.ResetMetrics()

@@ -71,11 +71,11 @@ func TestMetaCommands(t *testing.T) {
 			`\help`, `\dbs`, `\rels euter`, `\rels`, `\rels nosuch`,
 			`\cat`, `\stats`, `\views`, `\programs`, `\estats`, `\save`, `\bogus`,
 		} {
-			if !meta(db, cmd) {
+			if !meta(db, config{}, cmd) {
 				t.Errorf("%s should not exit", cmd)
 			}
 		}
-		if meta(db, `\quit`) {
+		if meta(db, config{}, `\quit`) {
 			t.Error(`\quit should exit`)
 		}
 	})
@@ -94,15 +94,15 @@ func TestMetaStats(t *testing.T) {
 	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
 		t.Fatal(err)
 	}
-	out := captureStdout(t, func() { meta(db, `\stats`) })
+	out := captureStdout(t, func() { meta(db, config{}, `\stats`) })
 	for _, want := range []string{"engine.query.count", "engine.query.latency", "engine.eval.elements_scanned"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("\\stats output missing %q:\n%s", want, out)
 		}
 	}
 	out = captureStdout(t, func() {
-		meta(db, `\reset-stats`)
-		meta(db, `\stats`)
+		meta(db, config{}, `\reset-stats`)
+		meta(db, config{}, `\stats`)
 	})
 	if !strings.Contains(out, "reset") {
 		t.Errorf("\\reset-stats should confirm:\n%s", out)
@@ -132,7 +132,7 @@ func TestMetaStatsFederation(t *testing.T) {
 	if err := execute(db, "?.euter.r(.stkCode=S);\n?.chwab.r(.date=D);"); err != nil {
 		t.Fatal(err)
 	}
-	out := captureStdout(t, func() { meta(db, `\stats`) })
+	out := captureStdout(t, func() { meta(db, config{}, `\stats`) })
 	for _, want := range []string{"federation.member.euter.ops", "federation.sync.count", "federation:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("\\stats output missing %q:\n%s", want, out)
@@ -145,14 +145,14 @@ func TestMetaStatsFederation(t *testing.T) {
 func TestMetaExplainAnalyze(t *testing.T) {
 	db, _ := openDB(config{demo: true})
 	out := captureStdout(t, func() {
-		meta(db, `\explain analyze ?.euter.r(.stkCode=S, .clsPrice=P)`)
+		meta(db, config{}, `\explain analyze ?.euter.r(.stkCode=S, .clsPrice=P)`)
 	})
 	for _, want := range []string{"actual rows=", "total time="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("analyze output missing %q:\n%s", want, out)
 		}
 	}
-	out = captureStdout(t, func() { meta(db, `\explain analyze`) })
+	out = captureStdout(t, func() { meta(db, config{}, `\explain analyze`) })
 	if !strings.Contains(out, "usage:") {
 		t.Errorf("bare analyze should print usage:\n%s", out)
 	}
@@ -162,8 +162,8 @@ func TestMetaExplainAnalyze(t *testing.T) {
 func TestMetaTrace(t *testing.T) {
 	db, _ := openDB(config{demo: true})
 	out := captureStdout(t, func() {
-		meta(db, `\trace show`)
-		meta(db, `\trace on 4`)
+		meta(db, config{}, `\trace show`)
+		meta(db, config{}, `\trace on 4`)
 	})
 	if !strings.Contains(out, "tracing is off") || !strings.Contains(out, "tracing on") {
 		t.Errorf("trace toggle output:\n%s", out)
@@ -171,11 +171,11 @@ func TestMetaTrace(t *testing.T) {
 	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
 		t.Fatal(err)
 	}
-	out = captureStdout(t, func() { meta(db, `\trace show`) })
+	out = captureStdout(t, func() { meta(db, config{}, `\trace show`) })
 	if !strings.Contains(out, "query") || !strings.Contains(out, "rows=") {
 		t.Errorf("trace show should render the query span tree:\n%s", out)
 	}
-	out = captureStdout(t, func() { meta(db, `\trace off`) })
+	out = captureStdout(t, func() { meta(db, config{}, `\trace off`) })
 	if !strings.Contains(out, "tracing off") {
 		t.Errorf("trace off output:\n%s", out)
 	}
@@ -185,7 +185,7 @@ func TestMetaSave(t *testing.T) {
 	silenceStdout(t)
 	db, _ := openDB(config{demo: true})
 	path := filepath.Join(t.TempDir(), "s.idl")
-	if !meta(db, `\save `+path) {
+	if !meta(db, config{}, `\save `+path) {
 		t.Fatal("save should not exit")
 	}
 	if _, err := os.Stat(path); err != nil {
@@ -341,5 +341,127 @@ func TestDebugServer(t *testing.T) {
 	}
 	if !strings.Contains(get("/debug/pprof/"), "profile") {
 		t.Error("/debug/pprof/ index not served")
+	}
+	if !strings.Contains(get("/debug/metrics?format=table"), "engine.query.count") {
+		t.Error("/debug/metrics?format=table missing engine.query.count")
+	}
+	events := get("/debug/events")
+	var evs []idl.Event
+	if err := json.Unmarshal([]byte(events), &evs); err != nil {
+		t.Fatalf("/debug/events is not JSON: %v\n%s", err, events)
+	}
+	if len(evs) == 0 || evs[len(evs)-1].Kind != idl.EventQuery {
+		t.Errorf("/debug/events should end with the query event: %+v", evs)
+	}
+	if !strings.Contains(get("/debug/events?format=text"), "query") {
+		t.Error("/debug/events?format=text missing the query event")
+	}
+}
+
+// TestMetaFlightRec: \flightrec dumps the recorder, json mode emits a
+// JSON array, clear empties it.
+func TestMetaFlightRec(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, config{}, `\flightrec`) })
+	if !strings.Contains(out, "query") || !strings.Contains(out, "?.euter.r(.stkCode=S)") {
+		t.Errorf("\\flightrec should show the query event:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, config{}, `\flightrec json`) })
+	var evs []idl.Event
+	if err := json.Unmarshal([]byte(out), &evs); err != nil {
+		t.Fatalf("\\flightrec json is not JSON: %v\n%s", err, out)
+	}
+	if len(evs) == 0 {
+		t.Error("\\flightrec json should include the query event")
+	}
+	out = captureStdout(t, func() {
+		meta(db, config{}, `\flightrec clear`)
+		meta(db, config{}, `\flightrec`)
+	})
+	if !strings.Contains(out, "cleared") || !strings.Contains(out, "off (-flightrec 0) or empty") {
+		t.Errorf("clear should empty the recorder:\n%s", out)
+	}
+}
+
+// TestMetaStatsJSON: \stats json emits the registry as JSON.
+func TestMetaStatsJSON(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	db.Metrics()
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, config{}, `\stats json`) })
+	var snap struct {
+		Counters []struct {
+			Name string `json:"name"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("\\stats json is not JSON: %v\n%s", err, out)
+	}
+	if len(snap.Counters) == 0 {
+		t.Errorf("\\stats json should include counters:\n%s", out)
+	}
+}
+
+// TestNoMetricsHonored: with -no-metrics the session must not attach a
+// registry — not even via \stats, which used to lazily re-enable it.
+func TestNoMetricsHonored(t *testing.T) {
+	db, err := openDB(config{demo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultConfig()
+	cfg.noMetrics = true
+	cleanup, err := setupObservability(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, cfg, `\stats`) })
+	if !strings.Contains(out, "metrics disabled (-no-metrics)") {
+		t.Errorf("\\stats should refuse under -no-metrics:\n%s", out)
+	}
+	if db.MetricsEnabled() {
+		t.Error("-no-metrics session must not have a metrics registry attached")
+	}
+}
+
+// TestJournalFlag: a session with -journal leaves a replayable .idlog
+// behind whose header carries the workload configuration.
+func TestJournalFlag(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.demo = true
+	cfg.journal = filepath.Join(t.TempDir(), "session.idlog")
+	db, err := openDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup, err := setupObservability(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silenceStdout(t)
+	if err := execute(db, "?.euter.r(.stkCode=S, .clsPrice=P);"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, recs, err := idl.ReadJournal(cfg.journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Meta["demo"] != "true" {
+		t.Errorf("journal header meta = %v", hdr.Meta)
+	}
+	if len(recs) != 1 || recs[0].Kind != idl.EventQuery {
+		t.Errorf("journal records = %+v", recs)
 	}
 }

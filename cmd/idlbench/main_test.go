@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(benches map[string]int64) *Report {
+	rep := &Report{
+		Schema:         reportSchema,
+		GoVersion:      "go-test",
+		TraceOverhead:  TraceOverhead{OffNsPerOp: 100, MetricsNsPerOp: 105, TracedNsPerOp: 150, TracedRatio: 1.5},
+		FlightOverhead: FlightOverhead{OffNsPerOp: 100, OnNsPerOp: 104, Ratio: 1.04},
+	}
+	for name, ns := range benches {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iters: 10, NsPerOp: ns})
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := report(map[string]int64{"B1": 100, "B2": 200, "B3": 50})
+	newRep := report(map[string]int64{"B1": 110, "B2": 290, "B4": 70})
+	lines, regressions := compareReports(oldRep, newRep, 0.25)
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %v, want B2 (+45%%) and B3 (missing)", regressions)
+	}
+	got := strings.Join(regressions, ",")
+	if !strings.Contains(got, "B2") || !strings.Contains(got, "B3") {
+		t.Errorf("regressions = %v", regressions)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"REGRESSION", "MISSING from new report", "new benchmark"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("delta table missing %q:\n%s", want, joined)
+		}
+	}
+	if _, regressions := compareReports(oldRep, oldRep, 0.25); len(regressions) != 0 {
+		t.Errorf("self-compare should be clean, got %v", regressions)
+	}
+}
+
+func writeReport(t *testing.T, rep *Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "report.json")
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFiles(t *testing.T) {
+	oldPath := writeReport(t, report(map[string]int64{"B1": 100}))
+	newPath := writeReport(t, report(map[string]int64{"B1": 300}))
+	if err := compareFiles(os.Stdout, oldPath, oldPath, 0.25); err != nil {
+		t.Errorf("identical reports should pass: %v", err)
+	}
+	err := compareFiles(os.Stdout, oldPath, newPath, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("3x slowdown should fail the gate, got %v", err)
+	}
+}
+
+func TestValidateReport(t *testing.T) {
+	good := writeReport(t, report(map[string]int64{"B1": 100}))
+	if err := validateReport(good, 3.0, 1.25); err != nil {
+		t.Errorf("well-formed report should validate: %v", err)
+	}
+	if err := validateReport(good, 3.0, 1.01); err == nil {
+		t.Error("flight overhead 1.04 should exceed a 1.01 bound")
+	}
+	noFlight := report(map[string]int64{"B1": 100})
+	noFlight.FlightOverhead = FlightOverhead{}
+	if err := validateReport(writeReport(t, noFlight), 3.0, 1.25); err == nil {
+		t.Error("missing flight overhead should fail validation")
+	}
+	stale := report(map[string]int64{"B1": 100})
+	stale.Schema = 1
+	if err := validateReport(writeReport(t, stale), 3.0, 1.25); err == nil {
+		t.Error("stale schema should fail validation")
+	}
+}
+
+// TestRunAllShort smoke-runs the full pipeline in -short mode: every
+// benchmark measured, both overhead sections populated.
+func TestRunAllShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runAll is itself the benchmark runner")
+	}
+	rep := runAll(true)
+	path := writeReport(t, rep)
+	if err := validateReport(path, 25, 25); err != nil {
+		t.Fatalf("generated report should validate structurally: %v", err)
+	}
+	if rep.FlightOverhead.Ratio <= 0 {
+		t.Error("flight overhead not measured")
+	}
+}

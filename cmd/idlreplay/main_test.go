@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idl"
+	"idl/internal/workload"
+)
+
+// captureJournal records a small workload journal and returns its path.
+func captureJournal(t *testing.T, cfg workload.Config, stmts []string) string {
+	t.Helper()
+	db, err := workload.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.idlog")
+	if err := db.StartJournal(path, cfg.Meta()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stmts {
+		if _, err := db.Load(s); err != nil {
+			t.Fatalf("capture %q: %v", s, err)
+		}
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var demoStatements = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	"?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)",
+	"?.euter.r+(.date=6/6/85, .stkCode=newco, .clsPrice=321)",
+	"?.dbI.p(.stk=newco, .price=P)",
+}
+
+func TestReplayCleanJournal(t *testing.T) {
+	path := captureJournal(t, workload.Default(), demoStatements)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "replayed 4 records") || !strings.Contains(out.String(), "OK") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestReplayPerfOutput(t *testing.T) {
+	path := captureJournal(t, workload.Default(), demoStatements)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-perf", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"latency (recorded vs replayed):", "query", "recorded n=", "replayed n=", "p50=", "all"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("perf output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestReplayDetectsTampering rewrites one journaled answer and expects
+// exit status 1 with the mismatch named.
+func TestReplayDetectsTampering(t *testing.T) {
+	path := captureJournal(t, workload.Default(), demoStatements)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	tampered := false
+	for i, line := range lines[1:] {
+		var rec idl.JournalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == idl.EventQuery && rec.Answer != "" {
+			rec.Answer += "\nbogus\t999"
+			out, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines[i+1] = string(out)
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no query record to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mismatch") || !strings.Contains(out.String(), "answer") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestReplayChaosJournal(t *testing.T) {
+	cfg := workload.Default()
+	cfg.BestEffort = true
+	cfg.ChaosSeed = 13
+	cfg.Retries = 0
+	cfg.BreakerThreshold = 1000
+	stmts := []string{
+		"?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)",
+		"?.chwab.r(.date=D, .S>150)",
+		"?.ource.S(.clsPrice>150)",
+		"?.euter.r(.stkCode=S, .clsPrice>150)",
+	}
+	path := captureJournal(t, cfg, stmts)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("chaos replay diverged (exit %d)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestReplaySnapshotEnvironment(t *testing.T) {
+	// A journal captured against a hand-built universe carries no
+	// workload metadata; -snapshot supplies the environment instead.
+	db := idl.Open()
+	if _, err := db.Exec("+.lab.r(.n=1)"); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "lab.snap")
+	if err := db.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lab.idlog")
+	if err := db.StartJournal(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("?.lab.r(.n=N)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-snapshot", snap, path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	// Without the snapshot the environment is empty and the answer
+	// diverges.
+	out.Reset()
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.idlog")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing-file exit %d, want 2", code)
+	}
+}

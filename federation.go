@@ -7,6 +7,7 @@ import (
 	"idl/internal/ast"
 	"idl/internal/federation"
 	"idl/internal/parser"
+	"idl/internal/qlog"
 )
 
 // Federated member databases. A DB can mount autonomous members behind
@@ -62,6 +63,15 @@ func (db *DB) Mount(name string, src Source) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if src != nil {
+		// Breaker transitions surface as flight-recorder events (an open
+		// triggers an auto-dump). The hook installs on the raw source:
+		// the Meter wrapper below forwards probes but not hooks.
+		if h, ok := src.(federation.BreakerHooker); ok {
+			rec := db.rec
+			h.SetBreakerHook(func(member string, from, to federation.BreakerState) {
+				rec.BreakerTransition(member, from.String(), to.String())
+			})
+		}
 		// Mounting turns metrics on: federated deployments want member
 		// health visible, and the registry also meters every operation
 		// against this source under federation.member.<name>.*.
@@ -111,14 +121,24 @@ func (db *DB) syncSources(ctx context.Context, bestEffort bool) (*federation.Rep
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	op := db.rec.Begin(qlog.KindSync)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rep, err := db.cat.SyncSources(ctx, bestEffort)
 	if err != nil {
+		op.End(err)
 		return nil, err
 	}
 	db.lastReport = rep
 	db.engine.SetUnavailable(rep.Unavailable())
+	if op != nil {
+		down := rep.Unavailable()
+		op.SetText(fmt.Sprintf("members=%d unreachable=%d", len(rep.Sources), len(down)))
+		if rep.Degraded() {
+			op.SetDegraded(rep.String(), nil)
+		}
+		op.End(nil)
+	}
 	return rep, nil
 }
 
@@ -126,18 +146,46 @@ func (db *DB) syncSources(ctx context.Context, bestEffort bool) (*federation.Rep
 // configured failure mode, evaluate, and attach the degradation report
 // (with skipped conjuncts) to the answer when members were unreachable.
 func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
+	op := db.rec.Begin(qlog.KindQuery)
+	if op != nil {
+		op.SetText(q.String())
+		// Tag the context only when a tracer will consume the ID: the
+		// tag upgrades a Background context into a cancellable one, which
+		// the evaluator then polls.
+		if db.engine.Tracer() != nil {
+			ctx = op.Context(ctx)
+		}
+	}
 	rep, err := db.syncSources(ctx, db.engine.Options().BestEffort)
 	if err != nil {
+		op.End(err)
 		return nil, err
 	}
 	ans, err := db.engine.QueryCtx(ctx, q)
 	if err != nil {
+		op.End(err)
 		return nil, err
 	}
 	if rep != nil && rep.Degraded() {
 		rep.Skipped = skippedConjuncts(q, rep)
 		ans.Degraded = rep
 		db.metricsRef().Counter("federation.degraded_answers").Inc()
+		op.SetDegraded(rep.String(), rep.Skipped)
+	}
+	if op != nil {
+		if op.Journaling() {
+			// The journal carries the full canonical answer so replay can
+			// byte-compare; the ring and log carry only the cardinality.
+			op.SetAnswer(ans.String(), ans.Len())
+		} else {
+			op.SetRows(ans.Len())
+		}
+		if op.Logging() {
+			if plan, perr := db.engine.ExplainQuery(q); perr == nil {
+				op.SetPlanDigest(plan.String())
+			}
+		}
+		op.End(nil)
 	}
 	return ans, nil
 }
@@ -146,10 +194,24 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 // the sync is always fail-fast regardless of Options.BestEffort: an
 // unreachable member aborts the request before any mutation.
 func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
+	op := db.rec.Begin(qlog.KindExec)
+	if op != nil {
+		op.SetText(q.String())
+		if db.engine.Tracer() != nil {
+			ctx = op.Context(ctx)
+		}
+	}
 	if _, err := db.syncSources(ctx, false); err != nil {
+		op.End(err)
 		return nil, err
 	}
-	return db.engine.ExecuteCtx(ctx, q)
+	info, err := db.engine.ExecuteCtx(ctx, q)
+	if info != nil {
+		sum, changes := execSummary(info)
+		op.SetExec(sum, changes)
+	}
+	op.End(err)
+	return info, err
 }
 
 // skippedConjuncts lists the query's top-level conjuncts that reference
@@ -208,12 +270,16 @@ func (db *DB) LoadCtx(ctx context.Context, src string) ([]*ScriptResult, error) 
 	for _, st := range stmts {
 		switch s := st.(type) {
 		case *ast.Rule:
-			if err := db.engine.AddRule(s); err != nil {
+			err := db.engine.AddRule(s)
+			db.rec.Emit(qlog.KindRule, s.String(), err)
+			if err != nil {
 				return out, fmt.Errorf("idl: rule %q: %w", s.String(), err)
 			}
 			out = append(out, &ScriptResult{Statement: s.String(), Kind: "rule"})
 		case *ast.Clause:
-			if err := db.engine.AddClause(s); err != nil {
+			err := db.engine.AddClause(s)
+			db.rec.Emit(qlog.KindClause, s.String(), err)
+			if err != nil {
 				return out, fmt.Errorf("idl: clause %q: %w", s.String(), err)
 			}
 			out = append(out, &ScriptResult{Statement: s.String(), Kind: "clause"})

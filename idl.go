@@ -22,6 +22,8 @@ package idl
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"idl/internal/object"
 	"idl/internal/obs"
 	"idl/internal/parser"
+	"idl/internal/qlog"
 	"idl/internal/schema"
 	"idl/internal/storage"
 )
@@ -129,6 +132,11 @@ type DB struct {
 	metrics       *obs.Registry
 	lastReport    *federation.Report
 	snapshotBytes int64 // size of the last snapshot saved or loaded
+
+	// Temporal observability (see qlog.go): the flight recorder is on
+	// from Open — a lock-free ring of the last events — and grows an
+	// event log / workload journal when attached.
+	rec *qlog.Recorder
 }
 
 // DefaultOptions returns the production engine defaults — the options
@@ -149,6 +157,7 @@ func OpenWithOptions(opts Options) *DB {
 	return &DB{
 		engine: engine,
 		cat:    cat,
+		rec:    qlog.NewRecorder(qlog.DefaultRingSize),
 	}
 }
 
@@ -221,7 +230,9 @@ func (db *DB) DefineView(src string) error {
 	if err != nil {
 		return err
 	}
-	return db.engine.AddRule(r)
+	err = db.engine.AddRule(r)
+	db.rec.Emit(qlog.KindRule, r.String(), err)
+	return err
 }
 
 // DefineViews registers several view rules, stopping at the first error.
@@ -242,7 +253,9 @@ func (db *DB) DefineProgram(src string) error {
 	if err != nil {
 		return err
 	}
-	return db.engine.AddClause(c)
+	err = db.engine.AddClause(c)
+	db.rec.Emit(qlog.KindClause, c.String(), err)
+	return err
 }
 
 // DefinePrograms registers several clauses, stopping at the first error.
@@ -277,11 +290,71 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 			return nil, fmt.Errorf("idl: unsupported parameter type %T for %s", v, k)
 		}
 	}
+	op := db.rec.Begin(qlog.KindCall)
+	if op != nil {
+		var attrs map[string]string
+		if p, ok := db.engine.LookupProgram(namespace, name); ok {
+			attrs = p.ParamAttrs()
+		}
+		op.SetText(callText(namespace, name, converted, attrs))
+	}
 	// Programs run updates; member sync is fail-fast like Exec.
 	if _, err := db.syncSources(context.Background(), false); err != nil {
+		op.End(err)
 		return nil, err
 	}
-	return db.engine.Call(namespace, name, converted)
+	info, err := db.engine.Call(namespace, name, converted)
+	if info != nil {
+		sum, changes := execSummary(info)
+		op.SetExec(sum, changes)
+	}
+	op.End(err)
+	return info, err
+}
+
+// callText renders a program invocation in IDL surface syntax —
+// `?.ns.name(.attr=v, …)` with sorted parameters — so journaled calls
+// are replayable as ordinary update requests. attrs translates the
+// call's parameter variables into the attribute names the program's
+// head declares (S → stk); variables the program does not declare (or
+// calls to unknown programs) keep their given keys.
+func callText(namespace, name string, params map[string]Value, attrs map[string]string) string {
+	keys := make([]string, 0, len(params))
+	rendered := make(map[string]string, len(params))
+	for k := range params {
+		r := k
+		if attr, ok := attrs[k]; ok {
+			r = attr
+		}
+		keys = append(keys, k)
+		rendered[k] = r
+	}
+	sort.Slice(keys, func(i, j int) bool { return rendered[keys[i]] < rendered[keys[j]] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "?.%s.%s(", namespace, name)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, ".%s=%s", rendered[k], params[k])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// execSummary converts an engine ExecResult into the journal's
+// serializable form plus the total mutation count.
+func execSummary(info *ExecInfo) (qlog.ExecSummary, int) {
+	sum := qlog.ExecSummary{
+		ElemsInserted: info.ElemsInserted,
+		ElemsDeleted:  info.ElemsDeleted,
+		AttrsCreated:  info.AttrsCreated,
+		AttrsDeleted:  info.AttrsDeleted,
+		ValuesSet:     info.ValuesSet,
+		Bindings:      info.Bindings,
+	}
+	changes := info.ElemsInserted + info.ElemsDeleted + info.AttrsCreated + info.AttrsDeleted + info.ValuesSet
+	return sum, changes
 }
 
 // Load runs a `;`-separated IDL script: rules and clauses register, and

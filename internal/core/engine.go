@@ -351,6 +351,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	if obsOn {
 		start = time.Now()
 		span = e.tracer.Start("query")
+		annotateOpID(span, ctx)
 	}
 	// Answer variables are those with a positive occurrence; variables
 	// confined to negations are existential and never bind outward.
@@ -421,6 +422,7 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, err
 	if obsOn {
 		start = time.Now()
 		span = e.tracer.Start("exec")
+		annotateOpID(span, ctx)
 	}
 	var local Stats
 	u := &updater{
@@ -491,6 +493,7 @@ func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string
 	if obsOn {
 		start = time.Now()
 		span = e.tracer.Start("call")
+		annotateOpID(span, ctx)
 	}
 	var local Stats
 	u := &updater{

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"idl/internal/ast"
 	"idl/internal/obs"
+	"idl/internal/qlog"
 )
 
 // opMetrics are one operation kind's instruments (query / exec / call),
@@ -119,6 +121,19 @@ func (e *Engine) Tracer() *obs.Tracer {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.tracer
+}
+
+// annotateOpID joins a span to the flight-recorder event that opened
+// the operation: when the caller's context carries a qlog op ID, the
+// span gets a "qid" annotation matching the event's sequence number, so
+// a trace tree can be correlated with the query journal and event log.
+func annotateOpID(span *obs.Span, ctx context.Context) {
+	if span == nil {
+		return
+	}
+	if qid := qlog.OpID(ctx); qid != 0 {
+		span.SetInt("qid", int64(qid))
+	}
 }
 
 // attachConjunctSpans converts analyze probes into per-conjunct child

@@ -63,8 +63,39 @@ func (p *Program) Params() []string {
 	return out
 }
 
-// paramNameOf maps a clause's parameter attribute names (e.g. "stk") to
-// the head variable they carry.
+// ParamAttrs maps each parameter variable to the attribute name that
+// carries it at call sites — S → "stk" for `.dbU.insStk(.stk=S, …)` —
+// so an API-level Call can be rendered back into IDL call syntax.
+// Clauses that disagree on a variable's attribute keep the first
+// mapping seen.
+func (p *Program) ParamAttrs() map[string]string {
+	out := map[string]string{}
+	for _, c := range p.Clauses {
+		if c.params == nil {
+			continue
+		}
+		for _, conj := range c.params.Conjuncts {
+			a, ok := conj.(*ast.AttrExpr)
+			if !ok || a.Expr == nil {
+				continue
+			}
+			k, ok := a.Name.(ast.Const)
+			if !ok {
+				continue
+			}
+			attr, ok := k.Value.(object.Str)
+			if !ok {
+				continue
+			}
+			for _, v := range ast.Vars(a.Expr) {
+				if _, seen := out[v]; !seen {
+					out[v] = string(attr)
+				}
+			}
+		}
+	}
+	return out
+}
 
 // programKey identifies a callable program.
 type programKey struct {

@@ -269,3 +269,64 @@ func TestReportRendering(t *testing.T) {
 		t.Errorf("healthy report: %q", healthy.String())
 	}
 }
+
+func TestBreakerHook(t *testing.T) {
+	dead := Inject(NewMemorySource("euter", memberDB()), InjectorConfig{
+		Script: []Fault{{Kind: FaultError}, {Kind: FaultError}},
+	})
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(dead, 2, time.Second)
+	b.SetClock(func() time.Time { return clock })
+	type transition struct {
+		member   string
+		from, to BreakerState
+	}
+	var got []transition
+	b.SetHook(func(member string, from, to BreakerState) {
+		got = append(got, transition{member, from, to})
+	})
+	ctx := context.Background()
+
+	b.Relations(ctx) // failure 1: still closed, no transition
+	b.Relations(ctx) // failure 2: closed -> open
+	clock = clock.Add(2 * time.Second)
+	b.State()        // open -> half-open
+	b.Relations(ctx) // script spent, probe succeeds: half-open -> closed
+
+	want := []transition{
+		{"euter", BreakerClosed, BreakerOpen},
+		{"euter", BreakerOpen, BreakerHalfOpen},
+		{"euter", BreakerHalfOpen, BreakerClosed},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStackForwardsBreakerHook(t *testing.T) {
+	dead := Inject(NewMemorySource("euter", memberDB()), InjectorConfig{ErrorRate: 1})
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	cfg.BreakerThreshold = 1
+	st := Resilient(dead, cfg)
+	var fired int
+	var hooker BreakerHooker = st
+	hooker.SetBreakerHook(func(member string, from, to BreakerState) { fired++ })
+	st.Relations(context.Background())
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1 (closed -> open)", fired)
+	}
+
+	// Disabled breaker: forwarding is a no-op, not a panic.
+	cfg.BreakerThreshold = -1
+	none := Resilient(dead, cfg)
+	if none.Breaker() != nil {
+		t.Fatal("breaker should be disabled")
+	}
+	none.SetBreakerHook(func(string, BreakerState, BreakerState) {})
+}

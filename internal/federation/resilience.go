@@ -257,6 +257,7 @@ type Breaker struct {
 	stateGauge *obs.Gauge
 
 	mu          sync.Mutex
+	hook        func(member string, from, to BreakerState)
 	state       BreakerState
 	consecutive int
 	openedAt    time.Time
@@ -269,8 +270,21 @@ func (b *Breaker) setState(s BreakerState) {
 	if s == BreakerOpen && b.state != BreakerOpen {
 		b.opened.Inc()
 	}
+	if b.hook != nil && s != b.state {
+		b.hook(b.inner.Name(), b.state, s)
+	}
 	b.state = s
 	b.stateGauge.Set(int64(s))
+}
+
+// SetHook registers fn to be called on every state transition. fn runs
+// synchronously under the breaker's mutex — it must be fast and must
+// not call back into the breaker. It feeds the flight recorder's
+// breaker events.
+func (b *Breaker) SetHook(fn func(member string, from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hook = fn
 }
 
 // NewBreaker wraps inner. threshold <= 0 defaults to 5; cooldown <= 0
@@ -464,6 +478,21 @@ func Resilient(inner Source, cfg Config) *Stack {
 
 // Breaker exposes the stack's circuit breaker (nil when disabled).
 func (st *Stack) Breaker() *Breaker { return st.breaker }
+
+// SetBreakerHook implements BreakerHooker: it forwards the transition
+// hook to the stack's breaker (a no-op when the breaker is disabled).
+func (st *Stack) SetBreakerHook(fn func(member string, from, to BreakerState)) {
+	if st.breaker != nil {
+		st.breaker.SetHook(fn)
+	}
+}
+
+// BreakerHooker is implemented by source wrappers whose circuit-breaker
+// transitions can be observed. DB.Mount probes mounted sources for it
+// so breaker flips land in the flight recorder.
+type BreakerHooker interface {
+	SetBreakerHook(fn func(member string, from, to BreakerState))
+}
 
 // Name implements Source.
 func (st *Stack) Name() string { return st.src.Name() }

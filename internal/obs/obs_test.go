@@ -23,8 +23,8 @@ func TestBucketIndexBoundaries(t *testing.T) {
 		{2001, 2}, // just past 2µs
 		{4000, 2},
 		{4001, 3},
-		{time.Millisecond, 10},        // 1ms fits 1µs·2^10 = 1.024ms
-		{1025 * time.Microsecond, 11}, // just past bucket 10's bound
+		{time.Millisecond, 10},             // 1ms fits 1µs·2^10 = 1.024ms
+		{1025 * time.Microsecond, 11},      // just past bucket 10's bound
 		{time.Second, 20},                  // 1s ≈ 1µs·2^20 (1.048576s bound)
 		{100 * time.Hour, HistBuckets - 1}, // clamped to last bucket
 	}
@@ -272,5 +272,74 @@ func TestSnapshotTableAndJSON(t *testing.T) {
 	}
 	if len(decoded.Counters) != 2 || decoded.Counters[1].Value != 3 {
 		t.Errorf("decoded snapshot = %+v", decoded)
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: min=%v max=%v", h.Min(), h.Max())
+	}
+	h.Observe(3 * time.Microsecond)
+	if h.Min() != 3*time.Microsecond || h.Max() != 3*time.Microsecond {
+		t.Fatalf("single observation: min=%v max=%v", h.Min(), h.Max())
+	}
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(9 * time.Millisecond)
+	if h.Min() != 500*time.Nanosecond {
+		t.Errorf("Min = %v, want 500ns", h.Min())
+	}
+	if h.Max() != 9*time.Millisecond {
+		t.Errorf("Max = %v, want 9ms", h.Max())
+	}
+	// A genuine zero observation must become the min (zero-value
+	// sentinel must not hide it).
+	h.Observe(0)
+	if h.Min() != 0 {
+		t.Errorf("Min after zero observation = %v, want 0", h.Min())
+	}
+	h.reset()
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Errorf("after reset: min=%v max=%v count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestHistogramMinMaxConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 250; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Min() != time.Nanosecond {
+		t.Errorf("Min = %v, want 1ns", h.Min())
+	}
+	if h.Max() != 7250*time.Nanosecond {
+		t.Errorf("Max = %v, want 7.25µs", h.Max())
+	}
+}
+
+func TestSnapshotMinMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.latency")
+	h.Observe(2 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	hv := s.Histograms[0]
+	if hv.MinNS != int64(2*time.Microsecond) || hv.MaxNS != int64(5*time.Millisecond) {
+		t.Fatalf("snapshot min/max = %d/%d", hv.MinNS, hv.MaxNS)
+	}
+	table := s.Table()
+	if !strings.Contains(table, "min=2µs") || !strings.Contains(table, "max=5ms") {
+		t.Fatalf("table missing exact extrema:\n%s", table)
 	}
 }

@@ -93,6 +93,11 @@ type Histogram struct {
 	counts [HistBuckets]atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Int64 // nanoseconds
+	// Exact extrema, complementing the bucket-bound quantiles. minPlus1
+	// stores min+1 so the zero value means "no observations yet" while a
+	// genuine 0ns observation stays representable.
+	minPlus1 atomic.Int64
+	max      atomic.Int64
 }
 
 // bucketIndex maps a duration to its bucket: the smallest i with
@@ -124,7 +129,46 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.counts[bucketIndex(d)].Add(1)
 	h.count.Add(1)
-	h.sum.Add(int64(d))
+	ns := int64(d)
+	h.sum.Add(ns)
+	for {
+		cur := h.minPlus1.Load()
+		if cur != 0 && cur <= ns+1 {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	mp1 := h.minPlus1.Load()
+	if mp1 == 0 {
+		return 0
+	}
+	return time.Duration(mp1 - 1)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
 }
 
 // Count returns the number of observations.
@@ -197,6 +241,8 @@ func (h *Histogram) reset() {
 	}
 	h.count.Store(0)
 	h.sum.Store(0)
+	h.minPlus1.Store(0)
+	h.max.Store(0)
 }
 
 // Registry is a named collection of metrics. Lookup is get-or-create and
@@ -337,14 +383,17 @@ type GaugeVal struct {
 }
 
 // HistVal summarizes one histogram in a snapshot. Durations are
-// nanoseconds; P50/P99 are bucket upper bounds.
+// nanoseconds; P50/P99 are bucket upper bounds while Min/Max are the
+// exact extrema observed.
 type HistVal struct {
 	Name   string `json:"name"`
 	Count  uint64 `json:"count"`
 	SumNS  int64  `json:"sum_ns"`
 	MeanNS int64  `json:"mean_ns"`
+	MinNS  int64  `json:"min_ns"`
 	P50NS  int64  `json:"p50_ns"`
 	P99NS  int64  `json:"p99_ns"`
+	MaxNS  int64  `json:"max_ns"`
 }
 
 // Snapshot is a point-in-time copy of every registered metric, sorted by
@@ -376,8 +425,10 @@ func (r *Registry) Snapshot() Snapshot {
 			Count:  h.Count(),
 			SumNS:  int64(h.Sum()),
 			MeanNS: int64(h.Mean()),
+			MinNS:  int64(h.Min()),
 			P50NS:  int64(h.Quantile(0.5)),
 			P99NS:  int64(h.Quantile(0.99)),
+			MaxNS:  int64(h.Max()),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -420,9 +471,10 @@ func (s Snapshot) Table() string {
 		fmt.Fprintf(&b, "%-*s  %d\n", width, g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "%-*s  n=%d mean=%s p50≤%s p99≤%s\n",
+		fmt.Fprintf(&b, "%-*s  n=%d mean=%s min=%s p50≤%s p99≤%s max=%s\n",
 			width, h.Name, h.Count,
-			time.Duration(h.MeanNS), time.Duration(h.P50NS), time.Duration(h.P99NS))
+			time.Duration(h.MeanNS), time.Duration(h.MinNS),
+			time.Duration(h.P50NS), time.Duration(h.P99NS), time.Duration(h.MaxNS))
 	}
 	return b.String()
 }

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"idl"
+	"idl/internal/qlog"
+)
+
+// Replay semantics. Journal records replay in order against a DB the
+// caller built (usually workload.Open over the journal header's meta).
+// Rules and clauses re-register; queries, update requests and program
+// calls re-execute; each outcome is compared field-by-field with what
+// the original run journaled. The canonical renderings qlog captures
+// (sorted answers, deterministic degraded reports) make the comparison
+// a byte comparison.
+//
+// Recovered mode relaxes one case: a record captured under degradation
+// replayed against a healthy federation. The replayed answer then
+// legitimately holds MORE rows than the recorded best-effort answer, so
+// the record passes when the recorded rows are a subset of the replayed
+// ones (and a recorded degraded false may recover to true).
+
+// Options tunes Replay's comparison.
+type Options struct {
+	// Recovered accepts records whose recorded answer was degraded but
+	// whose replayed answer is healthy, provided the recorded rows are a
+	// subset of the replayed rows.
+	Recovered bool
+}
+
+// Mismatch is one field where replay diverged from the journal.
+type Mismatch struct {
+	Seq   int
+	Kind  string
+	Text  string
+	Field string // "answer", "rows", "exec", "degraded", "err", "kind"
+	Want  string // journaled
+	Got   string // replayed
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("#%d %s %s: %s: want %q, got %q", m.Seq, m.Kind, m.Text, m.Field, m.Want, m.Got)
+}
+
+// Outcome is one replayed record's timing, for perf-mode comparison.
+type Outcome struct {
+	Seq        int
+	Kind       string
+	RecordedNS int64
+	ReplayedNS int64
+}
+
+// Report is the result of replaying a journal.
+type Report struct {
+	Total      int
+	ByKind     map[string]int
+	Recovered  int // degraded records accepted under Options.Recovered
+	Mismatches []Mismatch
+	Outcomes   []Outcome
+}
+
+// OK reports whether every record replayed to its journaled outcome.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+func (r *Report) String() string {
+	var kinds []string
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var parts []string
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, r.ByKind[k]))
+	}
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("%d mismatches", len(r.Mismatches))
+	}
+	s := fmt.Sprintf("replayed %d records (%s): %s", r.Total, strings.Join(parts, " "), status)
+	if r.Recovered > 0 {
+		s += fmt.Sprintf(" (%d degraded records recovered)", r.Recovered)
+	}
+	return s
+}
+
+// Replay runs every record against db in journal order and compares
+// outcomes. Execution errors do not stop the replay: they surface as
+// "err" mismatches unless the journal recorded the same error.
+func Replay(ctx context.Context, db *idl.DB, recs []qlog.Record, opts Options) *Report {
+	rep := &Report{ByKind: map[string]int{}}
+	for _, rec := range recs {
+		rep.Total++
+		rep.ByKind[rec.Kind]++
+		start := time.Now()
+		switch rec.Kind {
+		case qlog.KindRule:
+			compareErr(rep, rec, db.DefineView(rec.Text))
+		case qlog.KindClause:
+			compareErr(rep, rec, db.DefineProgram(rec.Text))
+		case qlog.KindQuery:
+			ans, err := db.QueryCtx(ctx, rec.Text)
+			if compareErr(rep, rec, err) && err == nil {
+				compareQuery(rep, rec, ans, opts)
+			}
+		case qlog.KindExec, qlog.KindCall:
+			info, err := db.ExecCtx(ctx, rec.Text)
+			if compareErr(rep, rec, err) && err == nil {
+				compareExec(rep, rec, info)
+			}
+		default:
+			rep.mismatch(rec, "kind", rec.Kind, "replayable record")
+		}
+		rep.Outcomes = append(rep.Outcomes, Outcome{
+			Seq:        rec.Seq,
+			Kind:       rec.Kind,
+			RecordedNS: rec.NS,
+			ReplayedNS: time.Since(start).Nanoseconds(),
+		})
+	}
+	return rep
+}
+
+func (r *Report) mismatch(rec qlog.Record, field, want, got string) {
+	r.Mismatches = append(r.Mismatches, Mismatch{
+		Seq: rec.Seq, Kind: rec.Kind, Text: rec.Text,
+		Field: field, Want: want, Got: got,
+	})
+}
+
+// compareErr checks the error outcome; it returns true when the record
+// agrees so far (both succeeded, or both failed identically).
+func compareErr(r *Report, rec qlog.Record, err error) bool {
+	got := ""
+	if err != nil {
+		got = err.Error()
+	}
+	if got != rec.Err {
+		r.mismatch(rec, "err", rec.Err, got)
+		return false
+	}
+	return true
+}
+
+func compareQuery(r *Report, rec qlog.Record, ans *idl.Result, opts Options) {
+	gotAnswer := ans.String()
+	gotDegraded := ""
+	if ans.Degraded != nil {
+		gotDegraded = ans.Degraded.String()
+	}
+	if opts.Recovered && rec.Degraded != "" && gotDegraded == "" {
+		// Captured degraded, replayed healthy: the recorded best-effort
+		// rows must all reappear in the (possibly larger) healthy answer.
+		if !answerSubset(rec.Answer, gotAnswer) {
+			r.mismatch(rec, "answer", rec.Answer+" (subset)", gotAnswer)
+		} else {
+			r.Recovered++
+		}
+		return
+	}
+	if gotDegraded != rec.Degraded {
+		r.mismatch(rec, "degraded", rec.Degraded, gotDegraded)
+	}
+	if gotAnswer != rec.Answer {
+		r.mismatch(rec, "answer", rec.Answer, gotAnswer)
+		return
+	}
+	if ans.Len() != rec.Rows {
+		r.mismatch(rec, "rows", fmt.Sprint(rec.Rows), fmt.Sprint(ans.Len()))
+	}
+}
+
+func compareExec(r *Report, rec qlog.Record, info *idl.ExecInfo) {
+	got := qlog.ExecSummary{
+		ElemsInserted: info.ElemsInserted,
+		ElemsDeleted:  info.ElemsDeleted,
+		AttrsCreated:  info.AttrsCreated,
+		AttrsDeleted:  info.AttrsDeleted,
+		ValuesSet:     info.ValuesSet,
+		Bindings:      info.Bindings,
+	}
+	want := qlog.ExecSummary{}
+	if rec.Exec != nil {
+		want = *rec.Exec
+	}
+	if got != want {
+		r.mismatch(rec, "exec", fmt.Sprintf("%+v", want), fmt.Sprintf("%+v", got))
+	}
+}
+
+// answerSubset reports whether every row of the recorded answer appears
+// in the replayed one. Answers render as a header line plus sorted rows;
+// boolean answers render as "true"/"false", where a degraded false may
+// recover to true.
+func answerSubset(recorded, replayed string) bool {
+	if recorded == replayed {
+		return true
+	}
+	if recorded == "false" && replayed == "true" {
+		return true
+	}
+	recLines := strings.Split(recorded, "\n")
+	repLines := strings.Split(replayed, "\n")
+	if len(recLines) == 0 || len(repLines) == 0 || recLines[0] != repLines[0] {
+		return false // different header: not the same query shape
+	}
+	have := make(map[string]bool, len(repLines))
+	for _, l := range repLines[1:] {
+		have[l] = true
+	}
+	for _, l := range recLines[1:] {
+		if !have[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// LatencySummary is a latency distribution over one record kind.
+type LatencySummary struct {
+	Count int
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%s p90=%s p99=%s max=%s", s.Count, s.P50, s.P90, s.P99, s.Max)
+}
+
+func summarize(ns []int64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(ns)-1))
+		return time.Duration(ns[i])
+	}
+	return LatencySummary{
+		Count: len(ns),
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P99:   pick(0.99),
+		Max:   time.Duration(ns[len(ns)-1]),
+	}
+}
+
+// Latencies summarizes the recorded and replayed latency distributions
+// of one record kind ("" = all kinds).
+func (r *Report) Latencies(kind string) (recorded, replayed LatencySummary) {
+	var rec, rep []int64
+	for _, o := range r.Outcomes {
+		if kind != "" && o.Kind != kind {
+			continue
+		}
+		rec = append(rec, o.RecordedNS)
+		rep = append(rep, o.ReplayedNS)
+	}
+	return summarize(rec), summarize(rep)
+}

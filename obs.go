@@ -62,6 +62,12 @@ func (db *DB) metricsRef() *obs.Registry {
 	return db.metrics
 }
 
+// MetricsEnabled reports whether a metrics registry is attached,
+// without attaching one (unlike Metrics, which lazily creates it).
+func (db *DB) MetricsEnabled() bool {
+	return db.metricsRef() != nil
+}
+
 // ResetMetrics zeroes every counter, gauge, and histogram (the
 // instruments stay registered, so cached references remain valid). A
 // no-op when metrics were never enabled.
