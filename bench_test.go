@@ -13,11 +13,13 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"idl"
 	"idl/internal/ast"
 	"idl/internal/core"
 	"idl/internal/datalog"
+	"idl/internal/federation"
 	"idl/internal/msql"
 	"idl/internal/object"
 	"idl/internal/obs"
@@ -511,6 +513,59 @@ func BenchmarkObservability(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := db.Query(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- B13: parallel evaluation speedup ---
+
+// BenchmarkParallelQuery partitions a large negated self-join scan
+// across the worker pool. Answers are byte-identical to sequential at
+// every worker count (the differential layer enforces this); the
+// speedup tracks GOMAXPROCS, so on a single-CPU machine the curve is
+// flat — run on a multi-core box to see the scan family scale.
+func BenchmarkParallelQuery(b *testing.B) {
+	src := "?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)"
+	for _, w := range []int{1, 2, 4, 8} {
+		opts := core.DefaultOptions()
+		opts.Workers = w
+		e, _ := engineFor(b, stocks.Config{Stocks: 48, Days: 40, Seed: 47}, opts)
+		q := parseQ(b, src)
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runQuery(b, e, q)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSync refreshes three slow federated members (every
+// source operation stalls 2ms) per sync. Concurrent fetches overlap the
+// stalls, so this family's speedup is latency-bound and shows up even
+// with one CPU — it is the family idlbench's -min-parallel-speedup
+// gate checks.
+func BenchmarkParallelSync(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		db := idl.Open()
+		db.SetWorkers(w)
+		for i, name := range []string{"alpha", "beta", "gamma"} {
+			member := idl.Tup("r", idl.SetOf(
+				idl.Tup("date", idl.Date(85, 3, 3), "stkCode", fmt.Sprintf("stk%d", i), "clsPrice", 100+i),
+			))
+			src := federation.Inject(federation.NewMemorySource(name, member), federation.InjectorConfig{
+				SlowRate: 1,
+				Latency:  2 * time.Millisecond,
+			})
+			if err := db.Mount(name, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Sync(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,6 +20,11 @@
 //	-chaos-seed n    with -demo: mount the stock databases as federated
 //	                 members behind a seeded fault injector (0 = off);
 //	                 the same seed reproduces the same fault schedule
+//	-workers n       evaluate with n parallel workers: large scans
+//	                 partition across workers, independent view rules run
+//	                 concurrently, and federated member fetches overlap —
+//	                 answers stay byte-identical to sequential evaluation
+//	                 (0 or 1 = sequential)
 //	-debug-addr a    serve debug endpoints on this address:
 //	                 /debug/metrics (engine metrics, JSON or ?format=table),
 //	                 /debug/events (flight recorder, JSON or ?format=text),
@@ -51,6 +56,7 @@
 //	\explain analyze <query>   run the query; show the plan with actual
 //	                           rows, scans, probes, and per-conjunct time
 //	\trace on|off|show         toggle span tracing / show recent traces
+//	\workers [n]               show or set the parallel worker count
 //	\help                      this list
 //	\quit                      exit
 package main
@@ -84,6 +90,9 @@ type config struct {
 	retries    int
 	chaosSeed  uint64
 
+	// Evaluation parallelism (0 or 1 = sequential).
+	workers int
+
 	// Observability.
 	debugAddr   string
 	journal     string
@@ -110,6 +119,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", cfg.timeout, "per-attempt timeout for federated member operations")
 	flag.IntVar(&cfg.retries, "retries", cfg.retries, "retry attempts for federated member operations")
 	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "with -demo: mount the stock databases behind a seeded fault injector (0 = off)")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel evaluation workers; answers stay byte-identical to sequential (0 or 1 = sequential)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/events, /debug/vars, and /debug/pprof/ on this address")
 	flag.StringVar(&cfg.journal, "journal", "", "append a replayable .idlog workload journal at this path")
 	flag.StringVar(&cfg.logPath, "log", "", `structured event log path ("-" = stderr)`)
@@ -220,6 +230,7 @@ func workloadConfig(cfg config) workload.Config {
 	w.ChaosSeed = cfg.chaosSeed
 	w.Timeout = cfg.timeout
 	w.Retries = cfg.retries
+	w.Workers = cfg.workers
 	return w
 }
 
@@ -323,7 +334,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -420,6 +431,18 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		fmt.Println("metrics and evaluator counters reset")
 	case `\trace`:
 		metaTrace(db, fields[1:])
+	case `\workers`:
+		if len(fields) < 2 {
+			fmt.Printf("workers: %d\n", db.Workers())
+			break
+		}
+		n := 0
+		if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 {
+			fmt.Println("usage: \\workers [n]  (n >= 0; 0 or 1 = sequential)")
+			break
+		}
+		db.SetWorkers(n)
+		fmt.Printf("workers: %d\n", db.Workers())
 	case `\views`:
 		for _, v := range db.Views() {
 			fmt.Println(v)

@@ -1,9 +1,9 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B12 engine benchmarks (see DESIGN.md §5 and §8) against
-// the deterministic internal/stocks workload and writes a machine-
-// readable BENCH_report.json — per-benchmark ns/op, allocs/op, and the
-// engine's evaluator counters — so performance can be compared across
-// commits without parsing `go test -bench` text.
+// runs the B1–B13 engine benchmarks (see DESIGN.md §5, §8 and §10)
+// against the deterministic internal/stocks workload and writes a
+// machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
+// and the engine's evaluator counters — so performance can be compared
+// across commits without parsing `go test -bench` text.
 //
 // Usage:
 //
@@ -21,6 +21,10 @@
 //	                      ratio (recorder-on ns/op ÷ recorder-off ns/op)
 //	-max-regress          compare mode: fail when any benchmark's ns/op
 //	                      grew by more than this fraction (default 0.25)
+//	-min-parallel-speedup validation bound on the B13 sync-family speedup
+//	                      at four workers (w1 ns/op ÷ w4 ns/op); the sync
+//	                      family is latency-bound, so the bound holds even
+//	                      on single-CPU machines
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +43,7 @@ import (
 
 	"idl"
 	"idl/internal/core"
+	"idl/internal/federation"
 	"idl/internal/object"
 	"idl/internal/obs"
 	"idl/internal/parser"
@@ -45,8 +51,8 @@ import (
 )
 
 // reportSchema versions the report layout for downstream tooling.
-// Schema 2 added FlightOverhead.
-const reportSchema = 2
+// Schema 2 added FlightOverhead; schema 3 added Parallel (B13).
+const reportSchema = 3
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -77,14 +83,29 @@ type FlightOverhead struct {
 	Ratio      float64 `json:"ratio"` // on ÷ off
 }
 
+// ParallelSpeedup is the B13 summary: wall-clock speedup of parallel
+// evaluation at four workers over sequential, for both benchmark
+// families. The query family partitions a large in-memory scan across
+// workers, so its speedup tracks available CPUs (≈1.0 when GOMAXPROCS
+// is 1). The sync family refreshes three slow federated members
+// concurrently, so its speedup is latency-bound and holds on any
+// machine — that is the family the validation gate checks.
+type ParallelSpeedup struct {
+	NumCPU        int     `json:"num_cpu"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	QuerySpeedup4 float64 `json:"query_speedup_4"` // query w1 ns/op ÷ w4 ns/op
+	SyncSpeedup4  float64 `json:"sync_speedup_4"`  // sync w1 ns/op ÷ w4 ns/op
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
-	Schema         int            `json:"schema"`
-	Short          bool           `json:"short"`
-	GoVersion      string         `json:"go_version"`
-	Benchmarks     []Benchmark    `json:"benchmarks"`
-	TraceOverhead  TraceOverhead  `json:"trace_overhead"`
-	FlightOverhead FlightOverhead `json:"flight_overhead"`
+	Schema         int             `json:"schema"`
+	Short          bool            `json:"short"`
+	GoVersion      string          `json:"go_version"`
+	Benchmarks     []Benchmark     `json:"benchmarks"`
+	TraceOverhead  TraceOverhead   `json:"trace_overhead"`
+	FlightOverhead FlightOverhead  `json:"flight_overhead"`
+	Parallel       ParallelSpeedup `json:"parallel"`
 }
 
 func main() {
@@ -96,6 +117,7 @@ func main() {
 		maxFlight = flag.Float64("max-flight-overhead", 1.25, "validation bound on flight-recorder ratio")
 		compare   = flag.Bool("compare", false, "compare two reports (old.json new.json) and fail on regression")
 		maxRegr   = flag.Float64("max-regress", 0.25, "compare mode: max tolerated fractional ns/op growth")
+		minPar    = flag.Float64("min-parallel-speedup", 1.5, "validation bound on the B13 sync-family speedup at 4 workers")
 	)
 	flag.Parse()
 	if *compare {
@@ -110,7 +132,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -139,6 +161,9 @@ func main() {
 	fmt.Printf("%-40s ratio=%.2f (off=%dns on=%dns)\n",
 		"B12/flightrec-overhead", rep.FlightOverhead.Ratio,
 		rep.FlightOverhead.OffNsPerOp, rep.FlightOverhead.OnNsPerOp)
+	fmt.Printf("%-40s query=%.2fx sync=%.2fx at 4 workers (cpus=%d gomaxprocs=%d)\n",
+		"B13/parallel-speedup", rep.Parallel.QuerySpeedup4, rep.Parallel.SyncSpeedup4,
+		rep.Parallel.NumCPU, rep.Parallel.GoMaxProcs)
 	fmt.Println("wrote", *out)
 }
 
@@ -220,9 +245,10 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 }
 
 // validateReport enforces the CI gate: well-formed JSON with the
-// expected schema, every benchmark measured, and tracing plus
-// flight-recorder overhead under the stated bounds.
-func validateReport(path string, maxRatio, maxFlight float64) error {
+// expected schema, every benchmark measured, tracing plus
+// flight-recorder overhead under the stated bounds, and the B13
+// sync-family parallel speedup above its floor.
+func validateReport(path string, maxRatio, maxFlight, minParallel float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -260,6 +286,16 @@ func validateReport(path string, maxRatio, maxFlight float64) error {
 	}
 	if fo.Ratio > maxFlight {
 		return fmt.Errorf("%s: flight-recorder overhead ratio %.2f exceeds bound %.2f", path, fo.Ratio, maxFlight)
+	}
+	ps := rep.Parallel
+	if ps.QuerySpeedup4 <= 0 || ps.SyncSpeedup4 <= 0 {
+		return fmt.Errorf("%s: parallel speedup not measured", path)
+	}
+	// Only the sync family is gated: it overlaps member latency, so its
+	// speedup does not depend on CPU count. The query family's speedup is
+	// reported but machine-dependent (≈1.0 when GOMAXPROCS is 1).
+	if ps.SyncSpeedup4 < minParallel {
+		return fmt.Errorf("%s: parallel sync speedup %.2fx at 4 workers below bound %.2fx", path, ps.SyncSpeedup4, minParallel)
 	}
 	return nil
 }
@@ -599,5 +635,65 @@ func runAll(short bool) *Report {
 		}
 	}
 
+	// B13: parallel evaluation speedup at 1/2/4/8 workers, two families.
+	// The query family partitions a large negated self-join scan; its
+	// speedup tracks GOMAXPROCS. The sync family refreshes three slow
+	// federated members (every source operation stalls 2ms); concurrent
+	// fetches overlap the stalls, so its speedup holds on one CPU.
+	{
+		workerCounts := []int{1, 2, 4, 8}
+		src := "?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)"
+		queryNs := map[int]int64{}
+		for _, w := range workerCounts {
+			opts := core.DefaultOptions()
+			opts.Workers = w
+			e, _ := engineFor(stocks.Config{Stocks: 48, Days: 40, Seed: 47}, opts)
+			run := mustQuery(src)
+			b := measure(fmt.Sprintf("B13/query/w%d", w), short, e, func() { run(e) })
+			add(b)
+			queryNs[w] = b.NsPerOp
+		}
+		syncNs := map[int]int64{}
+		for _, w := range workerCounts {
+			db := slowFederationDB(w)
+			b := measure(fmt.Sprintf("B13/sync/w%d", w), short, nil, func() {
+				if _, err := db.Sync(context.Background()); err != nil {
+					panic(err)
+				}
+			})
+			add(b)
+			syncNs[w] = b.NsPerOp
+		}
+		rep.Parallel = ParallelSpeedup{
+			NumCPU:        runtime.NumCPU(),
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			QuerySpeedup4: float64(queryNs[1]) / float64(queryNs[4]),
+			SyncSpeedup4:  float64(syncNs[1]) / float64(syncNs[4]),
+		}
+	}
+
 	return rep
+}
+
+// slowFederationDB mounts three single-relation members whose every
+// operation stalls 2ms (SlowRate 1), the B13 sync fixture. Each member
+// fetch costs one Relations call plus one Scan — ~4ms — so a sequential
+// sync pays ~12ms while four workers pay ~4ms.
+func slowFederationDB(workers int) *idl.DB {
+	db := idl.Open()
+	db.SetWorkers(workers)
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		member := idl.Tup("r", idl.SetOf(
+			idl.Tup("date", idl.Date(85, 3, 3), "stkCode", fmt.Sprintf("stk%d", i), "clsPrice", 100+i),
+			idl.Tup("date", idl.Date(85, 3, 4), "stkCode", fmt.Sprintf("stk%d", i), "clsPrice", 110+i),
+		))
+		src := federation.Inject(federation.NewMemorySource(name, member), federation.InjectorConfig{
+			SlowRate: 1,
+			Latency:  2 * time.Millisecond,
+		})
+		if err := db.Mount(name, src); err != nil {
+			panic(err)
+		}
+	}
+	return db
 }

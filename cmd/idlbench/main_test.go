@@ -14,6 +14,7 @@ func report(benches map[string]int64) *Report {
 		GoVersion:      "go-test",
 		TraceOverhead:  TraceOverhead{OffNsPerOp: 100, MetricsNsPerOp: 105, TracedNsPerOp: 150, TracedRatio: 1.5},
 		FlightOverhead: FlightOverhead{OffNsPerOp: 100, OnNsPerOp: 104, Ratio: 1.04},
+		Parallel:       ParallelSpeedup{NumCPU: 1, GoMaxProcs: 1, QuerySpeedup4: 1.0, SyncSpeedup4: 2.8},
 	}
 	for name, ns := range benches {
 		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iters: 10, NsPerOp: ns})
@@ -70,21 +71,31 @@ func TestCompareFiles(t *testing.T) {
 
 func TestValidateReport(t *testing.T) {
 	good := writeReport(t, report(map[string]int64{"B1": 100}))
-	if err := validateReport(good, 3.0, 1.25); err != nil {
+	if err := validateReport(good, 3.0, 1.25, 1.5); err != nil {
 		t.Errorf("well-formed report should validate: %v", err)
 	}
-	if err := validateReport(good, 3.0, 1.01); err == nil {
+	if err := validateReport(good, 3.0, 1.01, 1.5); err == nil {
 		t.Error("flight overhead 1.04 should exceed a 1.01 bound")
 	}
 	noFlight := report(map[string]int64{"B1": 100})
 	noFlight.FlightOverhead = FlightOverhead{}
-	if err := validateReport(writeReport(t, noFlight), 3.0, 1.25); err == nil {
+	if err := validateReport(writeReport(t, noFlight), 3.0, 1.25, 1.5); err == nil {
 		t.Error("missing flight overhead should fail validation")
 	}
 	stale := report(map[string]int64{"B1": 100})
 	stale.Schema = 1
-	if err := validateReport(writeReport(t, stale), 3.0, 1.25); err == nil {
+	if err := validateReport(writeReport(t, stale), 3.0, 1.25, 1.5); err == nil {
 		t.Error("stale schema should fail validation")
+	}
+	slow := report(map[string]int64{"B1": 100})
+	slow.Parallel.SyncSpeedup4 = 1.2
+	if err := validateReport(writeReport(t, slow), 3.0, 1.25, 1.5); err == nil {
+		t.Error("sync speedup 1.2 should miss a 1.5 floor")
+	}
+	unmeasured := report(map[string]int64{"B1": 100})
+	unmeasured.Parallel = ParallelSpeedup{}
+	if err := validateReport(writeReport(t, unmeasured), 3.0, 1.25, 1.5); err == nil {
+		t.Error("missing parallel speedup should fail validation")
 	}
 }
 
@@ -96,10 +107,13 @@ func TestRunAllShort(t *testing.T) {
 	}
 	rep := runAll(true)
 	path := writeReport(t, rep)
-	if err := validateReport(path, 25, 25); err != nil {
+	if err := validateReport(path, 25, 25, 0.1); err != nil {
 		t.Fatalf("generated report should validate structurally: %v", err)
 	}
 	if rep.FlightOverhead.Ratio <= 0 {
 		t.Error("flight overhead not measured")
+	}
+	if rep.Parallel.SyncSpeedup4 <= 0 || rep.Parallel.QuerySpeedup4 <= 0 {
+		t.Error("parallel speedup not measured")
 	}
 }

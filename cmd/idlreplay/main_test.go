@@ -125,6 +125,70 @@ func TestReplayChaosJournal(t *testing.T) {
 	}
 }
 
+// TestReplayParallelJournal captures a journal with parallel evaluation
+// on (workers=4). The journal must carry the worker count, replay
+// byte-for-byte through the metadata round trip, and — because parallel
+// answers are byte-identical to sequential ones — still replay cleanly
+// when the workers key is stripped and the replay runs sequentially.
+func TestReplayParallelJournal(t *testing.T) {
+	cfg := workload.Default()
+	cfg.Workers = 4
+	cfg.Stocks = 12
+	cfg.Days = 10
+	path := captureJournal(t, cfg, demoStatements)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var hdr idl.JournalHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Meta["workers"] != "4" {
+		t.Fatalf("journal meta workers = %q, want 4", hdr.Meta["workers"])
+	}
+	tagged := false
+	for _, line := range lines[1:] {
+		var rec idl.JournalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == idl.EventQuery && rec.Workers == 4 {
+			tagged = true
+		}
+	}
+	if !tagged {
+		t.Fatal("no query record tagged with workers=4")
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("parallel replay diverged (exit %d)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("output = %q", out.String())
+	}
+
+	// Strip the workers key: the replay environment is now sequential,
+	// and the recorded parallel answers must still match byte-for-byte.
+	delete(hdr.Meta, "workers")
+	hdrLine, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[0] = string(hdrLine)
+	seqPath := filepath.Join(t.TempDir(), "sequential.idlog")
+	if err := os.WriteFile(seqPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{seqPath}, &out, &errOut); code != 0 {
+		t.Fatalf("sequential replay of parallel journal diverged (exit %d)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
 func TestReplaySnapshotEnvironment(t *testing.T) {
 	// A journal captured against a hand-built universe carries no
 	// workload metadata; -snapshot supplies the environment instead.

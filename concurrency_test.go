@@ -217,6 +217,101 @@ func TestCtxCancelDuringConcurrentLoad(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentParallelMountUnmount runs the mixed federation workload
+// with parallel evaluation on: member databases mount and unmount while
+// other goroutines query, sync, read stats and metrics, and retune the
+// worker count. Everything must stay race-clean and the steady queries
+// must keep their answers.
+func TestConcurrentParallelMountUnmount(t *testing.T) {
+	db := Open()
+	seedStocks(t, db)
+	db.SetWorkers(4)
+	reg := db.Metrics()
+	var wg sync.WaitGroup
+	// Mount/unmount churn: each goroutine owns a distinct member name, so
+	// mounts never collide, and queries its own member while mounted.
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("m%d", g)
+			member := Tup("r", SetOf(
+				Tup("date", Date(85, 3, 3), "stkCode", "hp", "clsPrice", 50+g),
+				Tup("date", Date(85, 3, 4), "stkCode", "sun", "clsPrice", 210),
+			))
+			for i := 0; i < 20; i++ {
+				if err := db.Mount(name, NewMemorySource(name, member)); err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := db.Query(fmt.Sprintf("?.%s.r(.stkCode=S, .clsPrice>100)", name))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != 1 {
+					t.Errorf("member %s rows = %d, want 1", name, res.Len())
+					return
+				}
+				if err := db.Unmount(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Steady queries over the in-process databases, partitioned big scans
+	// included via the self-join shape.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				res, err := db.Query("?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.stkCode=S, .clsPrice>P)")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != 3 {
+					t.Errorf("all-time highs = %d, want 3", res.Len())
+					return
+				}
+			}
+		}()
+	}
+	// Observability readers and worker-count churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			_ = db.Stats()
+			_ = reg.Snapshot()
+			_ = db.Workers()
+			if _, err := db.Sync(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			db.SetWorkers(i % 8)
+		}
+	}()
+	wg.Wait()
+	db.SetWorkers(4)
+	res, err := db.Query("?.euter.r(.stkCode=S, .clsPrice>200)")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("final parallel query: %v %v", res, err)
+	}
+	if len(db.Sources()) != 0 {
+		t.Errorf("members still mounted: %v", db.Sources())
+	}
+}
+
 // TestConcurrentStatsAndMetrics hammers Stats/ResetStats and the
 // metrics registry while queries, traced queries, and ExplainAnalyze
 // run from other goroutines. Every operation evaluates into a local

@@ -115,15 +115,18 @@ func (db *DB) Sync(ctx context.Context) (*DegradedReport, error) {
 // members are unavailable for Explain's skip marks. nil report when no
 // sources are mounted.
 func (db *DB) syncSources(ctx context.Context, bestEffort bool) (*federation.Report, error) {
-	if !db.cat.HasSources() {
-		return nil, nil
-	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	op := db.rec.Begin(qlog.KindSync)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// The mount-set check happens under db.mu: Mount/Unmount mutate the
+	// catalog under the same lock, and a concurrent Mount must not race
+	// the read.
+	if !db.cat.HasSources() {
+		return nil, nil
+	}
+	op := db.rec.Begin(qlog.KindSync)
 	rep, err := db.cat.SyncSources(ctx, bestEffort)
 	if err != nil {
 		op.End(err)
@@ -149,6 +152,7 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 	op := db.rec.Begin(qlog.KindQuery)
 	if op != nil {
 		op.SetText(q.String())
+		op.SetWorkers(db.engine.Workers())
 		// Tag the context only when a tracer will consume the ID: the
 		// tag upgrades a Background context into a cancellable one, which
 		// the evaluator then polls.
@@ -197,6 +201,7 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 	op := db.rec.Begin(qlog.KindExec)
 	if op != nil {
 		op.SetText(q.String())
+		op.SetWorkers(db.engine.Workers())
 		if db.engine.Tracer() != nil {
 			ctx = op.Context(ctx)
 		}

@@ -154,6 +154,9 @@ func OpenWithOptions(opts Options) *DB {
 	// Federated member snapshots install through the engine mutex so
 	// source syncs stay coherent with concurrent queries.
 	cat.SetApplier(engine.UpdateBase)
+	// Worker parallelism extends to member syncs: fetches overlap up to
+	// the same degree the evaluator partitions scans.
+	cat.SetFetchConcurrency(opts.Workers)
 	return &DB{
 		engine: engine,
 		cat:    cat,
@@ -473,3 +476,22 @@ func (db *DB) Views() []string {
 
 // Stats returns evaluator counters.
 func (db *DB) Stats() Stats { return db.engine.Stats() }
+
+// SetWorkers sets the degree of intra-operation parallelism (see
+// Options.Workers): n > 1 partitions large scans across n workers,
+// evaluates independent view rules concurrently, and overlaps federated
+// member fetches — with answers byte-identical to sequential evaluation.
+// 0 and 1 evaluate sequentially; negative values clamp to 0. Safe to
+// call at any time, including between queries.
+func (db *DB) SetWorkers(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.engine.SetWorkers(n)
+	db.cat.SetFetchConcurrency(n)
+}
+
+// Workers returns the configured parallelism degree.
+func (db *DB) Workers() int { return db.engine.Workers() }

@@ -30,6 +30,10 @@ type Catalog struct {
 	sources map[string]federation.Source
 	apply   func(func(base *object.Tuple) bool)
 
+	// fetchConc caps how many member fetches SyncSources runs
+	// concurrently; 0 and 1 fetch sequentially (see SetFetchConcurrency).
+	fetchConc int
+
 	// Sync metrics (see SetMetrics); all nil-safe, so an unconfigured
 	// catalog pays nothing.
 	syncCount    *obs.Counter

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"idl/internal/federation"
@@ -109,14 +110,85 @@ func (c *Catalog) applyUniverse(fn func(*object.Tuple) bool) {
 	}
 }
 
+// SetFetchConcurrency caps how many member fetches SyncSources may run
+// concurrently. 0 and 1 (the default) fetch members one at a time in
+// sorted-name order; higher values overlap the fetches — member latency
+// then costs the slowest member rather than the sum — while error
+// selection, health reports and snapshot installation stay in sorted
+// order, so results are independent of fetch completion order. Values
+// below zero clamp to zero.
+func (c *Catalog) SetFetchConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.fetchConc = n
+}
+
+// FetchConcurrency returns the configured fetch concurrency cap.
+func (c *Catalog) FetchConcurrency() int { return c.fetchConc }
+
+// fetchResult is one member's sync outcome, recorded by the fetch phase
+// and interpreted by SyncSources' sequential post-pass.
+type fetchResult struct {
+	snap     *object.Tuple
+	err      error
+	breaker  string
+	attempts int
+}
+
+// fetchAll fetches the named members, concurrently when the configured
+// concurrency and the member count both exceed one. Results are indexed
+// by the caller's name order; breaker state is probed right after each
+// member's own fetch completes. In sequential fail-fast mode the fetch
+// loop stops at the first error — exactly the pre-concurrency behavior —
+// and the truncated slice ends with the failing member. Concurrent
+// fail-fast still fetches every member (the goroutines are already in
+// flight); the post-pass picks the first failure in name order.
+func (c *Catalog) fetchAll(ctx context.Context, names []string, failFast bool) []fetchResult {
+	results := make([]fetchResult, len(names))
+	fetch := func(i int) {
+		src := c.sources[names[i]]
+		r := &results[i]
+		r.snap, r.err = federation.Fetch(ctx, src)
+		r.breaker, r.attempts = federation.Probe(src)
+	}
+	conc := c.fetchConc
+	if conc > len(names) {
+		conc = len(names)
+	}
+	if conc < 2 {
+		for i := range names {
+			fetch(i)
+			if failFast && results[i].err != nil {
+				return results[:i+1]
+			}
+		}
+		return results
+	}
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fetch(i)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
 // SyncSources refreshes every mounted member's snapshot: fetches happen
-// outside any engine lock, then all universe changes install in one
-// applier call. In fail-fast mode (bestEffort=false) the first
-// unreachable member aborts the sync with its *federation.SourceError.
-// In best-effort mode an unreachable member's snapshot is removed — the
-// member evaluates as empty — and the returned report records every
-// member's health. An unchanged snapshot is not reinstalled, so view
-// caches stay warm across healthy syncs.
+// outside any engine lock (concurrently when SetFetchConcurrency allows),
+// then all universe changes install in one applier call. In fail-fast
+// mode (bestEffort=false) the first unreachable member — first in sorted
+// name order, whatever order the fetches completed in — aborts the sync
+// with its *federation.SourceError. In best-effort mode an unreachable
+// member's snapshot is removed — the member evaluates as empty — and the
+// returned report records every member's health. An unchanged snapshot is
+// not reinstalled, so view caches stay warm across healthy syncs.
 func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation.Report, error) {
 	names := c.Sources()
 	report := &federation.Report{}
@@ -129,27 +201,29 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 		c.syncCount.Inc()
 		defer func() { c.syncLatency.Observe(time.Since(start)) }()
 	}
+	results := c.fetchAll(ctx, names, !bestEffort)
 	snaps := make(map[string]*object.Tuple, len(names))
-	for _, name := range names {
-		src := c.sources[name]
-		snap, err := federation.Fetch(ctx, src)
-		health := federation.SourceHealth{Name: name}
-		health.Breaker, health.Attempts = federation.Probe(src)
-		if err != nil {
+	for i, name := range names {
+		if i >= len(results) {
+			break
+		}
+		res := results[i]
+		health := federation.SourceHealth{Name: name, Breaker: res.breaker, Attempts: res.attempts}
+		if res.err != nil {
 			if c.metrics != nil {
 				c.metrics.Counter("federation.member." + name + ".fetch_errors").Inc()
 			}
 			if !bestEffort {
 				c.syncFailures.Inc()
-				return nil, err
+				return nil, res.err
 			}
-			if serr, ok := err.(*federation.SourceError); ok {
+			if serr, ok := res.err.(*federation.SourceError); ok {
 				health.Err = fmt.Sprintf("%s: %v", serr.Op, serr.Err)
 			} else {
-				health.Err = err.Error()
+				health.Err = res.err.Error()
 			}
 		} else {
-			snaps[name] = snap
+			snaps[name] = res.snap
 		}
 		report.Sources = append(report.Sources, health)
 	}

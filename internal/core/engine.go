@@ -37,6 +37,14 @@ type Options struct {
 	// top of the existing overlay instead of from scratch. Any other
 	// change falls back to full recomputation.
 	IncrementalViews bool
+	// Workers sets the degree of intra-operation parallelism. With a
+	// value above one, queries whose first scheduled conjunct scans a
+	// large set partition that scan across workers, and view
+	// materialization evaluates independent rules of a stratum
+	// concurrently — with answers, derived overlays, and evaluator
+	// counters byte-identical to sequential evaluation (DESIGN.md §10).
+	// 0 and 1 evaluate sequentially. Default 0.
+	Workers int
 	// BestEffort degrades queries gracefully when a federated member
 	// database is unreachable: instead of failing, the member is treated
 	// as empty and the answer carries a Degraded report (which members
@@ -366,10 +374,39 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 		probes = newProbes(q.Body.Conjuncts)
 		ev.analyze = &analyzeState{probes: probes}
 	}
-	err = ev.satisfy(q.Body, eff, func() error {
-		ans.add(ev.env.Snapshot(vars))
-		return nil
-	})
+	// Parallel path: partition the query's first scan across workers and
+	// merge the per-chunk rows in chunk order, reproducing the sequential
+	// row order exactly. Traced queries (span != nil) stay sequential —
+	// per-conjunct probes are not parallel-safe.
+	ran := false
+	if e.opts.Workers > 1 && span == nil {
+		var chunks [][]Row
+		var ok bool
+		chunks, ok, err = e.parallelEnumerate(cctx, q.Body, eff, vars, &local)
+		if ok {
+			ran = true
+			if err == nil {
+				var mergeStart time.Time
+				if e.em != nil {
+					mergeStart = time.Now()
+				}
+				for _, rows := range chunks {
+					for _, r := range rows {
+						ans.add(r)
+					}
+				}
+				if e.em != nil {
+					e.em.mergeLatency.Observe(time.Since(mergeStart))
+				}
+			}
+		}
+	}
+	if !ran {
+		err = ev.satisfy(q.Body, eff, func() error {
+			ans.add(ev.env.Snapshot(vars))
+			return nil
+		})
+	}
 	e.stats.add(local)
 	if obsOn {
 		if e.em != nil {

@@ -89,6 +89,11 @@ type evaluator struct {
 	// for EXPLAIN ANALYZE and traced queries. nil (the default) costs one
 	// pointer test per scheduled conjunct.
 	analyze *analyzeState
+	// part, when non-nil, restricts this evaluator's first enumeration
+	// of one specific set to a chunk of its elements — the partitioned-
+	// scan parallel path (parallel.go). nil costs one pointer test per
+	// set enumeration.
+	part *partition
 }
 
 // checkCtx polls the evaluation context once every 1024 operations.
@@ -512,6 +517,26 @@ func consumedVars(e ast.Expr) []string {
 func (ev *evaluator) satisfySet(x *ast.SetExpr, o object.Object, k cont) error {
 	set, ok := o.(*object.Set)
 	if !ok {
+		return nil
+	}
+	if p := ev.part; p != nil && !p.used && p.set == set {
+		// Partitioned scan: this worker's first encounter of the target
+		// set enumerates only its chunk. scanTarget guaranteed the
+		// sequential evaluator would have full-scanned here, and the
+		// first set this evaluation reaches is the target by
+		// construction, so marking the partition consumed keeps every
+		// later enumeration of the same set (self-joins, negations)
+		// identical to the sequential one.
+		p.used = true
+		for _, elem := range p.elems {
+			ev.stats.ElementsScanned++
+			if err := ev.checkCtx(); err != nil {
+				return err
+			}
+			if err := ev.satisfy(x.X, elem, k); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	if ev.useIndex {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"idl/internal/object"
 )
 
@@ -9,10 +11,15 @@ import (
 // its set's version counter moves (the update evaluator bumps versions by
 // removing and re-adding mutated elements).
 //
-// The cache is owned by an Engine and shared across its evaluations; it is
-// not safe for concurrent use on its own (the Engine serializes access).
+// The cache is owned by an Engine and shared across its evaluations,
+// including the worker goroutines of parallel evaluation (parallel.go):
+// a mutex serializes lookups, so concurrent workers share one build of
+// each index instead of building per-worker copies. The critical section
+// is a map probe (plus the build on a miss); the uncontended lock is
+// noise next to the candidate enumeration it guards.
 type indexCache struct {
-	m map[indexKey]*setIndex
+	mu sync.Mutex
+	m  map[indexKey]*setIndex
 }
 
 type indexKey struct {
@@ -32,6 +39,8 @@ func newIndexCache() *indexCache {
 // lookup returns the elements of set whose attr equals val (candidates:
 // hash collisions are filtered by the caller's full evaluation).
 func (c *indexCache) lookup(set *object.Set, attr string, val object.Object, stats *Stats) []object.Object {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := indexKey{set: set, attr: attr}
 	idx, ok := c.m[key]
 	if !ok || idx.version != set.Version() {
@@ -64,5 +73,7 @@ func buildIndex(set *object.Set, attr string) *setIndex {
 // the effective universe so indexes built on discarded merged sets are
 // released.
 func (c *indexCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.m = make(map[indexKey]*setIndex)
 }

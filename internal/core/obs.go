@@ -39,6 +39,14 @@ type engineMetrics struct {
 	matLatency      *obs.Histogram
 
 	programCalls *obs.Counter
+
+	// Parallel evaluation instruments (parallel.go): how many workers
+	// are evaluating right now, how many scan partitions and parallel
+	// operations were dispatched, and how long chunk-order merges take.
+	workerBusy   *obs.Gauge
+	partitions   *obs.Counter
+	parallelOps  *obs.Counter
+	mergeLatency *obs.Histogram
 }
 
 func opMetricsFor(r *obs.Registry, op string) opMetrics {
@@ -68,6 +76,10 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		matFactsDerived: r.Counter("engine.materialize.facts_derived"),
 		matLatency:      r.Histogram("engine.materialize.latency"),
 		programCalls:    r.Counter("engine.program.calls"),
+		workerBusy:      r.Gauge("engine.eval.worker_busy"),
+		partitions:      r.Counter("engine.eval.partitions"),
+		parallelOps:     r.Counter("engine.eval.parallel_ops"),
+		mergeLatency:    r.Histogram("engine.eval.merge_latency"),
 	}
 }
 

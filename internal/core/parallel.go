@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"idl/internal/ast"
+	"idl/internal/object"
+)
+
+// Parallel evaluation (DESIGN.md §10). With Options.Workers > 1 the
+// engine spreads work across goroutines in two places, both constructed
+// so every observable result is byte-identical to sequential evaluation:
+//
+//   - Partitioned scans: when the first conjunct an operation schedules
+//     resolves (under the empty substitution) to a full scan of one set,
+//     that set's elements are split into contiguous chunks, one worker
+//     per chunk, each running the complete evaluation restricted to its
+//     chunk. Concatenating the per-chunk results in chunk order
+//     reproduces the sequential enumeration order exactly, so the shared
+//     ordered dedup sees the same row sequence it would have seen.
+//
+//   - Rule waves: within a stratum iteration, a maximal prefix of the
+//     runnable rules whose bodies cannot read any earlier wave member's
+//     head evaluates concurrently (body evaluation is a pure read);
+//     derived facts are then applied strictly in rule order, preserving
+//     the sequential make-true merge sequence.
+//
+// Workers share the engine's index cache (which serializes lookups with
+// a mutex) and the effective universe, which is never mutated during
+// body evaluation. Per-conjunct analyze probes are not parallel-safe, so
+// traced/EXPLAIN ANALYZE queries always evaluate sequentially.
+
+// minPartition is the smallest scan worth splitting: below this the
+// goroutine fan-out costs more than the scan.
+const minPartition = 16
+
+// partition restricts the first enumeration of one specific set to a
+// contiguous chunk of its elements. Later enumerations of the same set
+// during the same evaluation (self-joins, negations over the scanned
+// relation) see the full set, exactly as the sequential evaluator does.
+type partition struct {
+	set   *object.Set
+	elems []object.Object
+	used  bool
+}
+
+// scanTarget statically resolves the set that the first scheduled
+// conjunct of body will fully scan, mirroring the scheduler's first pick
+// under the empty substitution. It returns nil when the first conjunct
+// is not a plain constant-path scan — a negation, a constraint, a
+// variable database or relation name, or a set expression the index
+// would answer (partitioning an index probe would change the candidate
+// enumeration order).
+func (e *Engine) scanTarget(x ast.Expr, o object.Object) *object.Set {
+	switch expr := x.(type) {
+	case *ast.TupleExpr:
+		if len(expr.Conjuncts) == 0 {
+			return nil
+		}
+		// Mirror scheduleConjuncts with an empty env: the first conjunct
+		// whose consumed-variable list is empty runs first; if none
+		// qualifies the scheduler falls back to the first conjunct.
+		pick := 0
+		if !e.opts.NoSchedule {
+			pick = -1
+			for i, c := range expr.Conjuncts {
+				if len(consumedVars(c)) == 0 {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				pick = 0
+			}
+		}
+		return e.scanTarget(expr.Conjuncts[pick], o)
+
+	case *ast.AttrExpr:
+		if expr.Sign != ast.SignNone {
+			return nil
+		}
+		name, ok := constStrName(expr.Name)
+		if !ok {
+			return nil
+		}
+		tup, ok := o.(*object.Tuple)
+		if !ok {
+			return nil
+		}
+		val, ok := tup.Get(name)
+		if !ok {
+			return nil
+		}
+		return e.scanTarget(expr.Expr, val)
+
+	case *ast.SetExpr:
+		if expr.Sign != ast.SignNone {
+			return nil
+		}
+		set, ok := o.(*object.Set)
+		if !ok {
+			return nil
+		}
+		if e.opts.UseIndex && wouldUseIndex(expr, set) {
+			// The index path would answer this scan, so the sequential
+			// evaluator never enumerates the full set; leave it alone.
+			return nil
+		}
+		return set
+
+	default:
+		return nil
+	}
+}
+
+// wouldUseIndex mirrors indexCandidates' decision under the empty
+// substitution without touching the index cache: same inner-shape, size,
+// and ground-equality-conjunct tests, no lookup.
+func wouldUseIndex(x *ast.SetExpr, set *object.Set) bool {
+	te, ok := x.X.(*ast.TupleExpr)
+	if !ok {
+		return false
+	}
+	if set.Len() < 16 {
+		return false
+	}
+	probe := &evaluator{env: NewEnv(), stats: &Stats{}}
+	for _, c := range te.Conjuncts {
+		if _, _, ok := probe.groundEqConjunct(c); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// splitChunks cuts elems into at most n contiguous, non-empty chunks of
+// near-equal size.
+func splitChunks(elems []object.Object, n int) [][]object.Object {
+	if n > len(elems) {
+		n = len(elems)
+	}
+	chunks := make([][]object.Object, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(elems) / n
+		hi := (i + 1) * len(elems) / n
+		if lo < hi {
+			chunks = append(chunks, elems[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// parallelEnumerate evaluates body against root with the first scanned
+// set partitioned across e.opts.Workers workers, returning each chunk's
+// variable snapshots in chunk order (their concatenation is the exact
+// sequential enumeration order). ok is false when the body has no
+// partitionable scan or the target set is too small to split; the caller
+// then evaluates sequentially. On error, the reported error is the one
+// the earliest chunk raised — the same error sequential evaluation would
+// have hit first, since workers fail at the first failing element of
+// their own chunk.
+func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, root *object.Tuple, vars []string, stats *Stats) ([][]Row, bool, error) {
+	workers := e.opts.Workers
+	target := e.scanTarget(body, root)
+	if target == nil || target.Len() < minPartition {
+		return nil, false, nil
+	}
+	chunks := splitChunks(target.Elems(), workers)
+	if len(chunks) < 2 {
+		return nil, false, nil
+	}
+	if e.em != nil {
+		e.em.parallelOps.Inc()
+		e.em.partitions.Add(uint64(len(chunks)))
+	}
+	rows := make([][]Row, len(chunks))
+	errs := make([]error, len(chunks))
+	chunkStats := make([]Stats, len(chunks))
+	var wg sync.WaitGroup
+	for w, chunk := range chunks {
+		wg.Add(1)
+		go func(w int, chunk []object.Object) {
+			defer wg.Done()
+			if e.em != nil {
+				e.em.workerBusy.Add(1)
+				defer e.em.workerBusy.Add(-1)
+			}
+			ev := &evaluator{
+				env:        NewEnv(),
+				indexes:    e.indexes,
+				useIndex:   e.opts.UseIndex,
+				noSchedule: e.opts.NoSchedule,
+				stats:      &chunkStats[w],
+				ctx:        ctx,
+				part:       &partition{set: target, elems: chunk},
+			}
+			errs[w] = ev.satisfy(body, root, func() error {
+				rows[w] = append(rows[w], ev.env.Snapshot(vars))
+				return nil
+			})
+		}(w, chunk)
+	}
+	wg.Wait()
+	for w := range chunkStats {
+		stats.add(chunkStats[w])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	return rows, true, nil
+}
+
+// ruleReadsHead reports whether r's body may read other's head relation
+// (conservatively: variable name components match anything).
+func ruleReadsHead(r, other *compiledRule) bool {
+	for _, ref := range r.refs {
+		if refMatchesHead(ref, other) {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleWave returns the length of the longest prefix of affected (indexes
+// into stratum) that can evaluate concurrently: no member's body may
+// read the head of an earlier member, because sequential evaluation
+// would have let that member observe the earlier rule's freshly applied
+// facts. Self-reads do not constrain the wave — a rule's body always
+// evaluates before its own head applies, sequentially too.
+func ruleWave(stratum []*compiledRule, affected []int) int {
+	n := 1
+	for n < len(affected) {
+		cand := stratum[affected[n]]
+		ok := true
+		for _, earlier := range affected[:n] {
+			if ruleReadsHead(cand, stratum[earlier]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// evalRuleBodies evaluates the bodies of a wave of rules concurrently
+// (capped at e.opts.Workers goroutines), collecting each rule's deduped
+// head-variable snapshots. A single-rule wave instead tries to partition
+// that rule's body scan across the workers. Bodies only read the shared
+// effective universe, so the concurrency is race-free; derived facts are
+// applied by the caller, strictly in rule order.
+func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effective *object.Tuple, stats *Stats) ([][]Row, []error) {
+	snaps := make([][]Row, len(wave))
+	errs := make([]error, len(wave))
+	if len(wave) == 1 {
+		rule := wave[0]
+		headVars := ast.Vars(rule.src.Head)
+		chunks, ok, err := e.parallelEnumerate(ctx, rule.src.Body, effective, headVars, stats)
+		if ok {
+			if err == nil {
+				dedupe := newAnswer(nil)
+				for _, rows := range chunks {
+					for _, r := range rows {
+						if dedupe.add(r) {
+							snaps[0] = append(snaps[0], r)
+						}
+					}
+				}
+			}
+			errs[0] = err
+			return snaps, errs
+		}
+		snaps[0], errs[0] = e.evalRuleBody(ctx, rule, effective, stats)
+		return snaps, errs
+	}
+	ruleStats := make([]Stats, len(wave))
+	sem := make(chan struct{}, e.opts.Workers)
+	var wg sync.WaitGroup
+	for i, rule := range wave {
+		wg.Add(1)
+		go func(i int, rule *compiledRule) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if e.em != nil {
+				e.em.workerBusy.Add(1)
+				defer e.em.workerBusy.Add(-1)
+			}
+			snaps[i], errs[i] = e.evalRuleBody(ctx, rule, effective, &ruleStats[i])
+		}(i, rule)
+	}
+	wg.Wait()
+	for i := range ruleStats {
+		stats.add(ruleStats[i])
+	}
+	return snaps, errs
+}
+
+// SetWorkers sets the degree of intra-operation parallelism (see
+// Options.Workers). Values below zero clamp to zero (sequential).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.opts.Workers = n
+}
+
+// Workers returns the configured parallelism degree.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts.Workers
+}

@@ -355,20 +355,59 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 			effective := mergeUniverse(e.base, derived)
 			changedNow := map[int]bool{}
 			anyChange := false
-			for ri, rule := range stratum {
-				if e.opts.SemiNaive && !first && !e.ruleAffected(rule, stratum, changedLast) {
-					continue
+			if e.opts.Workers > 1 {
+				// Parallel path: evaluate waves of independent rules
+				// concurrently, apply derived facts strictly in rule order
+				// (see parallel.go for the equivalence argument).
+				var affected []int
+				for ri, rule := range stratum {
+					if e.opts.SemiNaive && !first && !e.ruleAffected(rule, stratum, changedLast) {
+						continue
+					}
+					affected = append(affected, ri)
 				}
-				stats.RuleRuns++
-				n, err := e.runRule(ctx, rule, effective, derived, &evalStats)
-				if err != nil {
-					round.End()
-					return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
+				for len(affected) > 0 {
+					waveLen := ruleWave(stratum, affected)
+					wave := make([]*compiledRule, waveLen)
+					for i, ri := range affected[:waveLen] {
+						wave[i] = stratum[ri]
+					}
+					snaps, errs := e.evalRuleBodies(ctx, wave, effective, &evalStats)
+					for wi, rule := range wave {
+						stats.RuleRuns++
+						if errs[wi] != nil {
+							round.End()
+							return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), errs[wi])
+						}
+						n, err := applyRuleSnaps(rule, derived, snaps[wi])
+						if err != nil {
+							round.End()
+							return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
+						}
+						if n > 0 {
+							stats.FactsDerived += n
+							changedNow[affected[wi]] = true
+							anyChange = true
+						}
+					}
+					affected = affected[waveLen:]
 				}
-				if n > 0 {
-					stats.FactsDerived += n
-					changedNow[ri] = true
-					anyChange = true
+			} else {
+				for ri, rule := range stratum {
+					if e.opts.SemiNaive && !first && !e.ruleAffected(rule, stratum, changedLast) {
+						continue
+					}
+					stats.RuleRuns++
+					n, err := e.runRule(ctx, rule, effective, derived, &evalStats)
+					if err != nil {
+						round.End()
+						return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
+					}
+					if n > 0 {
+						stats.FactsDerived += n
+						changedNow[ri] = true
+						anyChange = true
+					}
 				}
 			}
 			if round != nil {
@@ -406,11 +445,22 @@ func (e *Engine) ruleAffected(rule *compiledRule, stratum []*compiledRule, chang
 // and makes the head true in the derived overlay for each; it returns how
 // many make-true operations changed the overlay.
 func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple, stats *Stats) (int, error) {
+	envSnaps, err := e.evalRuleBody(ctx, rule, effective, stats)
+	if err != nil {
+		return 0, err
+	}
+	return applyRuleSnaps(rule, derived, envSnaps)
+}
+
+// evalRuleBody is the read-only half of a rule run: it collects the
+// deduped head-variable snapshots of every body substitution. Head
+// instantiations are collected before any make-true applies because the
+// body may be reading the overlay through the merged universe — which is
+// also what makes this phase safe to run concurrently for independent
+// rules (parallel.go).
+func (e *Engine) evalRuleBody(ctx context.Context, rule *compiledRule, effective *object.Tuple, stats *Stats) ([]Row, error) {
 	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: stats, ctx: ctx}
-	changed := 0
-	// Collect head instantiations first: makeTrue mutates the overlay the
-	// body may be reading through the merged universe.
-	var envSnaps []map[string]object.Object
+	var envSnaps []Row
 	headVars := ast.Vars(rule.src.Head)
 	dedupe := newAnswer(nil)
 	err := ev.satisfy(rule.src.Body, effective, func() error {
@@ -421,8 +471,17 @@ func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, der
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	return envSnaps, nil
+}
+
+// applyRuleSnaps is the mutating half of a rule run: it makes the head
+// true once per collected snapshot, in enumeration order (the order
+// make-true merges into host tuples is observable, so it must match the
+// sequential order exactly).
+func applyRuleSnaps(rule *compiledRule, derived *object.Tuple, envSnaps []Row) (int, error) {
+	changed := 0
 	for _, snap := range envSnaps {
 		env := envFrom(snap)
 		n, err := makeTrue(rule.src.Head, derived, env)

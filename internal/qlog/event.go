@@ -50,6 +50,7 @@ type Event struct {
 	Skipped    []string      `json:"skipped,omitempty"`  // conjuncts skipped due to unreachable members
 	Degraded   string        `json:"degraded,omitempty"` // federation degraded report, deterministic rendering
 	Member     string        `json:"member,omitempty"`   // member database name (breaker events)
+	Workers    int           `json:"workers,omitempty"`  // parallelism degree the operation ran under (0 = sequential)
 	Slow       bool          `json:"slow,omitempty"`     // duration exceeded the slow threshold
 	Err        string        `json:"err,omitempty"`
 }
@@ -84,6 +85,9 @@ func (e *Event) format(redact bool) string {
 		if e.Err == "" {
 			fmt.Fprintf(&b, " changes=%d", e.Changes)
 		}
+	}
+	if e.Workers > 0 {
+		fmt.Fprintf(&b, " workers=%d", e.Workers)
 	}
 	if len(e.Skipped) > 0 {
 		fmt.Fprintf(&b, " skipped=[%s]", strings.Join(e.Skipped, "; "))

@@ -49,6 +49,7 @@ type Record struct {
 	Answer   string       `json:"answer,omitempty"` // canonical Answer rendering (sorted)
 	Exec     *ExecSummary `json:"exec,omitempty"`
 	Degraded string       `json:"degraded,omitempty"` // deterministic degraded-report rendering
+	Workers  int          `json:"workers,omitempty"`  // parallelism degree the statement ran under (0 = sequential)
 	Err      string       `json:"err,omitempty"`
 }
 

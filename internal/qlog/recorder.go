@@ -280,6 +280,16 @@ func (op *Op) SetAnswer(answer string, rows int) {
 	op.ev.Rows = rows
 }
 
+// SetWorkers records the parallelism degree the operation ran under.
+// Sequential runs (n <= 1) leave the field zero so event renderings and
+// journal records are unchanged from pre-parallel captures.
+func (op *Op) SetWorkers(n int) {
+	if op == nil || n <= 1 {
+		return
+	}
+	op.ev.Workers = n
+}
+
 // SetExec records an update request's outcome counters.
 func (op *Op) SetExec(sum ExecSummary, changes int) {
 	if op == nil {
@@ -339,6 +349,7 @@ func (op *Op) finish(errMsg string) {
 				Answer:   op.answer,
 				Exec:     op.exec,
 				Degraded: ev.Degraded,
+				Workers:  ev.Workers,
 				Err:      ev.Err,
 			})
 		}
@@ -392,6 +403,9 @@ func attrs(ev *Event) []slog.Attr {
 	}
 	if ev.Member != "" {
 		out = append(out, slog.String("member", ev.Member))
+	}
+	if ev.Workers > 0 {
+		out = append(out, slog.Int("workers", ev.Workers))
 	}
 	if ev.Slow {
 		out = append(out, slog.Bool("slow", true))

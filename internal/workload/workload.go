@@ -48,6 +48,13 @@ type Config struct {
 	Retries          int
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Workers sets the evaluation parallelism degree (idl.DB.SetWorkers).
+	// Parallel answers are byte-identical to sequential ones, so journals
+	// captured under any worker count replay interchangeably; the value
+	// still round-trips through journal metadata so a replay reconstructs
+	// the recorded environment faithfully.
+	Workers int
 }
 
 // Default is the standard demo workload: the universe cmd/idl -demo
@@ -103,6 +110,9 @@ func Open(cfg Config) (*idl.DB, error) {
 // stock universe in-process when ChaosSeed is zero, or the same universe
 // mounted as fault-injected federated members when it is set.
 func Apply(db *idl.DB, cfg Config) error {
+	if cfg.Workers > 0 {
+		db.SetWorkers(cfg.Workers)
+	}
 	if !cfg.Demo {
 		return nil
 	}
@@ -154,6 +164,7 @@ const (
 	metaRetries          = "retries"
 	metaBreakerThreshold = "breaker_threshold"
 	metaBreakerCooldown  = "breaker_cooldown"
+	metaWorkers          = "workers"
 )
 
 // Meta renders cfg as journal-header metadata. FromMeta inverts it.
@@ -171,6 +182,7 @@ func (cfg Config) Meta() map[string]string {
 		metaRetries:          strconv.Itoa(cfg.Retries),
 		metaBreakerThreshold: strconv.Itoa(cfg.BreakerThreshold),
 		metaBreakerCooldown:  cfg.BreakerCooldown.String(),
+		metaWorkers:          strconv.Itoa(cfg.Workers),
 	}
 }
 
@@ -217,5 +229,6 @@ func FromMeta(meta map[string]string) (Config, error) {
 	get(metaRetries, parseInt(&cfg.Retries))
 	get(metaBreakerThreshold, parseInt(&cfg.BreakerThreshold))
 	get(metaBreakerCooldown, parseDur(&cfg.BreakerCooldown))
+	get(metaWorkers, parseInt(&cfg.Workers))
 	return cfg, err
 }

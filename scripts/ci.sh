@@ -1,12 +1,15 @@
 #!/bin/sh
 # Full CI gate: formatting, compile, vet, the whole test suite (chaos,
 # concurrency and cancellation tests included) under the race detector
-# with shuffled test order, then the benchmark pipeline:
+# with shuffled test order, a coverage floor on the engine, fuzz smoke
+# on the parser and the parallel evaluator, then the benchmark
+# pipeline:
 #
 #   1. regenerate the snapshot in short mode to BENCH_new.json;
-#   2. validate it — malformed reports, unmeasured benchmarks, or
+#   2. validate it — malformed reports, unmeasured benchmarks,
 #      tracing / flight-recorder overhead beyond the DESIGN.md §8–§9
-#      bounds fail the build;
+#      bounds, or a B13 sync-family parallel speedup below 1.5× at
+#      four workers (DESIGN.md §10) fail the build;
 #   3. compare it against the committed BENCH_report.json — any
 #      benchmark more than 25% slower fails the build (the
 #      bench-regression gate; a failed compare re-measures once so a
@@ -23,8 +26,27 @@ go build ./...
 go vet ./...
 go test -race -shuffle=on ./...
 
+# Coverage floor on the engine package: the parallel-evaluation layer
+# must not erode internal/core's seed coverage (77.8% at introduction).
+go test -coverprofile=/tmp/core_cover.out ./internal/core
+go tool cover -func=/tmp/core_cover.out | awk '
+    /^total:/ {
+        sub(/%/, "", $3)
+        if ($3 + 0 < 77.8) {
+            printf "internal/core coverage %.1f%% below 77.8%% floor\n", $3
+            exit 1
+        }
+        printf "internal/core coverage %.1f%% (floor 77.8%%)\n", $3
+    }'
+
+# Fuzz smoke: a short randomized pass over the parser round-trip and
+# the sequential-vs-parallel differential oracle. Any corpus crasher
+# found earlier re-runs here as a regression seed.
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 15s ./internal/parser
+go test -run '^$' -fuzz '^FuzzEvalQuery$' -fuzztime 15s ./internal/core
+
 go run ./cmd/idlbench -short -out BENCH_new.json
-go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25
+go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5
 # The regression gate, with one confirmation pass: sustained host
 # contention can inflate a whole snapshot run, so a failed compare
 # re-measures once and only fails when the regression reproduces. A
