@@ -25,6 +25,9 @@
 //	                 concurrently, and federated member fetches overlap —
 //	                 answers stay byte-identical to sequential evaluation
 //	                 (0 or 1 = sequential)
+//	-no-plan-cache   compile a fresh plan for every query instead of
+//	                 reusing epoch-validated cached plans (answers are
+//	                 unchanged; only compile work repeats)
 //	-debug-addr a    serve debug endpoints on this address:
 //	                 /debug/metrics (engine metrics, JSON or ?format=table),
 //	                 /debug/events (flight recorder, JSON or ?format=text),
@@ -57,6 +60,9 @@
 //	                           rows, scans, probes, and per-conjunct time
 //	\trace on|off|show         toggle span tracing / show recent traces
 //	\workers [n]               show or set the parallel worker count
+//	\plan-cache [clear]        plan cache counters (hits, misses,
+//	                           evictions, resident plans, catalog epoch),
+//	                           or clear the cached plans
 //	\help                      this list
 //	\quit                      exit
 package main
@@ -93,6 +99,9 @@ type config struct {
 	// Evaluation parallelism (0 or 1 = sequential).
 	workers int
 
+	// Planning: disable the epoch-keyed plan cache (B-series ablation).
+	noPlanCache bool
+
 	// Observability.
 	debugAddr   string
 	journal     string
@@ -120,6 +129,7 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", cfg.retries, "retry attempts for federated member operations")
 	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "with -demo: mount the stock databases behind a seeded fault injector (0 = off)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel evaluation workers; answers stay byte-identical to sequential (0 or 1 = sequential)")
+	flag.BoolVar(&cfg.noPlanCache, "no-plan-cache", false, "compile a fresh plan for every query (disables the epoch-keyed plan cache)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/events, /debug/vars, and /debug/pprof/ on this address")
 	flag.StringVar(&cfg.journal, "journal", "", "append a replayable .idlog workload journal at this path")
 	flag.StringVar(&cfg.logPath, "log", "", `structured event log path ("-" = stderr)`)
@@ -250,6 +260,11 @@ func openDB(cfg config) (*idl.DB, error) {
 		opts.BestEffort = cfg.bestEffort
 		db = idl.OpenWithOptions(opts)
 	}
+	if cfg.noPlanCache {
+		// Applied after open so the flag also covers the snapshot path,
+		// which constructs the DB with default options.
+		db.SetPlanCaching(false)
+	}
 	// The demo universe (and its chaos-mounted variant) comes from
 	// internal/workload so a journaled session replays from its header.
 	if err := workload.Apply(db, workloadConfig(cfg)); err != nil {
@@ -334,7 +349,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -443,6 +458,22 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		}
 		db.SetWorkers(n)
 		fmt.Printf("workers: %d\n", db.Workers())
+	case `\plan-cache`:
+		if len(fields) > 1 {
+			if fields[1] != "clear" {
+				fmt.Println("usage: \\plan-cache [clear]")
+				break
+			}
+			db.ClearPlanCache()
+			fmt.Println("plan cache cleared")
+			break
+		}
+		st := db.PlanCacheStats()
+		fmt.Printf("hits=%d misses=%d evictions=%d plans=%d epoch=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Size, st.Epoch)
+		if cfg.noPlanCache {
+			fmt.Println("plan cache disabled (-no-plan-cache)")
+		}
 	case `\views`:
 		for _, v := range db.Views() {
 			fmt.Println(v)

@@ -1,5 +1,5 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B13 engine benchmarks (see DESIGN.md §5, §8 and §10)
+// runs the B1–B14 engine benchmarks (see DESIGN.md §5, §8, §10 and §11)
 // against the deterministic internal/stocks workload and writes a
 // machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
 // and the engine's evaluator counters — so performance can be compared
@@ -25,6 +25,10 @@
 //	                      at four workers (w1 ns/op ÷ w4 ns/op); the sync
 //	                      family is latency-bound, so the bound holds even
 //	                      on single-CPU machines
+//	-min-plan-cache-hit   validation bound on the B14 cached-family plan
+//	                      cache hit rate (hits ÷ lookups)
+//	-min-plan-speedup     validation bound on the B14 repeated-query
+//	                      speedup (interpreted ns/op ÷ cached ns/op)
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -42,6 +46,7 @@ import (
 	"time"
 
 	"idl"
+	"idl/internal/ast"
 	"idl/internal/core"
 	"idl/internal/federation"
 	"idl/internal/object"
@@ -51,8 +56,9 @@ import (
 )
 
 // reportSchema versions the report layout for downstream tooling.
-// Schema 2 added FlightOverhead; schema 3 added Parallel (B13).
-const reportSchema = 3
+// Schema 2 added FlightOverhead; schema 3 added Parallel (B13); schema 4
+// added PlanCache (B14).
+const reportSchema = 4
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -97,15 +103,31 @@ type ParallelSpeedup struct {
 	SyncSpeedup4  float64 `json:"sync_speedup_4"`  // sync w1 ns/op ÷ w4 ns/op
 }
 
+// PlanCacheSummary is the B14 summary: the same repeated point-query
+// batch evaluated interpreted (analysis recomputed per run), cold-
+// compiled (a plan per run, cache off), cached (the epoch-keyed plan
+// cache) and prepared (DB.Prepare once, execute many). Speedup is the
+// headline ratio interpreted ÷ cached; HitRate is the cached family's
+// plan-cache hit fraction over the measured runs.
+type PlanCacheSummary struct {
+	InterpretedNsPerOp int64   `json:"interpreted_ns_per_op"`
+	CompileNsPerOp     int64   `json:"compile_ns_per_op"`
+	CachedNsPerOp      int64   `json:"cached_ns_per_op"`
+	PreparedNsPerOp    int64   `json:"prepared_ns_per_op"`
+	HitRate            float64 `json:"hit_rate"` // hits ÷ (hits + misses)
+	Speedup            float64 `json:"speedup"`  // interpreted ÷ cached
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
-	Schema         int             `json:"schema"`
-	Short          bool            `json:"short"`
-	GoVersion      string          `json:"go_version"`
-	Benchmarks     []Benchmark     `json:"benchmarks"`
-	TraceOverhead  TraceOverhead   `json:"trace_overhead"`
-	FlightOverhead FlightOverhead  `json:"flight_overhead"`
-	Parallel       ParallelSpeedup `json:"parallel"`
+	Schema         int              `json:"schema"`
+	Short          bool             `json:"short"`
+	GoVersion      string           `json:"go_version"`
+	Benchmarks     []Benchmark      `json:"benchmarks"`
+	TraceOverhead  TraceOverhead    `json:"trace_overhead"`
+	FlightOverhead FlightOverhead   `json:"flight_overhead"`
+	Parallel       ParallelSpeedup  `json:"parallel"`
+	PlanCache      PlanCacheSummary `json:"plan_cache"`
 }
 
 func main() {
@@ -118,6 +140,8 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare two reports (old.json new.json) and fail on regression")
 		maxRegr   = flag.Float64("max-regress", 0.25, "compare mode: max tolerated fractional ns/op growth")
 		minPar    = flag.Float64("min-parallel-speedup", 1.5, "validation bound on the B13 sync-family speedup at 4 workers")
+		minHit    = flag.Float64("min-plan-cache-hit", 0.9, "validation bound on the B14 cached-family plan cache hit rate")
+		minPlan   = flag.Float64("min-plan-speedup", 1.0, "validation bound on the B14 interpreted÷cached speedup")
 	)
 	flag.Parse()
 	if *compare {
@@ -132,7 +156,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -164,6 +188,10 @@ func main() {
 	fmt.Printf("%-40s query=%.2fx sync=%.2fx at 4 workers (cpus=%d gomaxprocs=%d)\n",
 		"B13/parallel-speedup", rep.Parallel.QuerySpeedup4, rep.Parallel.SyncSpeedup4,
 		rep.Parallel.NumCPU, rep.Parallel.GoMaxProcs)
+	fmt.Printf("%-40s %.2fx cached over interpreted, hit rate %.3f (interpreted=%dns compile=%dns cached=%dns prepared=%dns)\n",
+		"B14/plan-cache-speedup", rep.PlanCache.Speedup, rep.PlanCache.HitRate,
+		rep.PlanCache.InterpretedNsPerOp, rep.PlanCache.CompileNsPerOp,
+		rep.PlanCache.CachedNsPerOp, rep.PlanCache.PreparedNsPerOp)
 	fmt.Println("wrote", *out)
 }
 
@@ -246,9 +274,10 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 
 // validateReport enforces the CI gate: well-formed JSON with the
 // expected schema, every benchmark measured, tracing plus
-// flight-recorder overhead under the stated bounds, and the B13
-// sync-family parallel speedup above its floor.
-func validateReport(path string, maxRatio, maxFlight, minParallel float64) error {
+// flight-recorder overhead under the stated bounds, the B13 sync-family
+// parallel speedup above its floor, and the B14 plan-cache hit rate and
+// repeated-query speedup above theirs.
+func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -296,6 +325,16 @@ func validateReport(path string, maxRatio, maxFlight, minParallel float64) error
 	// reported but machine-dependent (≈1.0 when GOMAXPROCS is 1).
 	if ps.SyncSpeedup4 < minParallel {
 		return fmt.Errorf("%s: parallel sync speedup %.2fx at 4 workers below bound %.2fx", path, ps.SyncSpeedup4, minParallel)
+	}
+	pc := rep.PlanCache
+	if pc.InterpretedNsPerOp <= 0 || pc.CompileNsPerOp <= 0 || pc.CachedNsPerOp <= 0 || pc.PreparedNsPerOp <= 0 {
+		return fmt.Errorf("%s: plan-cache families not measured", path)
+	}
+	if pc.HitRate < minHitRate {
+		return fmt.Errorf("%s: plan cache hit rate %.3f below bound %.3f", path, pc.HitRate, minHitRate)
+	}
+	if pc.Speedup < minPlanSpeedup {
+		return fmt.Errorf("%s: plan-cache speedup %.2fx below bound %.2fx", path, pc.Speedup, minPlanSpeedup)
 	}
 	return nil
 }
@@ -670,6 +709,85 @@ func runAll(short bool) *Report {
 			QuerySpeedup4: float64(queryNs[1]) / float64(queryNs[4]),
 			SyncSpeedup4:  float64(syncNs[1]) / float64(syncNs[4]),
 		}
+	}
+
+	// B14: plan caching on a repeated-query workload. One op runs a fixed
+	// batch of selective point queries (index probes, cheap execution, so
+	// planning work is a visible fraction) in four families: interpreted
+	// recomputes the scheduling analysis per evaluation, compile builds a
+	// fresh plan per evaluation with the cache off, cached reuses
+	// epoch-validated plans, prepared compiles once via Engine.Prepare and
+	// only revalidates. All four answer byte-identically (the difftest
+	// grid pins that); this measures what the reuse is worth.
+	{
+		// Three days keeps each probe's result tiny, so per-query planning
+		// work — the thing the cache elides — is a measurable fraction.
+		b14cfg := stocks.Config{Stocks: 64, Days: 3, Seed: 53}
+		const batch = 24
+		var srcs []string
+		for i := 0; i < batch; i++ {
+			srcs = append(srcs, fmt.Sprintf("?.euter.r(.stkCode=stk%03d, .date=D, .clsPrice=P), P > 10", i+1))
+		}
+		parsed := make([]*ast.Query, batch)
+		for i, src := range srcs {
+			q, err := parser.ParseQuery(src)
+			if err != nil {
+				panic(err)
+			}
+			parsed[i] = q
+		}
+		runBatch := func(e *core.Engine) {
+			for _, q := range parsed {
+				if _, err := e.Query(q); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ns := map[string]int64{}
+		for _, fam := range []struct {
+			name string
+			opts func() core.Options
+		}{
+			{"interpreted", func() core.Options { o := core.DefaultOptions(); o.Interpret = true; return o }},
+			{"compile", func() core.Options { o := core.DefaultOptions(); o.NoPlanCache = true; return o }},
+			{"cached", core.DefaultOptions},
+		} {
+			e, _ := engineFor(b14cfg, fam.opts())
+			b := measure("B14/plancache/"+fam.name, short, e, func() { runBatch(e) })
+			add(b)
+			ns[fam.name] = b.NsPerOp
+			if fam.name == "cached" {
+				st := e.PlanCacheStats()
+				if total := st.Hits + st.Misses; total > 0 {
+					rep.PlanCache.HitRate = float64(st.Hits) / float64(total)
+				}
+			}
+		}
+		{
+			e, _ := engineFor(b14cfg, core.DefaultOptions())
+			pqs := make([]*core.PreparedQuery, batch)
+			for i, q := range parsed {
+				pq, err := e.Prepare(q)
+				if err != nil {
+					panic(err)
+				}
+				pqs[i] = pq
+			}
+			b := measure("B14/plancache/prepared", short, e, func() {
+				for _, pq := range pqs {
+					if _, err := pq.Query(); err != nil {
+						panic(err)
+					}
+				}
+			})
+			add(b)
+			ns["prepared"] = b.NsPerOp
+		}
+		rep.PlanCache.InterpretedNsPerOp = ns["interpreted"]
+		rep.PlanCache.CompileNsPerOp = ns["compile"]
+		rep.PlanCache.CachedNsPerOp = ns["cached"]
+		rep.PlanCache.PreparedNsPerOp = ns["prepared"]
+		rep.PlanCache.Speedup = float64(ns["interpreted"]) / float64(ns["cached"])
 	}
 
 	return rep

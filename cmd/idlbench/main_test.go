@@ -15,6 +15,10 @@ func report(benches map[string]int64) *Report {
 		TraceOverhead:  TraceOverhead{OffNsPerOp: 100, MetricsNsPerOp: 105, TracedNsPerOp: 150, TracedRatio: 1.5},
 		FlightOverhead: FlightOverhead{OffNsPerOp: 100, OnNsPerOp: 104, Ratio: 1.04},
 		Parallel:       ParallelSpeedup{NumCPU: 1, GoMaxProcs: 1, QuerySpeedup4: 1.0, SyncSpeedup4: 2.8},
+		PlanCache: PlanCacheSummary{
+			InterpretedNsPerOp: 150, CompileNsPerOp: 160, CachedNsPerOp: 100,
+			PreparedNsPerOp: 95, HitRate: 0.99, Speedup: 1.5,
+		},
 	}
 	for name, ns := range benches {
 		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iters: 10, NsPerOp: ns})
@@ -71,31 +75,46 @@ func TestCompareFiles(t *testing.T) {
 
 func TestValidateReport(t *testing.T) {
 	good := writeReport(t, report(map[string]int64{"B1": 100}))
-	if err := validateReport(good, 3.0, 1.25, 1.5); err != nil {
+	if err := validateReport(good, 3.0, 1.25, 1.5, 0.95, 1.15); err != nil {
 		t.Errorf("well-formed report should validate: %v", err)
 	}
-	if err := validateReport(good, 3.0, 1.01, 1.5); err == nil {
+	if err := validateReport(good, 3.0, 1.01, 1.5, 0.95, 1.15); err == nil {
 		t.Error("flight overhead 1.04 should exceed a 1.01 bound")
 	}
 	noFlight := report(map[string]int64{"B1": 100})
 	noFlight.FlightOverhead = FlightOverhead{}
-	if err := validateReport(writeReport(t, noFlight), 3.0, 1.25, 1.5); err == nil {
+	if err := validateReport(writeReport(t, noFlight), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
 		t.Error("missing flight overhead should fail validation")
 	}
 	stale := report(map[string]int64{"B1": 100})
 	stale.Schema = 1
-	if err := validateReport(writeReport(t, stale), 3.0, 1.25, 1.5); err == nil {
+	if err := validateReport(writeReport(t, stale), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
 		t.Error("stale schema should fail validation")
 	}
 	slow := report(map[string]int64{"B1": 100})
 	slow.Parallel.SyncSpeedup4 = 1.2
-	if err := validateReport(writeReport(t, slow), 3.0, 1.25, 1.5); err == nil {
+	if err := validateReport(writeReport(t, slow), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
 		t.Error("sync speedup 1.2 should miss a 1.5 floor")
 	}
 	unmeasured := report(map[string]int64{"B1": 100})
 	unmeasured.Parallel = ParallelSpeedup{}
-	if err := validateReport(writeReport(t, unmeasured), 3.0, 1.25, 1.5); err == nil {
+	if err := validateReport(writeReport(t, unmeasured), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
 		t.Error("missing parallel speedup should fail validation")
+	}
+	coldCache := report(map[string]int64{"B1": 100})
+	coldCache.PlanCache.HitRate = 0.5
+	if err := validateReport(writeReport(t, coldCache), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
+		t.Error("hit rate 0.5 should miss a 0.95 floor")
+	}
+	slowPlan := report(map[string]int64{"B1": 100})
+	slowPlan.PlanCache.Speedup = 1.05
+	if err := validateReport(writeReport(t, slowPlan), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
+		t.Error("plan-cache speedup 1.05 should miss a 1.15 floor")
+	}
+	noPlan := report(map[string]int64{"B1": 100})
+	noPlan.PlanCache = PlanCacheSummary{}
+	if err := validateReport(writeReport(t, noPlan), 3.0, 1.25, 1.5, 0.95, 1.15); err == nil {
+		t.Error("missing plan-cache section should fail validation")
 	}
 }
 
@@ -107,7 +126,7 @@ func TestRunAllShort(t *testing.T) {
 	}
 	rep := runAll(true)
 	path := writeReport(t, rep)
-	if err := validateReport(path, 25, 25, 0.1); err != nil {
+	if err := validateReport(path, 25, 25, 0.1, 0, 0); err != nil {
 		t.Fatalf("generated report should validate structurally: %v", err)
 	}
 	if rep.FlightOverhead.Ratio <= 0 {
@@ -115,5 +134,8 @@ func TestRunAllShort(t *testing.T) {
 	}
 	if rep.Parallel.SyncSpeedup4 <= 0 || rep.Parallel.QuerySpeedup4 <= 0 {
 		t.Error("parallel speedup not measured")
+	}
+	if rep.PlanCache.HitRate <= 0 || rep.PlanCache.Speedup <= 0 {
+		t.Error("plan-cache family not measured")
 	}
 }

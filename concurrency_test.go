@@ -160,9 +160,11 @@ func TestCtxCancelMidEnumeration(t *testing.T) {
 	go func() {
 		// Cross product of euter.r with itself twice, with a constraint
 		// no row can meet — the engine would enumerate all 1.25e8
-		// combinations if left alone.
+		// combinations if left alone. The constraint consumes P3 (bound
+		// only by the last scan) so the cost-based scheduler cannot pull
+		// it forward to prune the enumeration early.
 		_, err := db.QueryCtx(ctx,
-			"?.euter.r(.clsPrice=P1), .euter.r(.clsPrice=P2), .euter.r(.clsPrice=P3), P1 > 100000")
+			"?.euter.r(.clsPrice=P1), .euter.r(.clsPrice=P2), .euter.r(.clsPrice=P3), P3 > 100000")
 		done <- err
 	}()
 	time.AfterFunc(10*time.Millisecond, cancel)

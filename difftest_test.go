@@ -14,9 +14,12 @@ import (
 
 // Differential-testing harness (DESIGN.md §10): every experiment script
 // E1–E12 and a generated stock workload run under sequential evaluation
-// and under parallel evaluation at 2, 4 and 8 workers; the rendered
-// transcripts — canonical answers, row order, update counts, errors —
-// must be byte-identical. Where the intention is first-order expressible,
+// and under parallel evaluation at 2, 4 and 8 workers, and under every
+// planning mode — interpreted (no compiled plans), cold-compiled (plan
+// per query, cache disabled) and cached (the default epoch-keyed plan
+// cache); the rendered transcripts — canonical answers, row order,
+// update counts, errors — must be byte-identical across the whole
+// mode × workers grid. Where the intention is first-order expressible,
 // answers are also cross-checked against the internal/datalog baseline.
 
 // diffFixture loads the paper's running example (hp/ibm/sun over three
@@ -165,10 +168,9 @@ var diffExperiments = []diffExperiment{
 }
 
 // e11Experiment needs its own tiny fixture (name-mapping databases).
-func e11Transcript(t testing.TB, workers int) []string {
+func e11Transcript(t testing.TB, mode func(*Options), workers int) []string {
 	t.Helper()
-	db := Open()
-	db.SetWorkers(workers)
+	db := diffOpen(mode, workers)
 	cat := db.Catalog()
 	d := Date(85, 3, 1)
 	for _, ins := range []struct {
@@ -245,31 +247,63 @@ func diffCompare(t *testing.T, label string, seq, par []string) {
 
 var diffWorkerCounts = []int{2, 4, 8}
 
-// TestDifferentialExperiments runs E1–E12 sequentially and at each
-// parallel worker count, byte-comparing transcripts.
+// diffModes are the planning modes the grid covers. "interpreted" is the
+// baseline: scheduling analysis recomputed per evaluation, no plans.
+// "cold" compiles a plan for every query but never caches it.
+// "cached" is the production default: the epoch-keyed plan cache.
+var diffModes = []struct {
+	name string
+	set  func(*Options)
+}{
+	{"interpreted", func(o *Options) { o.Interpret = true }},
+	{"cold", func(o *Options) { o.NoPlanCache = true }},
+	{"cached", func(o *Options) {}},
+}
+
+// diffOpen builds a DB in the named planning mode at a worker count.
+func diffOpen(mode func(*Options), workers int) *DB {
+	opts := DefaultOptions()
+	mode(&opts)
+	db := OpenWithOptions(opts)
+	db.SetWorkers(workers)
+	return db
+}
+
+// TestDifferentialExperiments runs E1–E12 across the full planning-mode ×
+// worker-count grid, byte-comparing every transcript against the
+// sequential interpreted baseline.
 func TestDifferentialExperiments(t *testing.T) {
 	for _, exp := range diffExperiments {
 		exp := exp
 		t.Run(exp.name, func(t *testing.T) {
-			run := func(workers int) []string {
-				db := Open()
-				db.SetWorkers(workers)
+			run := func(mode func(*Options), workers int) []string {
+				db := diffOpen(mode, workers)
 				diffFixture(t, db)
 				if exp.setup != nil {
 					exp.setup(t, db)
 				}
 				return diffTranscript(t, db, exp.stmts)
 			}
-			seq := run(0)
-			for _, w := range diffWorkerCounts {
-				diffCompare(t, fmt.Sprintf("%s workers=%d", exp.name, w), seq, run(w))
+			base := run(diffModes[0].set, 0)
+			for _, m := range diffModes {
+				for _, w := range append([]int{0}, diffWorkerCounts...) {
+					if m.name == diffModes[0].name && w == 0 {
+						continue
+					}
+					diffCompare(t, fmt.Sprintf("%s mode=%s workers=%d", exp.name, m.name, w), base, run(m.set, w))
+				}
 			}
 		})
 	}
 	t.Run("E11", func(t *testing.T) {
-		seq := e11Transcript(t, 0)
-		for _, w := range diffWorkerCounts {
-			diffCompare(t, fmt.Sprintf("E11 workers=%d", w), seq, e11Transcript(t, w))
+		base := e11Transcript(t, diffModes[0].set, 0)
+		for _, m := range diffModes {
+			for _, w := range append([]int{0}, diffWorkerCounts...) {
+				if m.name == diffModes[0].name && w == 0 {
+					continue
+				}
+				diffCompare(t, fmt.Sprintf("E11 mode=%s workers=%d", m.name, w), base, e11Transcript(t, m.set, w))
+			}
 		}
 	})
 }
@@ -296,15 +330,19 @@ func generatedWorkloadStatements(threshold int) []string {
 }
 
 // TestDifferentialGeneratedWorkload runs the generated stock universe —
-// large enough that every query partitions — under all worker counts.
+// large enough that every query partitions — across the full
+// planning-mode × worker-count grid. Each mode's statements run twice
+// per DB so the cached mode actually exercises plan-cache hits.
 func TestDifferentialGeneratedWorkload(t *testing.T) {
 	cfg := stocks.Config{Stocks: 20, Days: 25, Seed: 7, Discrepancies: 9}
 	probe := stocks.Generate(cfg)
 	threshold := probe.MaxPrice() * 3 / 4
 	stmts := generatedWorkloadStatements(threshold)
-	run := func(workers int) []string {
-		db := Open()
-		db.SetWorkers(workers)
+	// Two passes over the read-only statements: pass one compiles (or
+	// interprets), pass two must serve cached plans byte-identically.
+	stmts = append(stmts, stmts...)
+	run := func(mode func(*Options), workers int) []string {
+		db := diffOpen(mode, workers)
 		ds := stocks.Generate(cfg)
 		ds.Populate(db.Engine().Base())
 		db.Engine().Invalidate()
@@ -319,9 +357,32 @@ func TestDifferentialGeneratedWorkload(t *testing.T) {
 		}
 		return diffTranscript(t, db, stmts)
 	}
-	seq := run(0)
-	for _, w := range diffWorkerCounts {
-		diffCompare(t, fmt.Sprintf("generated workload workers=%d", w), seq, run(w))
+	base := run(diffModes[0].set, 0)
+	for _, m := range diffModes {
+		for _, w := range append([]int{0}, diffWorkerCounts...) {
+			if m.name == diffModes[0].name && w == 0 {
+				continue
+			}
+			diffCompare(t, fmt.Sprintf("generated workload mode=%s workers=%d", m.name, w), base, run(m.set, w))
+		}
+	}
+	// The cached run above must have actually hit the cache on pass two.
+	db := diffOpen(diffModes[2].set, 0)
+	ds := stocks.Generate(cfg)
+	ds.Populate(db.Engine().Base())
+	db.Engine().Invalidate()
+	if err := db.DefineViews(stocks.RulesUnified...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineView(stocks.RulePnew); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineViews(stocks.RulesCustomized...); err != nil {
+		t.Fatal(err)
+	}
+	diffTranscript(t, db, stmts)
+	if st := db.PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("cached mode recorded no plan-cache hits: %+v", st)
 	}
 }
 

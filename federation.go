@@ -149,6 +149,16 @@ func (db *DB) syncSources(ctx context.Context, bestEffort bool) (*federation.Rep
 // configured failure mode, evaluate, and attach the degradation report
 // (with skipped conjuncts) to the answer when members were unreachable.
 func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
+	return db.runQueryOp(ctx, q, func(ctx context.Context) (*Result, error) {
+		return db.engine.QueryCtx(ctx, q)
+	})
+}
+
+// runQueryOp wraps one read-only evaluation (ad hoc or prepared) with
+// the shared query machinery: the flight-recorder op, member sync under
+// the configured failure mode, degradation reporting, and answer/plan
+// annotations.
+func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Context) (*Result, error)) (*Result, error) {
 	op := db.rec.Begin(qlog.KindQuery)
 	if op != nil {
 		op.SetText(q.String())
@@ -165,10 +175,13 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 		op.End(err)
 		return nil, err
 	}
-	ans, err := db.engine.QueryCtx(ctx, q)
+	ans, err := eval(ctx)
 	if err != nil {
 		op.End(err)
 		return nil, err
+	}
+	if ans.Plan != nil {
+		op.SetPlanCache(ans.Plan.Cache)
 	}
 	if rep != nil && rep.Degraded() {
 		rep.Skipped = skippedConjuncts(q, rep)

@@ -208,6 +208,58 @@ func TestGoldenExplainAnalyze(t *testing.T) {
 	}
 }
 
+// TestGoldenExplainEstimates pins the plain `\explain` output — access
+// paths plus the planner's estimated rows per step — for representative
+// queries over all three stock schemas, next to the analyzed actuals of
+// the same queries. The pairing makes estimate drift visible: a planner
+// change that reorders steps or moves an estimate shows up as a golden
+// diff against both renderings at once.
+func TestGoldenExplainEstimates(t *testing.T) {
+	db := Open()
+	seedStocksOrdered(t, db)
+	queries := []string{
+		"?.euter.r(.stkCode=hp, .clsPrice=P)",
+		"?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P)",
+		"?.chwab.r(.date=D, .hp=P), P > 52",
+		"?.ource.S(.date=D,.clsPrice=P), ~.ource.S2(.date=D, .clsPrice>P)",
+	}
+	var b strings.Builder
+	for _, src := range queries {
+		fmt.Fprintf(&b, ">> %s\n", src)
+		plan, err := db.Explain(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		b.WriteString(plan)
+		b.WriteString("\n")
+		analyzed, ans, err := db.ExplainAnalyzeCtx(context.Background(), src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		ans.Sort()
+		b.WriteString(analyzeTimeRE.ReplaceAllString(analyzed.String(), "time=<t>"))
+		b.WriteString("\n")
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "scripts", "analyze", "explain_estimates.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("explain estimates drift:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 // mountFederationFixture mounts two members: euter (healthy) and chwab
 // (every operation fails). Data mirrors the paper's running example.
 func mountFederationFixture(t *testing.T, db *DB) {

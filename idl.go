@@ -154,6 +154,9 @@ func OpenWithOptions(opts Options) *DB {
 	// Federated member snapshots install through the engine mutex so
 	// source syncs stay coherent with concurrent queries.
 	cat.SetApplier(engine.UpdateBase)
+	// The catalog epoch is the engine's mutation counter — the version
+	// key of the plan cache and statistics layer.
+	cat.SetEpochSource(engine.Epoch)
 	// Worker parallelism extends to member syncs: fetches overlap up to
 	// the same degree the evaluator partitions scans.
 	cat.SetFetchConcurrency(opts.Workers)

@@ -1,0 +1,121 @@
+package ast
+
+// Structural fingerprints for plan-cache keys. The fingerprint is a
+// 64-bit FNV-1a hash over the node structure — type tags, operators,
+// signs, names, and constant values — so two queries share a
+// fingerprint exactly when their ASTs are structurally identical. It is
+// deliberately not String()-based: renderings can collide (a constant
+// string containing syntax) and re-rendering is slower than one walk.
+
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+
+	// fpVersion salts every fingerprint; bump it when the hashing
+	// scheme changes so stale persisted keys can never alias.
+	fpVersion uint64 = 1
+)
+
+func fpByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fpPrime }
+
+func fpUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fpByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fpString(h uint64, s string) uint64 {
+	h = fpUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = fpByte(h, s[i])
+	}
+	return h
+}
+
+// Node type tags. Distinct per syntax node so structurally different
+// trees with coincident payloads cannot alias.
+const (
+	fpTagConst byte = iota + 1
+	fpTagVar
+	fpTagArith
+	fpTagEpsilon
+	fpTagNot
+	fpTagAtomic
+	fpTagAttr
+	fpTagTuple
+	fpTagConstraint
+	fpTagSet
+	fpTagVarExpr
+	fpTagNil
+)
+
+// Fingerprint returns the structural hash of a query body.
+func Fingerprint(q *Query) uint64 {
+	h := fpUint64(fpOffset, fpVersion)
+	return fpExpr(h, q.Body)
+}
+
+func fpTerm(h uint64, t Term) uint64 {
+	switch t := t.(type) {
+	case nil:
+		return fpByte(h, fpTagNil)
+	case Const:
+		h = fpByte(h, fpTagConst)
+		h = fpByte(h, byte(t.Value.Kind()))
+		return fpUint64(h, t.Value.Hash())
+	case Var:
+		h = fpByte(h, fpTagVar)
+		return fpString(h, t.Name)
+	case Arith:
+		h = fpByte(h, fpTagArith)
+		h = fpByte(h, t.Op)
+		h = fpTerm(h, t.L)
+		return fpTerm(h, t.R)
+	default:
+		return fpString(fpByte(h, fpTagNil), t.String())
+	}
+}
+
+func fpExpr(h uint64, e Expr) uint64 {
+	switch e := e.(type) {
+	case nil:
+		return fpByte(h, fpTagNil)
+	case Epsilon:
+		return fpByte(h, fpTagEpsilon)
+	case *Not:
+		h = fpByte(h, fpTagNot)
+		return fpExpr(h, e.X)
+	case *Atomic:
+		h = fpByte(h, fpTagAtomic)
+		h = fpByte(h, byte(e.Sign)+2)
+		h = fpByte(h, byte(e.Op))
+		return fpTerm(h, e.Term)
+	case *AttrExpr:
+		h = fpByte(h, fpTagAttr)
+		h = fpByte(h, byte(e.Sign)+2)
+		h = fpTerm(h, e.Name)
+		return fpExpr(h, e.Expr)
+	case *TupleExpr:
+		h = fpByte(h, fpTagTuple)
+		h = fpUint64(h, uint64(len(e.Conjuncts)))
+		for _, c := range e.Conjuncts {
+			h = fpExpr(h, c)
+		}
+		return h
+	case *Constraint:
+		h = fpByte(h, fpTagConstraint)
+		h = fpByte(h, byte(e.Op))
+		h = fpTerm(h, e.L)
+		return fpTerm(h, e.R)
+	case *SetExpr:
+		h = fpByte(h, fpTagSet)
+		h = fpByte(h, byte(e.Sign)+2)
+		return fpExpr(h, e.X)
+	case *VarExpr:
+		h = fpByte(h, fpTagVarExpr)
+		return fpString(h, e.Name)
+	default:
+		return fpString(fpByte(h, fpTagNil), e.String())
+	}
+}

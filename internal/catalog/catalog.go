@@ -22,7 +22,8 @@ import (
 // It does not serialize access; the owner (usually an idl.DB) does.
 type Catalog struct {
 	universe *object.Tuple
-	onChange func() // invoked after every mutation (engine invalidation)
+	onChange func()        // invoked after every mutation (engine invalidation)
+	epoch    func() uint64 // reads the owner's catalog epoch counter
 
 	// Federated members (see sources.go): name -> source, plus the hook
 	// through which snapshot installs reach the universe coherently with
@@ -55,6 +56,23 @@ func New(universe *object.Tuple, onChange func()) *Catalog {
 
 // Universe returns the underlying universe tuple.
 func (c *Catalog) Universe() *object.Tuple { return c.universe }
+
+// SetEpochSource wires the catalog-epoch reader (the engine's epoch
+// counter, bumped on every universe mutation). Epoch versions the
+// statistics and plan caches: plans and statistics compiled at one epoch
+// are revalidated when it moves.
+func (c *Catalog) SetEpochSource(fn func() uint64) { c.epoch = fn }
+
+// Epoch returns the current catalog epoch (0 when no source is wired).
+// The epoch advances on every mutation of the universe — DDL, DML,
+// member-snapshot installs — and is the version key of the engine's
+// plan cache.
+func (c *Catalog) Epoch() uint64 {
+	if c.epoch == nil {
+		return 0
+	}
+	return c.epoch()
+}
 
 func (c *Catalog) changed() {
 	if c.onChange != nil {

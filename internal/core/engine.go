@@ -52,6 +52,21 @@ type Options struct {
 	// preserving single-site semantics. Updates ignore this setting and
 	// always fail fast (they are all-or-nothing).
 	BestEffort bool
+	// NoPlanCache compiles a fresh plan for every query instead of
+	// consulting the epoch-keyed plan cache. Compilation (analysis, cost
+	// ranking) still happens — only reuse is disabled. Used by the
+	// plan-cache ablation benchmark and the differential suite.
+	NoPlanCache bool
+	// Interpret evaluates queries directly from the AST with no plan
+	// object at all: safety analysis is recomputed lazily per evaluation,
+	// exactly as the pre-planner engine did. Conjunct cost ranks are
+	// still applied (computed per call from the same statistics), so
+	// answers stay byte-identical to compiled evaluation. Used by the
+	// differential suite as the reference mode.
+	Interpret bool
+	// PlanCacheSize bounds the plan cache (LRU eviction). 0 selects the
+	// default of 256 plans.
+	PlanCacheSize int
 }
 
 // DefaultOptions returns the production defaults.
@@ -75,6 +90,18 @@ type Engine struct {
 	indexes *indexCache
 	opts    Options
 	stats   Stats
+
+	// epoch counts catalog changes: every mutation of the universe or
+	// the rule set bumps it (markDirty). Plans, prepared queries, and
+	// relation statistics validated at the current epoch are fresh.
+	epoch uint64
+	// plans is the epoch-keyed compiled-plan cache; relStats the lazy
+	// per-relation statistics memo. Both live under e.mu.
+	plans         *planCache
+	planHits      uint64
+	planMisses    uint64
+	planEvictions uint64
+	relStats      map[*object.Set]*relStat
 
 	// metrics/tracer are the optional observability hooks (obs.go); em
 	// caches per-metric pointers so operations skip registry lookups.
@@ -134,6 +161,7 @@ func NewEngineWithOptions(opts Options) *Engine {
 		base:           object.NewTuple(),
 		regs:           newProgramRegistry(),
 		indexes:        newIndexCache(),
+		plans:          newPlanCache(opts.PlanCacheSize),
 		opts:           opts,
 		derivedDynamic: map[string]bool{},
 		derivedRels:    map[string]map[string]bool{},
@@ -216,8 +244,12 @@ func (e *Engine) Invalidate() {
 }
 
 // markDirty records staleness; monotone dirt can stack on monotone dirt,
-// anything else forces a full recomputation. Callers hold e.mu.
+// anything else forces a full recomputation. Every call bumps the
+// catalog epoch — each corresponds to a change to the universe or rule
+// set, so plans and statistics stamped at an older epoch must revalidate
+// their dependencies before reuse. Callers hold e.mu.
 func (e *Engine) markDirty(monotone bool) {
+	e.epoch++
 	if e.dirty {
 		e.monotoneDirty = e.monotoneDirty && monotone
 	} else {
@@ -339,6 +371,10 @@ func (e *Engine) Query(q *ast.Query) (*Answer, error) {
 // QueryCtx is Query under a context: evaluation observes cancellation
 // and deadlines, with checks amortized so the enumeration hot path
 // stays fast. A cancelled query returns ctx.Err().
+//
+// Unless the planner is bypassed (NoSchedule, Interpret, or a traced
+// run), evaluation goes through a compiled plan from the epoch-keyed
+// plan cache; the answer's Plan field reports the cache outcome.
 func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -349,10 +385,21 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 		return nil, fmt.Errorf("core: query contains update expressions; use Execute")
 	}
 	cctx := cancellable(ctx)
-	eff, err := e.refreshEffective(cctx)
-	if err != nil {
+	if _, err := e.refreshEffective(cctx); err != nil {
 		return nil, err
 	}
+	return e.runPlanned(cctx, ctx, q, nil, nil)
+}
+
+// runPlanned evaluates a pure query under e.mu against the refreshed
+// effective universe. With pl == nil a plan is acquired according to the
+// engine options: from the plan cache (default), compiled cold
+// (NoPlanCache), or skipped entirely (Interpret / NoSchedule / traced
+// runs, which analyze the caller's AST transiently). Prepared queries
+// pass their own plan. All routes apply the same cost ranks, so answers
+// — including raw row order — are byte-identical across them.
+func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Query, pl *queryPlan, info *PlanInfo) (*Answer, error) {
+	eff := e.effective
 	obsOn := e.em != nil || e.tracer != nil
 	var start time.Time
 	var span *obs.Span
@@ -363,10 +410,45 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	}
 	// Answer variables are those with a positive occurrence; variables
 	// confined to negations are existential and never bind outward.
-	vars := ast.PositiveVars(q.Body)
+	body := q.Body
+	var vars []string
+	var an *bodyAnalysis
+	switch {
+	case e.opts.NoSchedule:
+		// Ablation mode: strict left-to-right evaluation, no planner.
+		vars = ast.PositiveVars(q.Body)
+	case span != nil:
+		// Traced queries carry per-conjunct probes keyed by the caller's
+		// AST identity, so they evaluate q itself — with a transient
+		// analysis carrying the same cost ranks a plan would.
+		vars = ast.PositiveVars(q.Body)
+		an = e.analyzeBody(q.Body, eff, nil)
+	case e.opts.Interpret:
+		vars = ast.PositiveVars(q.Body)
+		an = e.analyzeBody(q.Body, eff, nil)
+	default:
+		if pl == nil {
+			var state string
+			pl, state = e.planFor(q, eff)
+			info = &PlanInfo{Cache: state}
+			if state == "miss" || state == "cold" {
+				info.CompileNS = pl.compileNS
+			}
+		}
+		// Execute the plan's own AST: every evaluation of one plan walks
+		// identical pointers, so structurally equal queries enumerate
+		// identically whether they hit or miss the cache.
+		body = pl.q.Body
+		vars = pl.vars
+		an = pl.an
+	}
 	ans := newAnswer(vars)
 	var local Stats
 	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cctx}
+	if an != nil {
+		ev.consumedCache = an.consumed
+		ev.ranks = an.ranks
+	}
 	var probes map[ast.Expr]*conjunctProbe
 	if span != nil {
 		// Traced queries carry per-conjunct child spans, measured by the
@@ -378,11 +460,12 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	// merge the per-chunk rows in chunk order, reproducing the sequential
 	// row order exactly. Traced queries (span != nil) stay sequential —
 	// per-conjunct probes are not parallel-safe.
+	var err error
 	ran := false
 	if e.opts.Workers > 1 && span == nil {
 		var chunks [][]Row
 		var ok bool
-		chunks, ok, err = e.parallelEnumerate(cctx, q.Body, eff, vars, &local)
+		chunks, ok, err = e.parallelEnumerate(cctx, body, eff, vars, &local, an)
 		if ok {
 			ran = true
 			if err == nil {
@@ -402,7 +485,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 		}
 	}
 	if !ran {
-		err = ev.satisfy(q.Body, eff, func() error {
+		err = ev.satisfy(body, eff, func() error {
 			ans.add(ev.env.Snapshot(vars))
 			return nil
 		})
@@ -423,6 +506,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	ans.Plan = info
 	return ans, nil
 }
 
@@ -646,7 +730,29 @@ func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 		}
 		e.effective.Put(MetaDB, buildMeta(e.effective))
 	}
-	e.indexes.invalidate()
+	// Per-relation cache invalidation: retain index and statistics
+	// entries whose sets are still reachable from the new effective
+	// universe, drop the rest. Sets shared by reference across the merge
+	// (every relation an unchanged base database contributes) keep their
+	// caches — only relations rebuilt by the merge (derived overlaps,
+	// meta) lose theirs. Keeping is safe because both caches re-check the
+	// set's version on use; dropping merely forces a rebuild.
+	live := make(map[*object.Set]bool)
+	e.effective.Each(func(_ string, v object.Object) bool {
+		dbt, ok := v.(*object.Tuple)
+		if !ok {
+			return true
+		}
+		dbt.Each(func(_ string, rv object.Object) bool {
+			if set, ok := rv.(*object.Set); ok {
+				live[set] = true
+			}
+			return true
+		})
+		return true
+	})
+	e.indexes.retain(live)
+	e.pruneStats(live)
 	e.dirty = false
 	e.monotoneDirty = false
 	return e.effective, nil
@@ -830,7 +936,10 @@ func (e *Engine) invokeProgramDirect(p *Program, bound map[string]object.Object,
 			}
 		}
 		active[cc] = true
+		prev := u.ev.consumedCache
+		u.ev.consumedCache = cc.consumed
 		err := e.execBody(cc.src.Body, u, seed, active)
+		u.ev.consumedCache = prev
 		delete(active, cc)
 		if err != nil {
 			return fmt.Errorf("core: program %s.%s: %w", p.DB, p.Name, err)
@@ -870,7 +979,10 @@ func (e *Engine) execUpdateConjunct(conjunct ast.Expr, u *updater, active map[*c
 			}
 		}
 		active[cc] = true
+		prev := u.ev.consumedCache
+		u.ev.consumedCache = cc.consumed
 		err = e.execBody(cc.src.Body, u, bound, active)
+		u.ev.consumedCache = prev
 		delete(active, cc)
 		if err != nil {
 			return fmt.Errorf("core: view update on %s.%s: %w", db, rel, err)

@@ -131,6 +131,14 @@ type Answer struct {
 	// queries and fully healthy federations in fail-fast mode.
 	Degraded *federation.Report
 
+	// Plan, when non-nil, reports how the query was planned: whether the
+	// compiled plan came from the cache ("hit"), was revalidated after an
+	// epoch move ("stale"), was compiled fresh ("miss"), or bypassed the
+	// cache ("cold"), plus compile time when a compile happened. nil for
+	// interpreted, unscheduled, and traced evaluations, which do not use
+	// the planner.
+	Plan *PlanInfo
+
 	rowIndex map[uint64][]int
 }
 

@@ -78,8 +78,17 @@ type evaluator struct {
 	stats      *Stats
 	// consumedCache memoizes per-conjunct consumed-variable lists; the
 	// analysis is environment independent, and set expressions re-enter
-	// satisfyTuple once per element, so this is hot.
+	// satisfyTuple once per element, so this is hot. Compiled plans and
+	// rule analyses seed it with a complete precomputed map (shared
+	// read-only, including across parallel workers); unseeded evaluators
+	// fill it lazily.
 	consumedCache map[*ast.TupleExpr][][]string
+	// ranks, when non-nil, carries cost ranks for the tuple expressions
+	// that schedule cost-based (the top-level query or rule body): among
+	// runnable conjuncts the scheduler picks the lowest rank, source
+	// order breaking ties. Tuple expressions absent from the map (all
+	// nested conjunct lists) schedule in source order, as does a nil map.
+	ranks map[*ast.TupleExpr][]float64
 	// ctx, when non-nil, is polled during enumeration so long-running
 	// queries observe cancellation. nil (the context-free entry points)
 	// reduces checkCtx to a pointer test plus a counter increment.
@@ -354,13 +363,20 @@ func (ev *evaluator) satisfyTuple(x *ast.TupleExpr, o object.Object, k cont) err
 		ev.consumedCache[x] = consumed
 	}
 	used := make([]bool, len(x.Conjuncts))
-	return ev.scheduleConjuncts(x.Conjuncts, consumed, used, len(x.Conjuncts), o, k)
+	var ranks []float64
+	if ev.ranks != nil {
+		ranks = ev.ranks[x]
+	}
+	return ev.scheduleConjuncts(x.Conjuncts, consumed, ranks, used, len(x.Conjuncts), o, k)
 }
 
 // scheduleConjuncts picks the next runnable conjunct (depth-first, with
 // the shared `used` mask undone on backtrack — the choice can differ per
-// binding because boundness differs).
-func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string, used []bool, left int, o object.Object, k cont) error {
+// binding because boundness differs). With cost ranks, the cheapest
+// runnable conjunct runs first (source order breaking ties) — ordering
+// within the safety constraints, never instead of them; without ranks
+// the first runnable conjunct in source order runs, as before.
+func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string, ranks []float64, used []bool, left int, o object.Object, k cont) error {
 	if left == 0 {
 		return k()
 	}
@@ -384,8 +400,13 @@ func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string
 			}
 		}
 		if runnable {
-			pick = idx
-			break
+			if ranks == nil {
+				pick = idx
+				break
+			}
+			if pick < 0 || ranks[idx] < ranks[pick] {
+				pick = idx
+			}
 		}
 	}
 	if pick < 0 {
@@ -401,7 +422,7 @@ func (ev *evaluator) scheduleConjuncts(conjuncts []ast.Expr, consumed [][]string
 	}
 	used[pick] = true
 	next := func() error {
-		return ev.scheduleConjuncts(conjuncts, consumed, used, left-1, o, k)
+		return ev.scheduleConjuncts(conjuncts, consumed, ranks, used, left-1, o, k)
 	}
 	var err error
 	if p := ev.probeFor(conjuncts[pick]); p != nil {

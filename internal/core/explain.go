@@ -37,6 +37,12 @@ type ExplainStep struct {
 	// last sync failed: in best-effort mode it evaluates against an empty
 	// member and contributes nothing.
 	Skipped bool
+	// EstRows is the planner's estimated row count for this conjunct,
+	// from catalog statistics; Estimated marks the estimate as present.
+	// Higher-order conjuncts (whose enumeration statistics cannot bound)
+	// and unplanned runs carry none.
+	EstRows   int64
+	Estimated bool
 	// Analyze carries runtime actuals when the plan came from
 	// ExplainAnalyzeQuery; nil on static plans.
 	Analyze *StepActuals
@@ -70,6 +76,9 @@ func (e *Explain) String() string {
 		if s.Skipped {
 			b.WriteString("  (skipped: member unavailable)")
 		}
+		if s.Estimated {
+			fmt.Fprintf(&b, "  (est rows=%d)", s.EstRows)
+		}
 		if s.Analyze != nil {
 			fmt.Fprintf(&b, "  (actual rows=%d scanned=%d probes=%d time=%s)",
 				s.Analyze.Rows, s.Analyze.Scanned, s.Analyze.IndexProbes, s.Analyze.Time)
@@ -96,8 +105,18 @@ func (e *Engine) ExplainQuery(q *ast.Query) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, _ := e.planQuery(q, eff)
+	plan, _ := e.planQuery(q, eff, e.explainAnalysis(q, eff))
 	return plan, nil
+}
+
+// explainAnalysis computes the cost analysis EXPLAIN mirrors — the same
+// ranks execution uses — or nil under NoSchedule, where the scheduler
+// runs strictly left-to-right and ranks would misreport the order.
+func (e *Engine) explainAnalysis(q *ast.Query, eff *object.Tuple) *bodyAnalysis {
+	if e.opts.NoSchedule {
+		return nil
+	}
+	return e.analyzeBody(q.Body, eff, nil)
 }
 
 // ExplainAnalyzeQuery produces the plan and then executes the query,
@@ -118,7 +137,8 @@ func (e *Engine) ExplainAnalyzeQuery(ctx context.Context, q *ast.Query) (*Explai
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, order := e.planQuery(q, eff)
+	an := e.explainAnalysis(q, eff)
+	plan, order := e.planQuery(q, eff, an)
 	probes := newProbes(q.Body.Conjuncts)
 	vars := ast.PositiveVars(q.Body)
 	ans := newAnswer(vars)
@@ -128,6 +148,12 @@ func (e *Engine) ExplainAnalyzeQuery(ctx context.Context, q *ast.Query) (*Explai
 		useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule,
 		stats: &local, ctx: cctx,
 		analyze: &analyzeState{probes: probes},
+	}
+	if an != nil {
+		// Execute with the same ranks the plan simulation used, so the
+		// actuals attach to the order the steps report.
+		ev.consumedCache = an.consumed
+		ev.ranks = an.ranks
 	}
 	span := e.tracer.Start("explain-analyze")
 	start := time.Now()
@@ -168,15 +194,21 @@ func (e *Engine) ExplainAnalyzeQuery(ctx context.Context, q *ast.Query) (*Explai
 
 // planQuery simulates the conjunct scheduler against the effective
 // universe, returning the static plan plus the scheduled conjuncts in
-// step order (the mapping ANALYZE uses to attach actuals). Callers hold
-// e.mu.
-func (e *Engine) planQuery(q *ast.Query, eff *object.Tuple) (*Explain, []ast.Expr) {
+// step order (the mapping ANALYZE uses to attach actuals). an, when
+// non-nil, carries the cost ranks the real scheduler would use: among
+// runnable conjuncts the cheapest is picked, source order breaking ties
+// — the same rule as scheduleConjuncts. Callers hold e.mu.
+func (e *Engine) planQuery(q *ast.Query, eff *object.Tuple, an *bodyAnalysis) (*Explain, []ast.Expr) {
 	conjuncts := q.Body.Conjuncts
 	consumed := make([][]string, len(conjuncts))
 	for i, c := range conjuncts {
 		consumed[i] = consumedVars(c)
 	}
-	// Simulate the scheduler: repeatedly pick the first conjunct whose
+	var ranks []float64
+	if an != nil {
+		ranks = an.ranks[q.Body]
+	}
+	// Simulate the scheduler: repeatedly pick the cheapest conjunct whose
 	// consumed variables are all "bound" by previously scheduled ones.
 	bound := map[string]bool{}
 	remaining := make([]int, len(conjuncts))
@@ -196,9 +228,15 @@ func (e *Engine) planQuery(q *ast.Query, eff *object.Tuple) (*Explain, []ast.Exp
 					break
 				}
 			}
-			if ok {
+			if !ok {
+				continue
+			}
+			if ranks == nil {
 				pick = pos
 				break
+			}
+			if pick < 0 || ranks[idx] < ranks[remaining[pick]] {
+				pick = pos
 			}
 		}
 		if pick < 0 {
@@ -206,6 +244,10 @@ func (e *Engine) planQuery(q *ast.Query, eff *object.Tuple) (*Explain, []ast.Exp
 		}
 		idx := remaining[pick]
 		step := e.explainConjunct(conjuncts[idx], consumed[idx], eff)
+		if ranks != nil && ranks[idx] < costHuge {
+			step.EstRows = int64(ranks[idx])
+			step.Estimated = true
+		}
 		if len(e.unavailable) > 0 {
 			if a, ok := conjuncts[idx].(*ast.AttrExpr); ok {
 				if db, ok := constTermName(a.Name); ok && e.unavailable[db] {

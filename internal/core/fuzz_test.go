@@ -8,14 +8,16 @@ import (
 	"idl/internal/parser"
 )
 
-// FuzzEvalQuery cross-checks parallel evaluation against sequential on
-// arbitrary read-only queries: whatever parses must either fail
-// identically or answer byte-identically at every worker count. This is
-// the fuzzing arm of the differential layer — the table-driven
-// equivalence tests in parallel_test.go pin known query shapes, the
-// fuzzer searches for shapes nobody thought to pin.
+// FuzzEvalQuery cross-checks evaluation modes on arbitrary read-only
+// queries: sequential interpreted evaluation is the oracle, and parallel
+// (3 workers), cold-compiled (plan per query, cache off) and cached
+// (epoch-keyed plan cache, exercised twice per input so the second run
+// hits) evaluation must each either fail identically or answer
+// byte-identically. This is the fuzzing arm of the differential layer —
+// the table-driven equivalence tests in parallel_test.go pin known query
+// shapes, the fuzzer searches for shapes nobody thought to pin.
 //
-// Both engines are built once per process: queries are read-only (update
+// All engines are built once per process: queries are read-only (update
 // bodies are skipped), so evaluation never mutates the fixture.
 func FuzzEvalQuery(f *testing.F) {
 	seeds := []string{
@@ -47,8 +49,16 @@ func FuzzEvalQuery(f *testing.F) {
 		f.Add(s)
 	}
 
-	seq := fuzzEngine(f, 0)
-	par := fuzzEngine(f, 3)
+	oracle := fuzzEngine(f, Options{Interpret: true})
+	variants := []struct {
+		name string
+		e    *Engine
+		runs int // cached runs twice so run two serves from the plan cache
+	}{
+		{"parallel", fuzzEngine(f, Options{Workers: 3}), 1},
+		{"cold", fuzzEngine(f, Options{NoPlanCache: true}), 1},
+		{"cached", fuzzEngine(f, Options{}), 2},
+	}
 
 	f.Fuzz(func(t *testing.T, src string) {
 		// Bound the work per input: deep cross joins over the big relation
@@ -66,19 +76,23 @@ func FuzzEvalQuery(f *testing.F) {
 		if len(q.Body.Conjuncts) > 3 {
 			t.Skip("too many conjuncts")
 		}
-		sAns, sErr := seq.Query(q)
-		pAns, pErr := par.Query(q)
-		if (sErr == nil) != (pErr == nil) {
-			t.Fatalf("error divergence for %q:\nsequential: %v\nparallel:   %v", src, sErr, pErr)
-		}
-		if sErr != nil {
-			if sErr.Error() != pErr.Error() {
-				t.Fatalf("error text divergence for %q:\nsequential: %v\nparallel:   %v", src, sErr, pErr)
+		sAns, sErr := oracle.Query(q)
+		for _, v := range variants {
+			for run := 0; run < v.runs; run++ {
+				pAns, pErr := v.e.Query(q)
+				if (sErr == nil) != (pErr == nil) {
+					t.Fatalf("error divergence for %q:\ninterpreted: %v\n%s(run %d): %v", src, sErr, v.name, run, pErr)
+				}
+				if sErr != nil {
+					if sErr.Error() != pErr.Error() {
+						t.Fatalf("error text divergence for %q:\ninterpreted: %v\n%s(run %d): %v", src, sErr, v.name, run, pErr)
+					}
+					continue
+				}
+				if s, p := sAns.String(), pAns.String(); s != p {
+					t.Fatalf("answer divergence for %q:\ninterpreted: %s\n%s(run %d): %s", src, clip(s), v.name, run, clip(p))
+				}
 			}
-			return
-		}
-		if s, p := sAns.String(), pAns.String(); s != p {
-			t.Fatalf("answer divergence for %q:\nsequential: %s\nparallel:   %s", src, clip(s), clip(p))
 		}
 	})
 }
@@ -86,9 +100,9 @@ func FuzzEvalQuery(f *testing.F) {
 // fuzzEngine builds the shared fuzz fixture: the three stock databases,
 // the partitioned big relation, and two rules so derived relations are
 // in play.
-func fuzzEngine(f *testing.F, workers int) *Engine {
+func fuzzEngine(f *testing.F, opts Options) *Engine {
 	f.Helper()
-	e := NewEngineWithOptions(Options{Workers: workers})
+	e := NewEngineWithOptions(opts)
 	buildStockBase(f, e)
 	buildBigBase(f, e, 32)
 	mustRule(f, e, ".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)")

@@ -69,11 +69,19 @@ func buildIndex(set *object.Set, attr string) *setIndex {
 	return idx
 }
 
-// invalidate clears the whole cache; the engine calls it when it rebuilds
-// the effective universe so indexes built on discarded merged sets are
-// released.
-func (c *indexCache) invalidate() {
+// retain drops every index whose set is not in the live set — the
+// relations reachable from the (just rebuilt) effective universe — and
+// keeps the rest. Per-relation invalidation instead of a wholesale wipe:
+// an update to one relation no longer discards every other relation's
+// index. Retention is always safe: lookup re-checks the set's version
+// and rebuilds on mismatch, so a retained index over a mutated set
+// simply rebuilds on next use.
+func (c *indexCache) retain(live map[*object.Set]bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m = make(map[indexKey]*setIndex)
+	for key := range c.m {
+		if !live[key.set] {
+			delete(c.m, key)
+		}
+	}
 }

@@ -47,6 +47,14 @@ type engineMetrics struct {
 	partitions   *obs.Counter
 	parallelOps  *obs.Counter
 	mergeLatency *obs.Histogram
+
+	// Plan-cache instruments (plan.go): cache hits (including stale
+	// revalidations), misses (fresh compiles), LRU evictions, and how
+	// long each compile took.
+	planCacheHit   *obs.Counter
+	planCacheMiss  *obs.Counter
+	planCacheEvict *obs.Counter
+	planCompile    *obs.Histogram
 }
 
 func opMetricsFor(r *obs.Registry, op string) opMetrics {
@@ -80,6 +88,10 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		partitions:      r.Counter("engine.eval.partitions"),
 		parallelOps:     r.Counter("engine.eval.parallel_ops"),
 		mergeLatency:    r.Histogram("engine.eval.merge_latency"),
+		planCacheHit:    r.Counter("engine.plan.cache_hit"),
+		planCacheMiss:   r.Counter("engine.plan.cache_miss"),
+		planCacheEvict:  r.Counter("engine.plan.evict"),
+		planCompile:     r.Histogram("engine.plan.compile_ns"),
 	}
 }
 

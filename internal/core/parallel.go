@@ -47,34 +47,44 @@ type partition struct {
 
 // scanTarget statically resolves the set that the first scheduled
 // conjunct of body will fully scan, mirroring the scheduler's first pick
-// under the empty substitution. It returns nil when the first conjunct
-// is not a plain constant-path scan — a negation, a constraint, a
-// variable database or relation name, or a set expression the index
-// would answer (partitioning an index probe would change the candidate
-// enumeration order).
-func (e *Engine) scanTarget(x ast.Expr, o object.Object) *object.Set {
+// under the empty substitution (including the cost ranks carried by an,
+// when present — the parallel first pick must stay in lockstep with the
+// ranked scheduler). It returns nil when the first conjunct is not a
+// plain constant-path scan — a negation, a constraint, a variable
+// database or relation name, or a set expression the index would answer
+// (partitioning an index probe would change the candidate enumeration
+// order).
+func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *object.Set {
 	switch expr := x.(type) {
 	case *ast.TupleExpr:
 		if len(expr.Conjuncts) == 0 {
 			return nil
 		}
-		// Mirror scheduleConjuncts with an empty env: the first conjunct
-		// whose consumed-variable list is empty runs first; if none
-		// qualifies the scheduler falls back to the first conjunct.
+		// Mirror scheduleConjuncts with an empty env: the cheapest
+		// conjunct whose consumed-variable list is empty runs first (rank
+		// order with source-order ties, or plain source order without
+		// ranks); if none qualifies the scheduler falls back to the first
+		// conjunct.
 		pick := 0
 		if !e.opts.NoSchedule {
-			pick = -1
-			for i, c := range expr.Conjuncts {
-				if len(consumedVars(c)) == 0 {
-					pick = i
-					break
+			var consumed [][]string
+			var ranks []float64
+			if an != nil {
+				consumed = an.consumed[expr]
+				ranks = an.ranks[expr]
+			}
+			if consumed == nil {
+				consumed = make([][]string, len(expr.Conjuncts))
+				for i, c := range expr.Conjuncts {
+					consumed[i] = consumedVars(c)
 				}
 			}
+			pick = firstRunnable(consumed, ranks)
 			if pick < 0 {
 				pick = 0
 			}
 		}
-		return e.scanTarget(expr.Conjuncts[pick], o)
+		return e.scanTarget(expr.Conjuncts[pick], o, an)
 
 	case *ast.AttrExpr:
 		if expr.Sign != ast.SignNone {
@@ -92,7 +102,7 @@ func (e *Engine) scanTarget(x ast.Expr, o object.Object) *object.Set {
 		if !ok {
 			return nil
 		}
-		return e.scanTarget(expr.Expr, val)
+		return e.scanTarget(expr.Expr, val, an)
 
 	case *ast.SetExpr:
 		if expr.Sign != ast.SignNone {
@@ -160,9 +170,9 @@ func splitChunks(elems []object.Object, n int) [][]object.Object {
 // the earliest chunk raised — the same error sequential evaluation would
 // have hit first, since workers fail at the first failing element of
 // their own chunk.
-func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, root *object.Tuple, vars []string, stats *Stats) ([][]Row, bool, error) {
+func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, root *object.Tuple, vars []string, stats *Stats, an *bodyAnalysis) ([][]Row, bool, error) {
 	workers := e.opts.Workers
-	target := e.scanTarget(body, root)
+	target := e.scanTarget(body, root, an)
 	if target == nil || target.Len() < minPartition {
 		return nil, false, nil
 	}
@@ -194,6 +204,12 @@ func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, roo
 				stats:      &chunkStats[w],
 				ctx:        ctx,
 				part:       &partition{set: target, elems: chunk},
+			}
+			if an != nil {
+				// Workers share the plan's complete analysis read-only —
+				// same consumed lists and ranks as sequential evaluation.
+				ev.consumedCache = an.consumed
+				ev.ranks = an.ranks
 			}
 			errs[w] = ev.satisfy(body, root, func() error {
 				rows[w] = append(rows[w], ev.env.Snapshot(vars))
@@ -254,14 +270,15 @@ func ruleWave(stratum []*compiledRule, affected []int) int {
 // head-variable snapshots. A single-rule wave instead tries to partition
 // that rule's body scan across the workers. Bodies only read the shared
 // effective universe, so the concurrency is race-free; derived facts are
-// applied by the caller, strictly in rule order.
-func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effective *object.Tuple, stats *Stats) ([][]Row, []error) {
+// applied by the caller, strictly in rule order. ans carries each wave
+// member's per-materialization body analysis (parallel to wave).
+func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effective *object.Tuple, stats *Stats, ans []*bodyAnalysis) ([][]Row, []error) {
 	snaps := make([][]Row, len(wave))
 	errs := make([]error, len(wave))
 	if len(wave) == 1 {
 		rule := wave[0]
 		headVars := ast.Vars(rule.src.Head)
-		chunks, ok, err := e.parallelEnumerate(ctx, rule.src.Body, effective, headVars, stats)
+		chunks, ok, err := e.parallelEnumerate(ctx, rule.src.Body, effective, headVars, stats, ans[0])
 		if ok {
 			if err == nil {
 				dedupe := newAnswer(nil)
@@ -276,7 +293,7 @@ func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effec
 			errs[0] = err
 			return snaps, errs
 		}
-		snaps[0], errs[0] = e.evalRuleBody(ctx, rule, effective, stats)
+		snaps[0], errs[0] = e.evalRuleBody(ctx, rule, effective, stats, ans[0])
 		return snaps, errs
 	}
 	ruleStats := make([]Stats, len(wave))
@@ -292,7 +309,7 @@ func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effec
 				e.em.workerBusy.Add(1)
 				defer e.em.workerBusy.Add(-1)
 			}
-			snaps[i], errs[i] = e.evalRuleBody(ctx, rule, effective, &ruleStats[i])
+			snaps[i], errs[i] = e.evalRuleBody(ctx, rule, effective, &ruleStats[i], ans[i])
 		}(i, rule)
 	}
 	wg.Wait()

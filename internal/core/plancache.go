@@ -1,0 +1,140 @@
+package core
+
+import (
+	"container/list"
+
+	"idl/internal/ast"
+)
+
+// Epoch-keyed plan cache (DESIGN.md §11). Plans are keyed by the
+// structural fingerprint of the query plus the plan-relevant options, and
+// validated against the engine's catalog epoch: a hit at the compiling
+// epoch is reused outright; after an epoch bump the plan's dependencies
+// are re-resolved and only plans whose inputs actually moved recompile —
+// precise invalidation, not wholesale.
+
+// defaultPlanCacheSize bounds the cache when Options.PlanCacheSize is
+// zero. LRU eviction: ad-hoc one-off queries age out, the repeated
+// workload stays resident.
+const defaultPlanCacheSize = 256
+
+// planKey identifies a plan: query structure plus the options that change
+// compilation (index use changes access-path estimates).
+type planKey struct {
+	fp       uint64
+	useIndex bool
+}
+
+// planCache is an LRU map from planKey to compiled plans. It is owned by
+// an Engine and accessed only under e.mu.
+type planCache struct {
+	cap   int
+	m     map[planKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key planKey
+	pl  *queryPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{
+		cap:   capacity,
+		m:     make(map[planKey]*list.Element),
+		order: list.New(),
+	}
+}
+
+// get returns the cached plan for key, or nil, marking it most recently
+// used.
+func (c *planCache) get(key planKey) *queryPlan {
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).pl
+}
+
+// put inserts (or replaces) the plan for key, reporting whether an entry
+// was evicted to make room.
+func (c *planCache) put(key planKey, pl *queryPlan) (evicted bool) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).pl = pl
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.m[key] = c.order.PushFront(&planEntry{key: key, pl: pl})
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.m, back.Value.(*planEntry).key)
+		return true
+	}
+	return false
+}
+
+// clear empties the cache.
+func (c *planCache) clear() {
+	c.m = make(map[planKey]*list.Element)
+	c.order.Init()
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int { return c.order.Len() }
+
+// PlanCacheStats snapshots the plan cache's counters.
+type PlanCacheStats struct {
+	Hits      uint64 // lookups answered from the cache (incl. revalidated)
+	Misses    uint64 // lookups that compiled a new plan
+	Evictions uint64 // entries dropped by the LRU bound
+	Size      int    // resident plans
+	Epoch     uint64 // current catalog epoch
+}
+
+// PlanCacheStats reports the plan cache's hit/miss/eviction counters,
+// resident size, and the current catalog epoch.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      e.planHits,
+		Misses:    e.planMisses,
+		Evictions: e.planEvictions,
+		Size:      e.plans.len(),
+		Epoch:     e.epoch,
+	}
+}
+
+// ClearPlanCache empties the plan cache (counters are preserved).
+func (e *Engine) ClearPlanCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.plans.clear()
+}
+
+// SetPlanCaching toggles the plan cache at runtime (the setter form of
+// Options.NoPlanCache, for CLIs and tests). Disabling does not clear
+// resident plans; they simply stop being consulted.
+func (e *Engine) SetPlanCaching(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.NoPlanCache = !on
+}
+
+// Epoch returns the catalog epoch: a counter bumped on every change to
+// the universe or the rule set. Plans and prepared queries validated at
+// the current epoch are known fresh without dependency checks.
+func (e *Engine) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// Fingerprint exposes the structural query fingerprint used as the plan
+// cache key (for tests and tooling).
+func Fingerprint(q *ast.Query) uint64 { return ast.Fingerprint(q) }

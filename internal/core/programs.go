@@ -20,6 +20,11 @@ type compiledClause struct {
 	params    *ast.TupleExpr
 	paramVars []string // head parameter variables in declaration order
 	required  []string // parameters that must be bound at call time
+	// consumed is the body's consumed-variable analysis, computed once at
+	// registration and seeded into every invocation's evaluator — the
+	// clause-body half of compile-once-execute-many (updates run under
+	// the engine mutex, so invocations may extend the shared map).
+	consumed map[*ast.TupleExpr][][]string
 }
 
 // Program is a named update program: all clauses registered under one
@@ -188,6 +193,7 @@ func compileClause(c *ast.Clause) (*compiledClause, error) {
 		}
 	}
 	cc.required = requiredParams(cc)
+	cc.consumed = consumedMap(c.Body)
 	return cc, nil
 }
 

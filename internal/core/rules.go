@@ -19,6 +19,10 @@ type compiledRule struct {
 	headHO  bool     // head contains a higher-order variable (§6)
 	refs    []patternRef
 	stratum int
+	// consumed is the body's precomputed safety analysis (pure AST
+	// function, computed once at registration); each materialization
+	// pairs it with fresh cost ranks into a bodyAnalysis.
+	consumed map[*ast.TupleExpr][][]string
 }
 
 // patternRef is a (database, relation) reference pattern from a rule
@@ -71,10 +75,11 @@ func compileRule(r *ast.Rule) (*compiledRule, error) {
 		}
 	}
 	cr := &compiledRule{
-		src:    r,
-		headDB: string(dbStr),
-		headHO: len(ast.HigherOrderVars(r.Head)) > 0,
-		refs:   collectRefs(r.Body),
+		src:      r,
+		headDB:   string(dbStr),
+		headHO:   len(ast.HigherOrderVars(r.Head)) > 0,
+		refs:     collectRefs(r.Body),
+		consumed: consumedMap(r.Body),
 	}
 	if te, ok := headAttr.Expr.(*ast.TupleExpr); ok && len(te.Conjuncts) == 1 {
 		if rel, ok := te.Conjuncts[0].(*ast.AttrExpr); ok {
@@ -325,6 +330,22 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 			maxStratum = r.stratum
 		}
 	}
+	// Each rule body is compiled once per materialization: the
+	// registration-time safety analysis pairs with cost ranks computed at
+	// the rule's first run this materialization, then reused across every
+	// iteration (and shared read-only by parallel rule waves). The first
+	// run happens at the same iteration for every worker count, so the
+	// ranks — and the enumeration order they induce — are identical
+	// sequentially and in parallel.
+	ruleAns := make(map[*compiledRule]*bodyAnalysis)
+	anFor := func(rule *compiledRule, effective *object.Tuple) *bodyAnalysis {
+		an := ruleAns[rule]
+		if an == nil {
+			an = e.analyzeBody(rule.src.Body, effective, rule.consumed)
+			ruleAns[rule] = an
+		}
+		return an
+	}
 	for s := 0; s <= maxStratum; s++ {
 		var stratum []*compiledRule
 		for _, r := range e.rules {
@@ -369,10 +390,12 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 				for len(affected) > 0 {
 					waveLen := ruleWave(stratum, affected)
 					wave := make([]*compiledRule, waveLen)
+					waveAns := make([]*bodyAnalysis, waveLen)
 					for i, ri := range affected[:waveLen] {
 						wave[i] = stratum[ri]
+						waveAns[i] = anFor(stratum[ri], effective)
 					}
-					snaps, errs := e.evalRuleBodies(ctx, wave, effective, &evalStats)
+					snaps, errs := e.evalRuleBodies(ctx, wave, effective, &evalStats, waveAns)
 					for wi, rule := range wave {
 						stats.RuleRuns++
 						if errs[wi] != nil {
@@ -398,7 +421,7 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 						continue
 					}
 					stats.RuleRuns++
-					n, err := e.runRule(ctx, rule, effective, derived, &evalStats)
+					n, err := e.runRule(ctx, rule, effective, derived, &evalStats, anFor(rule, effective))
 					if err != nil {
 						round.End()
 						return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
@@ -444,8 +467,8 @@ func (e *Engine) ruleAffected(rule *compiledRule, stratum []*compiledRule, chang
 // runRule enumerates body substitutions against the effective universe
 // and makes the head true in the derived overlay for each; it returns how
 // many make-true operations changed the overlay.
-func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple, stats *Stats) (int, error) {
-	envSnaps, err := e.evalRuleBody(ctx, rule, effective, stats)
+func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, derived *object.Tuple, stats *Stats, an *bodyAnalysis) (int, error) {
+	envSnaps, err := e.evalRuleBody(ctx, rule, effective, stats, an)
 	if err != nil {
 		return 0, err
 	}
@@ -458,8 +481,12 @@ func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, der
 // body may be reading the overlay through the merged universe — which is
 // also what makes this phase safe to run concurrently for independent
 // rules (parallel.go).
-func (e *Engine) evalRuleBody(ctx context.Context, rule *compiledRule, effective *object.Tuple, stats *Stats) ([]Row, error) {
+func (e *Engine) evalRuleBody(ctx context.Context, rule *compiledRule, effective *object.Tuple, stats *Stats, an *bodyAnalysis) ([]Row, error) {
 	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: stats, ctx: ctx}
+	if an != nil {
+		ev.consumedCache = an.consumed
+		ev.ranks = an.ranks
+	}
 	var envSnaps []Row
 	headVars := ast.Vars(rule.src.Head)
 	dedupe := newAnswer(nil)

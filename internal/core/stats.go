@@ -1,0 +1,93 @@
+package core
+
+import (
+	"idl/internal/object"
+)
+
+// Catalog statistics (DESIGN.md §11). Per-relation cardinalities and
+// per-attribute distinct-value estimates feed the cost-based conjunct
+// scheduler. Statistics are computed lazily — the first compilation that
+// needs a relation's numbers pays for them — and memoized per set
+// pointer, keyed by the set's version counter, so they track updates
+// incrementally: an unchanged relation never recounts, a mutated one
+// recounts once on next use.
+
+// statSampleCap bounds the elements examined per relation when
+// estimating distinct counts. The sample is the insertion-order prefix,
+// so it is deterministic for a given set content — identical statistics
+// (and therefore identical plans) on every engine evaluating the same
+// universe.
+const statSampleCap = 256
+
+// relStat holds one relation's statistics at one set version.
+type relStat struct {
+	version  uint64
+	card     int
+	distinct map[string]int // attribute -> estimated distinct values
+}
+
+// statFor returns (computing if absent or stale) the statistics of a
+// relation set. Callers hold e.mu.
+func (e *Engine) statFor(set *object.Set) *relStat {
+	st := e.relStats[set]
+	if st != nil && st.version == set.Version() {
+		return st
+	}
+	st = computeRelStat(set)
+	if e.relStats == nil {
+		e.relStats = make(map[*object.Set]*relStat)
+	}
+	e.relStats[set] = st
+	return st
+}
+
+// computeRelStat counts a relation: exact cardinality (O(1) from the
+// set), and per-attribute distinct-value estimates from a bounded
+// insertion-order sample. When every sampled value of an attribute is
+// distinct the attribute is extrapolated as a key (distinct ≈
+// cardinality); otherwise the sample's distinct count stands — small
+// value domains saturate well inside the sample.
+func computeRelStat(set *object.Set) *relStat {
+	st := &relStat{version: set.Version(), card: set.Len(), distinct: map[string]int{}}
+	sample := set.SampleN(statSampleCap)
+	seen := map[string]map[uint64]struct{}{}
+	rows := 0
+	for _, el := range sample {
+		tup, ok := el.(*object.Tuple)
+		if !ok {
+			continue
+		}
+		rows++
+		for _, attr := range tup.Attrs() {
+			v, ok := tup.Get(attr)
+			if !ok {
+				continue
+			}
+			vals := seen[attr]
+			if vals == nil {
+				vals = make(map[uint64]struct{})
+				seen[attr] = vals
+			}
+			vals[v.Hash()] = struct{}{}
+		}
+	}
+	for attr, vals := range seen {
+		d := len(vals)
+		if rows > 0 && d == rows && st.card > d {
+			d = st.card
+		}
+		st.distinct[attr] = d
+	}
+	return st
+}
+
+// pruneStats drops statistics for sets no longer reachable from the
+// effective universe, alongside the index cache's retain pass. Callers
+// hold e.mu.
+func (e *Engine) pruneStats(live map[*object.Set]bool) {
+	for set := range e.relStats {
+		if !live[set] {
+			delete(e.relStats, set)
+		}
+	}
+}

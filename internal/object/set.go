@@ -168,6 +168,26 @@ func (s *Set) Elems() []Object {
 	return out
 }
 
+// SampleN returns up to n elements in insertion order — a deterministic
+// prefix sample for statistics estimation. The same content in the same
+// insertion order always yields the same sample.
+func (s *Set) SampleN(n int) []Object {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Object, 0, n)
+	for _, e := range s.elems {
+		if e == nil {
+			continue
+		}
+		out = append(out, e)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
 // SortedElems returns the elements in canonical (Compare) order.
 func (s *Set) SortedElems() []Object {
 	out := s.Elems()

@@ -45,13 +45,14 @@ type Event struct {
 	Digest     string        `json:"digest,omitempty"`      // FNV-1a of Text: stable statement identity across runs
 	PlanDigest string        `json:"plan_digest,omitempty"` // FNV-1a of the static plan rendering, when the event log is on
 	Duration   time.Duration `json:"duration_ns"`
-	Rows       int           `json:"rows,omitempty"`     // answer cardinality (queries)
-	Changes    int           `json:"changes,omitempty"`  // total mutations applied (exec/call)
-	Skipped    []string      `json:"skipped,omitempty"`  // conjuncts skipped due to unreachable members
-	Degraded   string        `json:"degraded,omitempty"` // federation degraded report, deterministic rendering
-	Member     string        `json:"member,omitempty"`   // member database name (breaker events)
-	Workers    int           `json:"workers,omitempty"`  // parallelism degree the operation ran under (0 = sequential)
-	Slow       bool          `json:"slow,omitempty"`     // duration exceeded the slow threshold
+	Rows       int           `json:"rows,omitempty"`       // answer cardinality (queries)
+	Changes    int           `json:"changes,omitempty"`    // total mutations applied (exec/call)
+	Skipped    []string      `json:"skipped,omitempty"`    // conjuncts skipped due to unreachable members
+	Degraded   string        `json:"degraded,omitempty"`   // federation degraded report, deterministic rendering
+	Member     string        `json:"member,omitempty"`     // member database name (breaker events)
+	Workers    int           `json:"workers,omitempty"`    // parallelism degree the operation ran under (0 = sequential)
+	PlanCache  string        `json:"plan_cache,omitempty"` // plan-cache outcome: hit / stale / miss / cold (queries)
+	Slow       bool          `json:"slow,omitempty"`       // duration exceeded the slow threshold
 	Err        string        `json:"err,omitempty"`
 }
 
@@ -88,6 +89,9 @@ func (e *Event) format(redact bool) string {
 	}
 	if e.Workers > 0 {
 		fmt.Fprintf(&b, " workers=%d", e.Workers)
+	}
+	if e.PlanCache != "" {
+		fmt.Fprintf(&b, " plan=%s", e.PlanCache)
 	}
 	if len(e.Skipped) > 0 {
 		fmt.Fprintf(&b, " skipped=[%s]", strings.Join(e.Skipped, "; "))

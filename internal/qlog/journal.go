@@ -40,17 +40,18 @@ type ExecSummary struct {
 
 // Record is one replayable statement with its observed outcome.
 type Record struct {
-	Seq      int          `json:"seq"` // 0-based position in the journal
-	Kind     string       `json:"kind"`
-	Text     string       `json:"text"`
-	Digest   string       `json:"digest,omitempty"`
-	NS       int64        `json:"ns"` // original duration, for perf-mode comparison
-	Rows     int          `json:"rows,omitempty"`
-	Answer   string       `json:"answer,omitempty"` // canonical Answer rendering (sorted)
-	Exec     *ExecSummary `json:"exec,omitempty"`
-	Degraded string       `json:"degraded,omitempty"` // deterministic degraded-report rendering
-	Workers  int          `json:"workers,omitempty"`  // parallelism degree the statement ran under (0 = sequential)
-	Err      string       `json:"err,omitempty"`
+	Seq       int          `json:"seq"` // 0-based position in the journal
+	Kind      string       `json:"kind"`
+	Text      string       `json:"text"`
+	Digest    string       `json:"digest,omitempty"`
+	NS        int64        `json:"ns"` // original duration, for perf-mode comparison
+	Rows      int          `json:"rows,omitempty"`
+	Answer    string       `json:"answer,omitempty"` // canonical Answer rendering (sorted)
+	Exec      *ExecSummary `json:"exec,omitempty"`
+	Degraded  string       `json:"degraded,omitempty"`   // deterministic degraded-report rendering
+	Workers   int          `json:"workers,omitempty"`    // parallelism degree the statement ran under (0 = sequential)
+	PlanCache string       `json:"plan_cache,omitempty"` // plan-cache outcome: hit / stale / miss / cold
+	Err       string       `json:"err,omitempty"`
 }
 
 // Journal is an open journal file. Appends are serialized by a mutex

@@ -290,6 +290,17 @@ func (op *Op) SetWorkers(n int) {
 	op.ev.Workers = n
 }
 
+// SetPlanCache records the query's plan-cache outcome ("hit", "stale",
+// "miss", "cold"). Unplanned runs (empty outcome) leave the field zero
+// so event renderings and journal records are unchanged from pre-planner
+// captures.
+func (op *Op) SetPlanCache(outcome string) {
+	if op == nil || outcome == "" {
+		return
+	}
+	op.ev.PlanCache = outcome
+}
+
 // SetExec records an update request's outcome counters.
 func (op *Op) SetExec(sum ExecSummary, changes int) {
 	if op == nil {
@@ -341,16 +352,17 @@ func (op *Op) finish(errMsg string) {
 		if j := op.r.journal.Load(); j != nil {
 			// Append assigns the journal-local sequence number.
 			j.Append(Record{
-				Kind:     ev.Kind,
-				Text:     ev.Text,
-				Digest:   ev.Digest,
-				NS:       int64(ev.Duration),
-				Rows:     ev.Rows,
-				Answer:   op.answer,
-				Exec:     op.exec,
-				Degraded: ev.Degraded,
-				Workers:  ev.Workers,
-				Err:      ev.Err,
+				Kind:      ev.Kind,
+				Text:      ev.Text,
+				Digest:    ev.Digest,
+				NS:        int64(ev.Duration),
+				Rows:      ev.Rows,
+				Answer:    op.answer,
+				Exec:      op.exec,
+				Degraded:  ev.Degraded,
+				Workers:   ev.Workers,
+				PlanCache: ev.PlanCache,
+				Err:       ev.Err,
 			})
 		}
 	}
@@ -406,6 +418,9 @@ func attrs(ev *Event) []slog.Attr {
 	}
 	if ev.Workers > 0 {
 		out = append(out, slog.Int("workers", ev.Workers))
+	}
+	if ev.PlanCache != "" {
+		out = append(out, slog.String("plan_cache", ev.PlanCache))
 	}
 	if ev.Slow {
 		out = append(out, slog.Bool("slow", true))

@@ -8,8 +8,11 @@
 #   1. regenerate the snapshot in short mode to BENCH_new.json;
 #   2. validate it — malformed reports, unmeasured benchmarks,
 #      tracing / flight-recorder overhead beyond the DESIGN.md §8–§9
-#      bounds, or a B13 sync-family parallel speedup below 1.5× at
-#      four workers (DESIGN.md §10) fail the build;
+#      bounds, a B13 sync-family parallel speedup below 1.5× at four
+#      workers (DESIGN.md §10), a B14 plan-cache hit rate below 0.95,
+#      or a B14 repeated-query speedup below 1.15× (DESIGN.md §11; the
+#      design target is 1.5×, the gate absorbs short-mode timer noise)
+#      fail the build;
 #   3. compare it against the committed BENCH_report.json — any
 #      benchmark more than 25% slower fails the build (the
 #      bench-regression gate; a failed compare re-measures once so a
@@ -26,17 +29,19 @@ go build ./...
 go vet ./...
 go test -race -shuffle=on ./...
 
-# Coverage floor on the engine package: the parallel-evaluation layer
-# must not erode internal/core's seed coverage (77.8% at introduction).
+# Coverage floor on the engine package: the planner and plan-cache layer
+# raised the floor from its 77.8% seed to 80.0% (81.3% measured when the
+# planner landed); new evaluation layers must keep the tests that come
+# with them.
 go test -coverprofile=/tmp/core_cover.out ./internal/core
 go tool cover -func=/tmp/core_cover.out | awk '
     /^total:/ {
         sub(/%/, "", $3)
-        if ($3 + 0 < 77.8) {
-            printf "internal/core coverage %.1f%% below 77.8%% floor\n", $3
+        if ($3 + 0 < 80.0) {
+            printf "internal/core coverage %.1f%% below 80.0%% floor\n", $3
             exit 1
         }
-        printf "internal/core coverage %.1f%% (floor 77.8%%)\n", $3
+        printf "internal/core coverage %.1f%% (floor 80.0%%)\n", $3
     }'
 
 # Fuzz smoke: a short randomized pass over the parser round-trip and
@@ -46,7 +51,7 @@ go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 15s ./internal/parser
 go test -run '^$' -fuzz '^FuzzEvalQuery$' -fuzztime 15s ./internal/core
 
 go run ./cmd/idlbench -short -out BENCH_new.json
-go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5
+go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15
 # The regression gate, with one confirmation pass: sustained host
 # contention can inflate a whole snapshot run, so a failed compare
 # re-measures once and only fails when the regression reproduces. A
