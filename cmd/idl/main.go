@@ -11,6 +11,13 @@
 //
 //	-snapshot path   load the universe from a snapshot at start and save
 //	                 it back on exit (created if missing)
+//	-wal dir         durable session: log every committed mutation to a
+//	                 write-ahead log in dir and recover whatever a
+//	                 previous session left there (prints the recovery
+//	                 banner at startup); incompatible with -snapshot
+//	-durability m    with -wal: fsync policy — sync (fsync every commit,
+//	                 the default), group (group-commit: fsync when enough
+//	                 bytes accumulate), off (no fsync on commit)
 //	-demo            preload the paper's three stock databases
 //	-tokens          with -e: dump the token stream (debugging)
 //	-best-effort     degrade queries gracefully when a federated member
@@ -63,6 +70,10 @@
 //	\plan-cache [clear]        plan cache counters (hits, misses,
 //	                           evictions, resident plans, catalog epoch),
 //	                           or clear the cached plans
+//	\wal                       write-ahead log status (next LSN, records
+//	                           appended, segments, last checkpoint)
+//	\checkpoint                snapshot the state into the WAL directory
+//	                           and truncate the log's sealed segments
 //	\help                      this list
 //	\quit                      exit
 package main
@@ -90,6 +101,10 @@ type config struct {
 	demo     bool
 	tokens   bool
 
+	// Durability: WAL directory and fsync policy (sync/group/off).
+	wal        string
+	durability string
+
 	// Federation knobs.
 	bestEffort bool
 	timeout    time.Duration
@@ -114,12 +129,14 @@ type config struct {
 
 func defaultConfig() config {
 	fed := idl.DefaultFederationConfig()
-	return config{timeout: fed.Timeout, retries: fed.Retries, flightRec: qlog.DefaultRingSize}
+	return config{timeout: fed.Timeout, retries: fed.Retries, flightRec: qlog.DefaultRingSize, durability: "sync"}
 }
 
 func main() {
 	cfg := defaultConfig()
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "load/save the universe snapshot at this path")
+	flag.StringVar(&cfg.wal, "wal", "", "write-ahead log directory: log committed mutations and recover at startup")
+	flag.StringVar(&cfg.durability, "durability", cfg.durability, "with -wal: fsync policy — sync, group, or off")
 	flag.StringVar(&cfg.script, "script", "", "run an IDL script file and exit")
 	flag.StringVar(&cfg.expr, "e", "", "run one statement and exit")
 	flag.BoolVar(&cfg.demo, "demo", false, "preload the paper's three stock databases")
@@ -188,7 +205,13 @@ func run(cfg config) error {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 	}
-	return cleanup()
+	cerr := cleanup()
+	// Close the WAL last: deferred group-commit records sync here, so an
+	// error means the tail of the session may not be durable.
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("close wal: %w", err)
+	}
+	return cerr
 }
 
 // setupObservability applies the session's observability flags: metrics,
@@ -231,6 +254,19 @@ func setupObservability(db *idl.DB, cfg config) (cleanup func() error, err error
 	}, nil
 }
 
+// parseDurability maps the -durability flag to the facade's policy.
+func parseDurability(s string) (idl.Durability, error) {
+	switch s {
+	case "sync", "":
+		return idl.DurabilitySync, nil
+	case "group":
+		return idl.DurabilityGroup, nil
+	case "off":
+		return idl.DurabilityOff, nil
+	}
+	return 0, fmt.Errorf("unknown -durability %q (want sync, group, or off)", s)
+}
+
 // workloadConfig renders the CLI flags as a workload configuration —
 // the same structure cmd/idlreplay rebuilds from a journal header.
 func workloadConfig(cfg config) workload.Config {
@@ -246,7 +282,47 @@ func workloadConfig(cfg config) workload.Config {
 
 func openDB(cfg config) (*idl.DB, error) {
 	var db *idl.DB
-	if cfg.snapshot != "" {
+	if cfg.wal != "" {
+		if cfg.snapshot != "" {
+			return nil, fmt.Errorf("-wal and -snapshot are mutually exclusive (the WAL checkpoints its own snapshots)")
+		}
+		d, err := parseDurability(cfg.durability)
+		if err != nil {
+			return nil, err
+		}
+		opts := idl.DefaultOptions()
+		opts.BestEffort = cfg.bestEffort
+		walOpts := idl.WALOptions{Durability: d, Engine: &opts}
+		wcfg := workloadConfig(cfg)
+		if cfg.chaosSeed == 0 {
+			// The demo universe is deterministic base environment, not a
+			// logged mutation: install it before the tail replays (skipped
+			// when a checkpoint already carries it). Chaos members instead
+			// mount below like any session — their snapshot installs are
+			// logged on sync.
+			walOpts.Bootstrap = func(db *idl.DB) error { return workload.Apply(db, wcfg) }
+		}
+		recovered, report, err := idl.OpenWAL(cfg.wal, walOpts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(report.String())
+		if cfg.noPlanCache {
+			recovered.SetPlanCaching(false)
+		}
+		if cfg.workers > 0 {
+			// Bootstrap (which applies the workload's worker count) is
+			// skipped when a checkpoint was restored; set it directly.
+			recovered.SetWorkers(cfg.workers)
+		}
+		if cfg.chaosSeed != 0 {
+			if err := workload.Apply(recovered, wcfg); err != nil {
+				return nil, err
+			}
+		}
+		return recovered, nil
+	}
+	if db == nil && cfg.snapshot != "" {
 		if _, err := os.Stat(cfg.snapshot); err == nil {
 			loaded, err := idl.OpenSnapshot(cfg.snapshot)
 			if err != nil {
@@ -349,7 +425,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -474,6 +550,20 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		if cfg.noPlanCache {
 			fmt.Println("plan cache disabled (-no-plan-cache)")
 		}
+	case `\wal`:
+		st, ok := db.WALStatus()
+		if !ok {
+			fmt.Println("no write-ahead log attached (run with -wal <dir>)")
+			break
+		}
+		fmt.Println(st.String())
+	case `\checkpoint`:
+		lsn, err := db.Checkpoint()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("checkpoint taken through lsn=%d\n", lsn)
 	case `\views`:
 		for _, v := range db.Views() {
 			fmt.Println(v)

@@ -1,5 +1,5 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B14 engine benchmarks (see DESIGN.md §5, §8, §10 and §11)
+// runs the B1–B15 engine benchmarks (see DESIGN.md §5, §8, §10–§13)
 // against the deterministic internal/stocks workload and writes a
 // machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
 // and the engine's evaluator counters — so performance can be compared
@@ -29,6 +29,11 @@
 //	                      cache hit rate (hits ÷ lookups)
 //	-min-plan-speedup     validation bound on the B14 repeated-query
 //	                      speedup (interpreted ns/op ÷ cached ns/op)
+//	-max-wal-overhead     validation bound on the B15 query-family WAL
+//	                      tax (WAL-on ns/op ÷ WAL-off ns/op): reads never
+//	                      append, so the bound is tight
+//	-min-group-amortize   validation bound on the B15 exec-family group-
+//	                      commit amortization (sync ns/op ÷ group ns/op)
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -57,8 +62,8 @@ import (
 
 // reportSchema versions the report layout for downstream tooling.
 // Schema 2 added FlightOverhead; schema 3 added Parallel (B13); schema 4
-// added PlanCache (B14).
-const reportSchema = 4
+// added PlanCache (B14); schema 5 added WAL (B15).
+const reportSchema = 5
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -118,6 +123,22 @@ type PlanCacheSummary struct {
 	Speedup            float64 `json:"speedup"`  // interpreted ÷ cached
 }
 
+// WALSummary is the B15 result: the durability tax. The query family
+// runs the same read with and without a WAL attached — reads never
+// append, so the ratio bounds the bookkeeping overhead. The exec family
+// measures the commit path three ways: no WAL (the in-memory floor),
+// per-commit fsync (DurabilitySync), and group commit (DurabilityGroup),
+// whose amortization ratio shows what deferring fsync buys.
+type WALSummary struct {
+	QueryOffNsPerOp   int64   `json:"query_off_ns_per_op"`
+	QueryOnNsPerOp    int64   `json:"query_on_ns_per_op"`
+	QueryRatio        float64 `json:"query_ratio"` // on ÷ off
+	ExecOffNsPerOp    int64   `json:"exec_off_ns_per_op"`
+	ExecSyncNsPerOp   int64   `json:"exec_sync_ns_per_op"`
+	ExecGroupNsPerOp  int64   `json:"exec_group_ns_per_op"`
+	GroupAmortization float64 `json:"group_amortization"` // sync ÷ group
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
 	Schema         int              `json:"schema"`
@@ -128,6 +149,7 @@ type Report struct {
 	FlightOverhead FlightOverhead   `json:"flight_overhead"`
 	Parallel       ParallelSpeedup  `json:"parallel"`
 	PlanCache      PlanCacheSummary `json:"plan_cache"`
+	WAL            WALSummary       `json:"wal"`
 }
 
 func main() {
@@ -142,6 +164,8 @@ func main() {
 		minPar    = flag.Float64("min-parallel-speedup", 1.5, "validation bound on the B13 sync-family speedup at 4 workers")
 		minHit    = flag.Float64("min-plan-cache-hit", 0.9, "validation bound on the B14 cached-family plan cache hit rate")
 		minPlan   = flag.Float64("min-plan-speedup", 1.0, "validation bound on the B14 interpreted÷cached speedup")
+		maxWAL    = flag.Float64("max-wal-overhead", 1.15, "validation bound on the B15 query-family WAL-on÷WAL-off ratio")
+		minAmort  = flag.Float64("min-group-amortize", 1.5, "validation bound on the B15 sync÷group exec amortization")
 	)
 	flag.Parse()
 	if *compare {
@@ -156,7 +180,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -192,6 +216,9 @@ func main() {
 		"B14/plan-cache-speedup", rep.PlanCache.Speedup, rep.PlanCache.HitRate,
 		rep.PlanCache.InterpretedNsPerOp, rep.PlanCache.CompileNsPerOp,
 		rep.PlanCache.CachedNsPerOp, rep.PlanCache.PreparedNsPerOp)
+	fmt.Printf("%-40s query-ratio=%.2f group-amortize=%.2fx (exec off=%dns sync=%dns group=%dns)\n",
+		"B15/wal-overhead", rep.WAL.QueryRatio, rep.WAL.GroupAmortization,
+		rep.WAL.ExecOffNsPerOp, rep.WAL.ExecSyncNsPerOp, rep.WAL.ExecGroupNsPerOp)
 	fmt.Println("wrote", *out)
 }
 
@@ -277,7 +304,7 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 // flight-recorder overhead under the stated bounds, the B13 sync-family
 // parallel speedup above its floor, and the B14 plan-cache hit rate and
 // repeated-query speedup above theirs.
-func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup float64) error {
+func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -335,6 +362,17 @@ func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, m
 	}
 	if pc.Speedup < minPlanSpeedup {
 		return fmt.Errorf("%s: plan-cache speedup %.2fx below bound %.2fx", path, pc.Speedup, minPlanSpeedup)
+	}
+	wl := rep.WAL
+	if wl.QueryOffNsPerOp <= 0 || wl.QueryOnNsPerOp <= 0 ||
+		wl.ExecOffNsPerOp <= 0 || wl.ExecSyncNsPerOp <= 0 || wl.ExecGroupNsPerOp <= 0 {
+		return fmt.Errorf("%s: WAL families not measured", path)
+	}
+	if wl.QueryRatio > maxWALOverhead {
+		return fmt.Errorf("%s: WAL query overhead ratio %.2f exceeds bound %.2f", path, wl.QueryRatio, maxWALOverhead)
+	}
+	if wl.GroupAmortization < minGroupAmortize {
+		return fmt.Errorf("%s: group-commit amortization %.2fx below bound %.2fx", path, wl.GroupAmortization, minGroupAmortize)
 	}
 	return nil
 }
@@ -788,6 +826,90 @@ func runAll(short bool) *Report {
 		rep.PlanCache.CachedNsPerOp = ns["cached"]
 		rep.PlanCache.PreparedNsPerOp = ns["prepared"]
 		rep.PlanCache.Speedup = float64(ns["interpreted"]) / float64(ns["cached"])
+	}
+
+	// B15: the durability tax. Query family runs the same E5 query at the
+	// DB layer with and without a WAL attached — queries never append, so
+	// the ratio bounds the bookkeeping a durable session pays on its read
+	// path and should sit near 1.0. Exec family runs unique-key inserts
+	// (every op commits one tuple, so every op appends and, in sync mode,
+	// fsyncs) under no WAL, per-commit fsync, and group commit; the
+	// sync÷group ratio is what deferring fsync to the 64 KiB group
+	// threshold buys back.
+	{
+		populate := func(db *idl.DB) {
+			ds := stocks.Generate(stocks.Config{Stocks: 16, Days: 20, Seed: 43})
+			ds.Populate(db.Engine().Base())
+			db.Engine().Invalidate()
+		}
+		src := stocks.QueryHighestPerDay()["euter"]
+		runQ := func(db *idl.DB) {
+			if _, err := db.Query(src); err != nil {
+				panic(err)
+			}
+		}
+		withWALDB := func(mode idl.Durability, fn func(db *idl.DB)) {
+			dir, err := os.MkdirTemp("", "idlbench-wal-")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			db, _, err := idl.OpenWAL(dir, idl.WALOptions{Durability: mode})
+			if err != nil {
+				panic(err)
+			}
+			defer db.Close()
+			fn(db)
+		}
+
+		dbOff := idl.Open()
+		populate(dbOff)
+		qoff := measure("B15/wal/query-off", short, dbOff.Engine(), func() { runQ(dbOff) })
+		add(qoff)
+		var qon Benchmark
+		withWALDB(idl.DurabilitySync, func(db *idl.DB) {
+			populate(db)
+			qon = measure("B15/wal/query-on", short, db.Engine(), func() { runQ(db) })
+		})
+		add(qon)
+
+		// Unique keys per op: duplicate inserts would commit zero changes
+		// and skip the append, measuring nothing.
+		var seq int
+		runExec := func(db *idl.DB) {
+			seq++
+			stmt := fmt.Sprintf("?.euter.r+(.date=3/1/85,.stkCode=b%d,.clsPrice=%d)", seq, 10+seq%90)
+			if _, err := db.Exec(stmt); err != nil {
+				panic(err)
+			}
+		}
+		dbEOff := idl.Open()
+		populate(dbEOff)
+		eoff := measure("B15/wal/exec-off", short, dbEOff.Engine(), func() { runExec(dbEOff) })
+		add(eoff)
+		var esync, egroup Benchmark
+		withWALDB(idl.DurabilitySync, func(db *idl.DB) {
+			populate(db)
+			seq = 0
+			esync = measure("B15/wal/exec-sync", short, db.Engine(), func() { runExec(db) })
+		})
+		add(esync)
+		withWALDB(idl.DurabilityGroup, func(db *idl.DB) {
+			populate(db)
+			seq = 0
+			egroup = measure("B15/wal/exec-group", short, db.Engine(), func() { runExec(db) })
+		})
+		add(egroup)
+
+		rep.WAL = WALSummary{
+			QueryOffNsPerOp:   qoff.NsPerOp,
+			QueryOnNsPerOp:    qon.NsPerOp,
+			QueryRatio:        float64(qon.NsPerOp) / float64(qoff.NsPerOp),
+			ExecOffNsPerOp:    eoff.NsPerOp,
+			ExecSyncNsPerOp:   esync.NsPerOp,
+			ExecGroupNsPerOp:  egroup.NsPerOp,
+			GroupAmortization: float64(esync.NsPerOp) / float64(egroup.NsPerOp),
+		}
 	}
 
 	return rep

@@ -8,6 +8,7 @@ import (
 	"idl/internal/federation"
 	"idl/internal/parser"
 	"idl/internal/qlog"
+	"idl/internal/wal"
 )
 
 // Federated member databases. A DB can mount autonomous members behind
@@ -223,7 +224,22 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 		op.End(err)
 		return nil, err
 	}
-	info, err := db.engine.ExecuteCtx(ctx, q)
+	var info *ExecInfo
+	var err error
+	if db.wal != nil {
+		// Commit protocol: apply, then append, under one lock so the log's
+		// record order is the apply order. A failed append poisons the log
+		// and surfaces here — the mutation is in memory but not durable,
+		// and no later mutation will be acknowledged either.
+		db.walCommit.Lock()
+		info, err = db.engine.ExecuteCtx(ctx, q)
+		if err == nil {
+			err = db.walAppend(wal.TypeExec, []byte(q.String()))
+		}
+		db.walCommit.Unlock()
+	} else {
+		info, err = db.engine.ExecuteCtx(ctx, q)
+	}
 	if info != nil {
 		sum, changes := execSummary(info)
 		op.SetExec(sum, changes)
@@ -290,6 +306,9 @@ func (db *DB) LoadCtx(ctx context.Context, src string) ([]*ScriptResult, error) 
 		case *ast.Rule:
 			err := db.engine.AddRule(s)
 			db.rec.Emit(qlog.KindRule, s.String(), err)
+			if err == nil {
+				err = db.walAppend(wal.TypeRule, []byte(s.String()))
+			}
 			if err != nil {
 				return out, fmt.Errorf("idl: rule %q: %w", s.String(), err)
 			}
@@ -297,6 +316,9 @@ func (db *DB) LoadCtx(ctx context.Context, src string) ([]*ScriptResult, error) 
 		case *ast.Clause:
 			err := db.engine.AddClause(s)
 			db.rec.Emit(qlog.KindClause, s.String(), err)
+			if err == nil {
+				err = db.walAppend(wal.TypeClause, []byte(s.String()))
+			}
 			if err != nil {
 				return out, fmt.Errorf("idl: clause %q: %w", s.String(), err)
 			}

@@ -37,6 +37,7 @@ import (
 	"idl/internal/qlog"
 	"idl/internal/schema"
 	"idl/internal/storage"
+	"idl/internal/wal"
 )
 
 // Re-exported value types. Objects are value-based: atoms, tuples of
@@ -137,6 +138,14 @@ type DB struct {
 	// from Open — a lock-free ring of the last events — and grows an
 	// event log / workload journal when attached.
 	rec *qlog.Recorder
+
+	// Durability (see durability.go): DBs opened with OpenWAL log every
+	// committed mutation here; nil means no WAL and commit hooks cost one
+	// nil test. walCommit serializes apply+append on the exec path so the
+	// log's record order matches the engine's apply order.
+	wal           *wal.Log
+	walCommit     sync.Mutex
+	walDurability Durability
 }
 
 // DefaultOptions returns the production engine defaults — the options
@@ -238,6 +247,9 @@ func (db *DB) DefineView(src string) error {
 	}
 	err = db.engine.AddRule(r)
 	db.rec.Emit(qlog.KindRule, r.String(), err)
+	if err == nil {
+		err = db.walAppend(wal.TypeRule, []byte(r.String()))
+	}
 	return err
 }
 
@@ -261,6 +273,9 @@ func (db *DB) DefineProgram(src string) error {
 	}
 	err = db.engine.AddClause(c)
 	db.rec.Emit(qlog.KindClause, c.String(), err)
+	if err == nil {
+		err = db.walAppend(wal.TypeClause, []byte(c.String()))
+	}
 	return err
 }
 
@@ -297,19 +312,34 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		}
 	}
 	op := db.rec.Begin(qlog.KindCall)
-	if op != nil {
+	var text string
+	if op != nil || db.wal != nil {
 		var attrs map[string]string
 		if p, ok := db.engine.LookupProgram(namespace, name); ok {
 			attrs = p.ParamAttrs()
 		}
-		op.SetText(callText(namespace, name, converted, attrs))
+		// The IDL rendering serves both the journal and the WAL: a logged
+		// call replays as an ordinary update request.
+		text = callText(namespace, name, converted, attrs)
+		op.SetText(text)
 	}
 	// Programs run updates; member sync is fail-fast like Exec.
 	if _, err := db.syncSources(context.Background(), false); err != nil {
 		op.End(err)
 		return nil, err
 	}
-	info, err := db.engine.Call(namespace, name, converted)
+	var info *ExecInfo
+	var err error
+	if db.wal != nil {
+		db.walCommit.Lock()
+		info, err = db.engine.Call(namespace, name, converted)
+		if err == nil {
+			err = db.walAppend(wal.TypeExec, []byte(text))
+		}
+		db.walCommit.Unlock()
+	} else {
+		info, err = db.engine.Call(namespace, name, converted)
+	}
 	if info != nil {
 		sum, changes := execSummary(info)
 		op.SetExec(sum, changes)

@@ -35,6 +35,12 @@ type Catalog struct {
 	// concurrently; 0 and 1 fetch sequentially (see SetFetchConcurrency).
 	fetchConc int
 
+	// Durability hooks (see SetMutationLogger / SetSnapshotLogger): the
+	// owner's write-ahead log observes committed DDL and member-snapshot
+	// installs. Both are nil-safe and cost nothing unconfigured.
+	logMut  func(op, db, rel string, tuples []*object.Tuple) error
+	logSnap func(name string, snap *object.Tuple) error
+
 	// Sync metrics (see SetMetrics); all nil-safe, so an unconfigured
 	// catalog pays nothing.
 	syncCount    *obs.Counter
@@ -80,6 +86,24 @@ func (c *Catalog) changed() {
 	}
 }
 
+// SetMutationLogger installs the durability hook for DDL: fn runs after
+// each committed catalog mutation with the operation name ("create-db",
+// "drop-db", "create-rel", "drop-rel", "insert"), its target, and the
+// inserted tuples. A non-nil return propagates to the DDL caller — the
+// in-memory change is applied but the log refused it, so the owner's
+// write-ahead log is poisoned and the caller must treat the store as
+// failed.
+func (c *Catalog) SetMutationLogger(fn func(op, db, rel string, tuples []*object.Tuple) error) {
+	c.logMut = fn
+}
+
+func (c *Catalog) logMutation(op, db, rel string, tuples []*object.Tuple) error {
+	if c.logMut == nil {
+		return nil
+	}
+	return c.logMut(op, db, rel, tuples)
+}
+
 // CreateDatabase adds an empty database. It fails if the name is taken.
 func (c *Catalog) CreateDatabase(name string) error {
 	if name == "" {
@@ -90,7 +114,7 @@ func (c *Catalog) CreateDatabase(name string) error {
 	}
 	c.universe.Put(name, object.NewTuple())
 	c.changed()
-	return nil
+	return c.logMutation("create-db", name, "", nil)
 }
 
 // DropDatabase removes a database and all its relations.
@@ -99,7 +123,7 @@ func (c *Catalog) DropDatabase(name string) error {
 		return fmt.Errorf("catalog: no database %q", name)
 	}
 	c.changed()
-	return nil
+	return c.logMutation("drop-db", name, "", nil)
 }
 
 // database returns the tuple for a database.
@@ -129,7 +153,7 @@ func (c *Catalog) CreateRelation(db, rel string) error {
 	}
 	d.Put(rel, object.NewSet())
 	c.changed()
-	return nil
+	return c.logMutation("create-rel", db, rel, nil)
 }
 
 // DropRelation removes a relation.
@@ -142,7 +166,7 @@ func (c *Catalog) DropRelation(db, rel string) error {
 		return fmt.Errorf("catalog: no relation %q in %q", rel, db)
 	}
 	c.changed()
-	return nil
+	return c.logMutation("drop-rel", db, rel, nil)
 }
 
 // Relation returns a relation's set, creating the relation (and database)
@@ -166,7 +190,7 @@ func (c *Catalog) Relation(db, rel string, create bool) (*object.Set, error) {
 		s := object.NewSet()
 		d.Put(rel, s)
 		c.changed()
-		return s, nil
+		return s, c.logMutation("create-rel", db, rel, nil)
 	}
 	s, ok := v.(*object.Set)
 	if !ok {
@@ -190,6 +214,9 @@ func (c *Catalog) Insert(db, rel string, tuples ...*object.Tuple) (int, error) {
 	}
 	if n > 0 {
 		c.changed()
+		// Replay re-inserts the whole batch; Add skips the duplicates the
+		// original run skipped, so the outcome is identical.
+		return n, c.logMutation("insert", db, rel, tuples)
 	}
 	return n, nil
 }

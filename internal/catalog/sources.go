@@ -54,9 +54,14 @@ func (c *Catalog) Unmount(name string) error {
 	}
 	delete(c.sources, name)
 	c.membersG.Set(int64(len(c.sources)))
+	removed := false
 	c.applyUniverse(func(u *object.Tuple) bool {
-		return u.Delete(name)
+		removed = u.Delete(name)
+		return removed
 	})
+	if removed {
+		return c.logSnapshot(name, nil)
+	}
 	return nil
 }
 
@@ -79,6 +84,22 @@ func (c *Catalog) HasSources() bool { return len(c.sources) > 0 }
 // onChange.
 func (c *Catalog) SetApplier(fn func(func(base *object.Tuple) bool)) {
 	c.apply = fn
+}
+
+// SetSnapshotLogger installs the durability hook for member snapshots:
+// fn runs after each snapshot install (snap non-nil) or removal (snap
+// nil) reaches the universe. Logging the full snapshot makes recovery
+// independent of the member being reachable — the replayed snapshot is
+// plain data until the next live sync.
+func (c *Catalog) SetSnapshotLogger(fn func(name string, snap *object.Tuple) error) {
+	c.logSnap = fn
+}
+
+func (c *Catalog) logSnapshot(name string, snap *object.Tuple) error {
+	if c.logSnap == nil {
+		return nil
+	}
+	return c.logSnap(name, snap)
 }
 
 // SetMetrics publishes sync health into a registry:
@@ -228,6 +249,14 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 		report.Sources = append(report.Sources, health)
 	}
 	c.unavailableG.Set(int64(len(report.Unavailable())))
+	// installed records what actually changed, in sorted-name order, for
+	// the durability hook: unchanged snapshots are neither reinstalled
+	// nor re-logged.
+	type install struct {
+		name string
+		snap *object.Tuple // nil = removed
+	}
+	var installed []install
 	c.applyUniverse(func(u *object.Tuple) bool {
 		changed := false
 		for _, name := range names {
@@ -238,6 +267,7 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 				// to live members.
 				if u.Delete(name) {
 					changed = true
+					installed = append(installed, install{name, nil})
 				}
 				continue
 			}
@@ -246,8 +276,14 @@ func (c *Catalog) SyncSources(ctx context.Context, bestEffort bool) (*federation
 			}
 			u.Put(name, snap)
 			changed = true
+			installed = append(installed, install{name, snap})
 		}
 		return changed
 	})
+	for _, in := range installed {
+		if err := c.logSnapshot(in.name, in.snap); err != nil {
+			return nil, err
+		}
+	}
 	return report, nil
 }

@@ -348,6 +348,15 @@ func (e *Engine) AddClause(c *ast.Clause) error {
 	return nil
 }
 
+// Clauses returns the source clauses — callable programs and view
+// updaters alike — in global registration order, so the full clause set
+// can be checkpointed and re-registered on recovery.
+func (e *Engine) Clauses() []*ast.Clause {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*ast.Clause(nil), e.regs.srcs...)
+}
+
 // Programs lists the registered callable programs.
 func (e *Engine) Programs() []*Program {
 	e.mu.Lock()

@@ -114,6 +114,9 @@ type programRegistry struct {
 	order    []programKey
 	// View updaters, in registration order; matched by (db, rel, sign).
 	viewUpdaters []*compiledClause
+	// srcs is every registered clause — callable and view updater — in
+	// global registration order, for checkpointing and replay.
+	srcs []*ast.Clause
 }
 
 func newProgramRegistry() *programRegistry {
@@ -270,6 +273,7 @@ func collectPlusVars(e ast.Expr, underPlus bool, out map[string]bool) {
 
 // add registers a compiled clause.
 func (r *programRegistry) add(cc *compiledClause) {
+	r.srcs = append(r.srcs, cc.src)
 	if cc.sign != ast.SignNone {
 		r.viewUpdaters = append(r.viewUpdaters, cc)
 		return

@@ -32,6 +32,10 @@ const (
 	KindClause  = "clause"  // program clause definition
 	KindSync    = "sync"    // federation member snapshot sync
 	KindBreaker = "breaker" // circuit breaker state transition
+
+	// Durability events (environmental: ring and event log only).
+	KindRecover    = "recover"    // WAL recovery summary at startup
+	KindCheckpoint = "checkpoint" // WAL checkpoint taken
 )
 
 // Event is one record of engine activity. Events are immutable once

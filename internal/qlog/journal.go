@@ -191,7 +191,9 @@ func (j *Journal) Err() error {
 	return j.err
 }
 
-// Close flushes and closes the journal file.
+// Close flushes, fsyncs and closes the journal file: a captured workload
+// survives power loss once Close returns. The sticky write error, flush,
+// sync and close failures all surface (first one wins).
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
@@ -199,14 +201,14 @@ func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ferr := j.w.Flush()
+	serr := j.f.Sync()
 	cerr := j.f.Close()
-	if j.err != nil {
-		return j.err
+	for _, err := range []error{j.err, ferr, serr, cerr} {
+		if err != nil {
+			return err
+		}
 	}
-	if ferr != nil {
-		return ferr
-	}
-	return cerr
+	return nil
 }
 
 // ReadJournal loads a journal file: header plus all records, in order.

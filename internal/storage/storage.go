@@ -7,6 +7,7 @@ package storage
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -18,6 +19,20 @@ import (
 
 // FormatVersion identifies the snapshot layout produced by this package.
 const FormatVersion = 1
+
+// Load failure classes. Each corruption path wraps its own sentinel so
+// callers can distinguish "nothing there yet" (ErrEmpty) from "partial
+// write" (ErrTruncated) from "bit rot" (ErrChecksum) — recovery treats
+// them differently.
+var (
+	// ErrEmpty reports a zero-length snapshot stream.
+	ErrEmpty = errors.New("storage: empty snapshot")
+	// ErrTruncated reports a snapshot stream that ends mid-document.
+	ErrTruncated = errors.New("storage: truncated snapshot")
+	// ErrChecksum reports a complete snapshot whose universe bytes do not
+	// match the recorded checksum.
+	ErrChecksum = errors.New("storage: snapshot checksum mismatch")
+)
 
 // snapshot is the on-disk envelope.
 type snapshot struct {
@@ -49,13 +64,19 @@ func Load(r io.Reader) (*object.Tuple, error) {
 	var env snapshot
 	dec := json.NewDecoder(bufio.NewReader(r))
 	if err := dec.Decode(&env); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, ErrEmpty
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("storage: read snapshot: %w", err)
 	}
 	if env.Format != FormatVersion {
 		return nil, fmt.Errorf("storage: unsupported snapshot format %d (want %d)", env.Format, FormatVersion)
 	}
 	if got := checksum(env.Universe); got != env.Checksum {
-		return nil, fmt.Errorf("storage: snapshot corrupt: checksum %s != %s", got, env.Checksum)
+		return nil, fmt.Errorf("%w: %s != %s", ErrChecksum, got, env.Checksum)
 	}
 	obj, err := object.UnmarshalJSON(env.Universe)
 	if err != nil {
@@ -97,6 +118,19 @@ func SaveFile(path string, universe *object.Tuple) error {
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("storage: replace snapshot: %w", err)
+	}
+	// The rename itself is only durable once the directory entry is: sync
+	// the parent, or a crash can resurrect the old snapshot (or nothing).
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open snapshot dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("storage: sync snapshot dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("storage: close snapshot dir: %w", err)
 	}
 	return nil
 }

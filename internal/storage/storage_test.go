@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,6 +55,53 @@ func TestLoadDetectsCorruption(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "checksum") {
 		t.Errorf("want checksum error, got %v", err)
 	}
+}
+
+// TestLoadCorruptionClasses pins the failure taxonomy: each way a
+// snapshot stream can be bad maps to its own sentinel, so recovery code
+// can branch on errors.Is instead of parsing messages.
+func TestLoadCorruptionClasses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleUniverse()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	corrupted := strings.Replace(good, "euter", "eutex", 1)
+	if corrupted == good {
+		t.Fatal("corruption did not apply")
+	}
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"empty file", "", ErrEmpty},
+		{"whitespace only", " \n\t", ErrEmpty},
+		{"truncated mid-document", good[:len(good)/2], ErrTruncated},
+		{"truncated mid-token", good[:len(good)-3], ErrTruncated},
+		{"checksum mismatch", corrupted, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.input))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Load(%q...) = %v, want errors.Is %v", firstN(tc.input, 20), err, tc.want)
+			}
+			// The classes are mutually exclusive.
+			for _, other := range []error{ErrEmpty, ErrTruncated, ErrChecksum} {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("error %v also matches %v", err, other)
+				}
+			}
+		})
+	}
+}
+
+func firstN(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
 }
 
 func TestLoadRejectsWrongFormat(t *testing.T) {

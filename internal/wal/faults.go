@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Crash-point fault injection: a FaultFS counts every write and fsync
+// issued through it and, at a chosen operation index, either fails the
+// operation (fsync failure), truncates it (short write — the torn-tail
+// case recovery must repair), or "crashes" — the operation and every
+// operation after it fail with ErrCrashed, simulating process death
+// mid-commit. The schedule is explicit and deterministic, so a failing
+// crash point replays exactly; the grid driver in the root package's
+// recovery tests enumerates crash points rather than sampling them.
+//
+// This is the durability counterpart of internal/federation's fault
+// injector: that one proves answers degrade gracefully when members die;
+// this one proves committed state survives when the process does.
+
+// ErrCrashed is returned by every operation after a FaultFS crash point
+// fires. Code under test must treat it like the process dying: stop,
+// reopen the directory through a clean FS, and recover.
+var ErrCrashed = errors.New("wal: injected crash")
+
+// ErrInjectedSync is the injected fsync failure.
+var ErrInjectedSync = errors.New("wal: injected fsync failure")
+
+// FaultPlan schedules at most one fault. Operation indices are 1-based
+// and count across all files opened through the FS, in issue order.
+type FaultPlan struct {
+	// CrashAtWrite, when > 0, makes the Nth write crash the FS. The
+	// crashing write first persists ShortBytes bytes (a torn write);
+	// everything after it fails with ErrCrashed.
+	CrashAtWrite int
+	// ShortBytes is how much of the crashing write reaches the disk
+	// (clamped to the write's length). 0 tears the write off entirely.
+	ShortBytes int
+	// FailSyncAt, when > 0, makes the Nth fsync return ErrInjectedSync
+	// without crashing the FS — the transient-EIO case.
+	FailSyncAt int
+	// CrashAtSync, when > 0, makes the Nth fsync crash the FS: the sync
+	// fails and every later operation returns ErrCrashed.
+	CrashAtSync int
+}
+
+// FaultFS wraps an inner FS with a FaultPlan. Safe for concurrent use.
+type FaultFS struct {
+	mu      sync.Mutex
+	inner   FS
+	plan    FaultPlan
+	writes  int
+	syncs   int
+	crashed bool
+}
+
+// NewFaultFS wraps inner with a fault schedule.
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Writes returns how many writes the FS has seen — run once with a huge
+// crash point to size a crash grid.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Syncs returns how many fsyncs the FS has seen.
+func (f *FaultFS) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *FaultFS) String() string {
+	return fmt.Sprintf("faultfs(crashAtWrite=%d shortBytes=%d failSyncAt=%d crashAtSync=%d)",
+		f.plan.CrashAtWrite, f.plan.ShortBytes, f.plan.FailSyncAt, f.plan.CrashAtSync)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Append(path string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.syncs == f.plan.FailSyncAt {
+		return ErrInjectedSync
+	}
+	if f.syncs == f.plan.CrashAtSync {
+		f.crashed = true
+		return ErrCrashed
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile counts its writes and syncs against the owning FS schedule.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return 0, ErrCrashed
+	}
+	ff.fs.writes++
+	if ff.fs.writes == ff.fs.plan.CrashAtWrite {
+		ff.fs.crashed = true
+		short := ff.fs.plan.ShortBytes
+		if short > len(p) {
+			short = len(p)
+		}
+		if short > 0 {
+			ff.inner.Write(p[:short]) // the torn half that reached the disk
+		}
+		return short, ErrCrashed
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrCrashed
+	}
+	ff.fs.syncs++
+	if ff.fs.syncs == ff.fs.plan.FailSyncAt {
+		return ErrInjectedSync
+	}
+	if ff.fs.syncs == ff.fs.plan.CrashAtSync {
+		ff.fs.crashed = true
+		return ErrCrashed
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	crashed := ff.fs.crashed
+	ff.fs.mu.Unlock()
+	// Close the real handle even after a crash so temp dirs clean up;
+	// the result the caller sees still reflects the crash.
+	err := ff.inner.Close()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// FS is the filesystem seam the log writes through. Production uses the
+// process filesystem (osFS); crash tests substitute a FaultFS that
+// short-writes, fails fsync, or "dies" at the Nth write, so every
+// durability claim in this package is exercised against simulated power
+// loss rather than asserted.
+//
+// The read side (recovery) always goes through the real filesystem:
+// recovery runs in a fresh process that, by definition, survived the
+// crash.
+type FS interface {
+	// Create opens path for writing, truncating an existing file.
+	Create(path string) (File, error)
+	// Append opens path for appending, creating it if missing.
+	Append(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making renames and creates durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle the log appends records through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS: thin wrappers over package os.
+type osFS struct{}
+
+// OSFS returns the production filesystem.
+func OSFS() FS { return osFS{} }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Append(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listDir returns the directory's file names, sorted. Reads bypass the
+// FS seam (see the FS comment).
+func listDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() || e.Type()&fs.ModeSymlink != 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

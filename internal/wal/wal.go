@@ -1,0 +1,661 @@
+// Package wal is the engine's durability layer: an append-only,
+// segmented write-ahead log of committed logical mutations — update
+// requests, DDL, rule and clause registrations, federated member
+// snapshot installs; the same event set that bumps the catalog epoch —
+// plus incremental checkpoints and redo recovery.
+//
+// Records are length-prefixed, CRC-checksummed and LSN-stamped
+// (record.go). The log is redo-only: mutations apply in memory first and
+// append on commit, so recovery is "load the newest good checkpoint,
+// replay the tail". A crash mid-append leaves a torn trailing record;
+// recovery truncates the log at the first checksum failure and reports
+// it. Checkpoints snapshot the universe through the existing
+// storage.Save envelope plus the registered rule and clause sources, and
+// sealed segments older than a checkpoint are deleted — the same
+// bounded-retention discipline the federation layer applies to history.
+//
+// All writes go through the FS seam (fs.go) so crash-point fault
+// injection (faults.go) can short-write, fail fsync, or kill the "disk"
+// at the Nth operation; the recovery tests in the root package drive a
+// full crash grid against a prefix-consistency oracle.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"idl/internal/object"
+	"idl/internal/storage"
+)
+
+// segMagic starts every segment file, followed by the segment's first
+// LSN as 8 little-endian bytes.
+const segMagic = "IDLWAL1\n"
+
+// segHeaderLen is the segment header size.
+const segHeaderLen = len(segMagic) + 8
+
+// SyncMode is the append-time durability policy.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged commit is on
+	// disk. The durable default.
+	SyncAlways SyncMode = iota
+	// SyncGroup fsyncs when GroupBytes of unsynced records accumulate
+	// (and on rotate, checkpoint and close) — group commit: the fsync
+	// cost amortizes over the batch, at the price of losing the unsynced
+	// suffix in a crash.
+	SyncGroup
+	// SyncNever leaves fsync to rotations, checkpoints and Close. For
+	// benchmarking the no-durability floor; a crash loses the OS-buffered
+	// tail.
+	SyncNever
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncGroup:
+		return "group"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("mode%d", int(m))
+}
+
+// Options tune the log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// Mode is the append-time fsync policy (default SyncAlways).
+	Mode SyncMode
+	// GroupBytes is the SyncGroup threshold (default 64 KiB).
+	GroupBytes int64
+	// KeepCheckpoints bounds checkpoint-file retention: the newest N
+	// checkpoint files survive a new checkpoint (default 2, minimum 1).
+	KeepCheckpoints int
+	// FS is the write-path filesystem (default the process filesystem).
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = 64 << 10
+	}
+	if o.KeepCheckpoints < 1 {
+		o.KeepCheckpoints = 2
+	}
+	if o.FS == nil {
+		o.FS = OSFS()
+	}
+	return o
+}
+
+// Log is an open write-ahead log directory. Appends are serialized by an
+// internal mutex; a write or fsync failure is sticky — every later
+// append returns it, because a log that may have lost a record must not
+// acknowledge new ones.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	active     File
+	activeName string
+	activeSize int64
+	sealed     []string // sealed segment file names, oldest first
+
+	nextLSN   uint64
+	appended  uint64 // records appended by this Log
+	unsynced  int64  // bytes appended since the last fsync
+	ckptLSN   uint64 // newest checkpoint's LSN
+	ckptCount int    // checkpoints taken by this Log
+	err       error  // sticky write failure
+}
+
+// Recovered is what Open reconstructed from the directory.
+type Recovered struct {
+	// CheckpointLSN is the newest good checkpoint's LSN (0 = none).
+	CheckpointLSN uint64
+	// Universe is the checkpointed universe (nil without a checkpoint).
+	Universe *object.Tuple
+	// Rules and Clauses are the checkpointed registration sources.
+	Rules   []string
+	Clauses []string
+	// Tail holds the records after the checkpoint, in LSN order, ending
+	// at the log's end or at the first corruption.
+	Tail []Record
+	// Truncated reports that a torn or corrupt trailing record was cut
+	// off (the expected shape of a crash mid-append).
+	Truncated bool
+	// TruncatedSegment names the segment that was repaired.
+	TruncatedSegment string
+	// SkippedCheckpoints counts corrupt checkpoint files passed over on
+	// the way to a good one.
+	SkippedCheckpoints int
+}
+
+// Open opens (creating if needed) the log directory, recovers its
+// contents, repairs any torn tail, and readies the log for appending at
+// the next LSN. The returned Recovered carries everything the caller
+// needs to rebuild in-memory state: checkpoint universe + rule/clause
+// sources, then the tail records to replay.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	names, err := listDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+	rec := &Recovered{}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+
+	// Newest good checkpoint wins; corrupt ones are skipped, not fatal —
+	// a crash mid-checkpoint must not strand the directory.
+	var ckpts []string
+	for _, name := range names {
+		if strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckpt") {
+			ckpts = append(ckpts, name)
+		}
+	}
+	sort.Strings(ckpts)
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		ck, err := readCheckpoint(filepath.Join(dir, ckpts[i]))
+		if err != nil {
+			rec.SkippedCheckpoints++
+			continue
+		}
+		rec.CheckpointLSN = ck.LSN
+		rec.Universe = ck.universe
+		rec.Rules = ck.Rules
+		rec.Clauses = ck.Clauses
+		l.ckptLSN = ck.LSN
+		l.nextLSN = ck.LSN + 1
+		break
+	}
+
+	// Replay segments in firstLSN order, keeping records after the
+	// checkpoint. Contiguity is enforced: the first gap, torn record or
+	// checksum failure ends the recovered prefix; the torn segment is
+	// truncated at the last good record and later segments are removed,
+	// so the directory converges to exactly the recovered state.
+	type seg struct {
+		name     string
+		firstLSN uint64
+	}
+	var segs []seg
+	for _, name := range names {
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, "wal-%016x.seg", &first); err != nil {
+			continue
+		}
+		segs = append(segs, seg{name, first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	stopped := false
+	for i, s := range segs {
+		path := filepath.Join(dir, s.name)
+		if stopped {
+			// Past a torn point: these records are unreachable; drop them
+			// so repeat recoveries agree.
+			os.Remove(path)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: read segment %s: %w", s.name, err)
+		}
+		recs, ends, headerOK := parseSegment(data, s.firstLSN)
+		// keepEnd is the byte offset up to which the segment's contents
+		// survive: cleanly decoded records that are either folded into the
+		// checkpoint (stale) or appended to the tail. torn marks anything
+		// after it — a partial trailing record, a checksum failure, or an
+		// LSN gap — for physical truncation.
+		keepEnd := segHeaderLen
+		torn := !headerOK
+		for idx, r := range recs {
+			if r.LSN <= l.ckptLSN {
+				keepEnd = ends[idx]
+				continue
+			}
+			if r.LSN != l.nextLSN {
+				torn = true
+				break
+			}
+			rec.Tail = append(rec.Tail, r)
+			l.nextLSN = r.LSN + 1
+			keepEnd = ends[idx]
+		}
+		if !torn && keepEnd < len(data) {
+			torn = true // trailing bytes that failed to decode
+		}
+		if torn {
+			stopped = true
+			rec.Truncated = true
+			rec.TruncatedSegment = s.name
+			if !headerOK {
+				// Nothing in the file is trustworthy; repeat recoveries must
+				// not keep re-reporting it.
+				os.Remove(path)
+				continue
+			}
+			if keepEnd < len(data) {
+				os.Truncate(path, int64(keepEnd))
+			}
+		}
+		if keepEnd <= segHeaderLen && len(recs) == 0 && i < len(segs)-1 {
+			// Header-only segment in the middle: a crash right after a
+			// rotation; nothing to keep.
+			os.Remove(path)
+			continue
+		}
+		l.sealed = append(l.sealed, s.name)
+	}
+
+	if err := l.startSegment(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// parseSegment decodes a segment's cleanly readable prefix. ends[i] is
+// the byte offset just past record i; headerOK reports whether the
+// segment header (magic + first LSN matching the file name) is valid.
+// Decoding stops silently at the first torn record — the caller decides
+// what to truncate from the offsets.
+func parseSegment(data []byte, firstLSN uint64) (recs []Record, ends []int, headerOK bool) {
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return nil, nil, false
+	}
+	if binary.LittleEndian.Uint64(data[len(segMagic):segHeaderLen]) != firstLSN {
+		return nil, nil, false
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		r, n, err := decodeRecord(data[off:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, r)
+		off += n
+		ends = append(ends, off)
+	}
+	return recs, ends, true
+}
+
+// startSegment seals the active segment (if any) and opens a fresh one
+// whose first LSN is the log's next LSN.
+func (l *Log) startSegment() error {
+	if l.active != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return l.fail(fmt.Errorf("wal: close segment: %w", err))
+		}
+		l.sealed = append(l.sealed, l.activeName)
+	}
+	name := fmt.Sprintf("wal-%016x.seg", l.nextLSN)
+	f, err := l.opts.FS.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: create segment: %w", err))
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], l.nextLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return l.fail(fmt.Errorf("wal: write segment header: %w", err))
+	}
+	l.active, l.activeName, l.activeSize = f, name, int64(segHeaderLen)
+	l.unsynced += int64(segHeaderLen)
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		return l.fail(fmt.Errorf("wal: sync dir: %w", err))
+	}
+	if l.opts.Mode == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// fail records a sticky failure; every later append reports it.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+// Err returns the sticky write failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Append commits one record: it is stamped with the next LSN, written to
+// the active segment, and made durable per the sync mode. The assigned
+// LSN is returned.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.activeSize > int64(segHeaderLen) && l.activeSize >= l.opts.SegmentBytes {
+		if err := l.startSegment(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	buf := appendRecord(nil, lsn, typ, payload)
+	n, err := l.active.Write(buf)
+	if err != nil {
+		return 0, l.fail(fmt.Errorf("wal: append record %d: %w", lsn, err))
+	}
+	if n != len(buf) {
+		return 0, l.fail(fmt.Errorf("wal: short append of record %d: %d of %d bytes", lsn, n, len(buf)))
+	}
+	l.activeSize += int64(len(buf))
+	l.unsynced += int64(len(buf))
+	l.nextLSN++
+	l.appended++
+	switch l.opts.Mode {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncGroup:
+		if l.unsynced >= l.opts.GroupBytes {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces any buffered records to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 || l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// SetMode changes the append-time fsync policy. Tightening to SyncAlways
+// syncs any deferred records immediately.
+func (l *Log) SetMode(m SyncMode) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.opts.Mode = m
+	if m == SyncAlways && l.err == nil {
+		return l.syncLocked()
+	}
+	return l.err
+}
+
+// Mode returns the current fsync policy.
+func (l *Log) Mode() SyncMode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.opts.Mode
+}
+
+// checkpoint is the on-disk checkpoint envelope: a version, a checksum
+// over the body, and the body itself — the covered LSN, the rule and
+// clause sources, and the universe as a storage.Save snapshot.
+type checkpoint struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	LSN      uint64          `json:"lsn"`
+	Rules    []string        `json:"rules,omitempty"`
+	Clauses  []string        `json:"clauses,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot"`
+
+	universe *object.Tuple `json:"-"`
+}
+
+const (
+	ckptFormat  = "idlwal-ckpt"
+	ckptVersion = 1
+)
+
+func ckptChecksum(lsn uint64, rules, clauses []string, snapshot []byte) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\n", lsn)
+	for _, r := range rules {
+		fmt.Fprintf(h, "r%s\n", r)
+	}
+	for _, c := range clauses {
+		fmt.Fprintf(h, "c%s\n", c)
+	}
+	h.Write(snapshot)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Checkpoint snapshots the given state as covering every record up to
+// the current LSN, installs it atomically, rotates the active segment,
+// and drops the sealed segments and stale checkpoints the new one makes
+// unnecessary. It returns the checkpoint's covered LSN.
+func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	// Everything appended so far must be durable before the checkpoint
+	// can claim to cover it.
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN - 1
+	var snap bytes.Buffer
+	if err := storage.Save(&snap, universe); err != nil {
+		return 0, fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	// json.Marshal compacts embedded RawMessage, so the checksum must be
+	// computed over the compacted form or it breaks on round-trip.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, snap.Bytes()); err != nil {
+		return 0, fmt.Errorf("wal: compact checkpoint snapshot: %w", err)
+	}
+	ck := checkpoint{
+		Format:   ckptFormat,
+		Version:  ckptVersion,
+		Checksum: ckptChecksum(lsn, rules, clauses, compact.Bytes()),
+		LSN:      lsn,
+		Rules:    rules,
+		Clauses:  clauses,
+		Snapshot: compact.Bytes(),
+	}
+	raw, err := json.Marshal(&ck)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	name := fmt.Sprintf("ckpt-%016x.ckpt", lsn)
+	tmp := filepath.Join(l.dir, fmt.Sprintf(".ckpt-%016x.tmp", lsn))
+	f, err := l.opts.FS.Create(tmp)
+	if err != nil {
+		return 0, l.fail(fmt.Errorf("wal: create checkpoint: %w", err))
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		l.opts.FS.Remove(tmp)
+		return 0, l.fail(fmt.Errorf("wal: write checkpoint: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.opts.FS.Remove(tmp)
+		return 0, l.fail(fmt.Errorf("wal: sync checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		l.opts.FS.Remove(tmp)
+		return 0, l.fail(fmt.Errorf("wal: close checkpoint: %w", err))
+	}
+	if err := l.opts.FS.Rename(tmp, filepath.Join(l.dir, name)); err != nil {
+		l.opts.FS.Remove(tmp)
+		return 0, l.fail(fmt.Errorf("wal: install checkpoint: %w", err))
+	}
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: sync dir: %w", err))
+	}
+	l.ckptLSN = lsn
+	l.ckptCount++
+	// The tail restarts in a fresh segment; every sealed segment is now
+	// covered by the checkpoint and can go.
+	if err := l.startSegment(); err != nil {
+		return 0, err
+	}
+	for _, s := range l.sealed {
+		l.opts.FS.Remove(filepath.Join(l.dir, s))
+	}
+	l.sealed = nil
+	// Bounded checkpoint retention: newest KeepCheckpoints survive.
+	if names, err := listDir(l.dir); err == nil {
+		var ckpts []string
+		for _, n := range names {
+			if strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ckpt") {
+				ckpts = append(ckpts, n)
+			}
+		}
+		sort.Strings(ckpts)
+		for len(ckpts) > l.opts.KeepCheckpoints {
+			l.opts.FS.Remove(filepath.Join(l.dir, ckpts[0]))
+			ckpts = ckpts[1:]
+		}
+	}
+	// The marker makes the checkpoint visible in the record stream.
+	if _, err := l.appendLocked(TypeCheckpoint, []byte(name)); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// appendLocked is Append without re-taking the mutex.
+func (l *Log) appendLocked(typ byte, payload []byte) (uint64, error) {
+	l.mu.Unlock()
+	defer l.mu.Lock()
+	return l.Append(typ, payload)
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(path string) (*checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return nil, fmt.Errorf("wal: %s: malformed checkpoint: %w", filepath.Base(path), err)
+	}
+	if ck.Format != ckptFormat || ck.Version != ckptVersion {
+		return nil, fmt.Errorf("wal: %s: unsupported checkpoint format %q v%d", filepath.Base(path), ck.Format, ck.Version)
+	}
+	if got := ckptChecksum(ck.LSN, ck.Rules, ck.Clauses, ck.Snapshot); got != ck.Checksum {
+		return nil, fmt.Errorf("wal: %s: checkpoint corrupt: checksum %s != %s", filepath.Base(path), got, ck.Checksum)
+	}
+	u, err := storage.Load(bytes.NewReader(ck.Snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
+	}
+	ck.universe = u
+	return &ck, nil
+}
+
+// Status describes the log for status commands and banners.
+type Status struct {
+	Dir           string
+	Mode          SyncMode
+	NextLSN       uint64
+	Appended      uint64 // records appended by this process
+	Segments      int    // sealed + active
+	SegmentBytes  int64  // bytes in the active segment
+	CheckpointLSN uint64
+	Checkpoints   int // checkpoints taken by this process
+	Err           error
+}
+
+func (s Status) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wal: dir=%s mode=%s next-lsn=%d appended=%d segments=%d checkpoint-lsn=%d",
+		s.Dir, s.Mode, s.NextLSN, s.Appended, s.Segments, s.CheckpointLSN)
+	if s.Err != nil {
+		fmt.Fprintf(&b, " ERROR=%v", s.Err)
+	}
+	return b.String()
+}
+
+// Status snapshots the log's state.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs := len(l.sealed)
+	if l.active != nil {
+		segs++
+	}
+	return Status{
+		Dir:           l.dir,
+		Mode:          l.opts.Mode,
+		NextLSN:       l.nextLSN,
+		Appended:      l.appended,
+		Segments:      segs,
+		SegmentBytes:  l.activeSize,
+		CheckpointLSN: l.ckptLSN,
+		Checkpoints:   l.ckptCount,
+		Err:           l.err,
+	}
+}
+
+// Close syncs and closes the active segment. The sticky write failure,
+// if any, is returned.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return l.err
+	}
+	serr := l.syncLocked()
+	cerr := l.active.Close()
+	l.active = nil
+	if l.err != nil {
+		return l.err
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

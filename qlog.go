@@ -1,6 +1,7 @@
 package idl
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -107,7 +108,12 @@ func (db *DB) StartJournal(path string, meta map[string]string) error {
 	defer db.mu.Unlock()
 	if old := db.rec.Journal(); old != nil {
 		db.rec.SetJournal(nil)
-		old.Close()
+		if cerr := old.Close(); cerr != nil {
+			// The new journal is active either way, but the old capture's
+			// write error must not vanish: the file may be incomplete.
+			db.rec.SetJournal(j)
+			return fmt.Errorf("idl: close previous journal: %w", cerr)
+		}
 	}
 	db.rec.SetJournal(j)
 	return nil

@@ -10,9 +10,11 @@
 #      tracing / flight-recorder overhead beyond the DESIGN.md §8–§9
 #      bounds, a B13 sync-family parallel speedup below 1.5× at four
 #      workers (DESIGN.md §10), a B14 plan-cache hit rate below 0.95,
-#      or a B14 repeated-query speedup below 1.15× (DESIGN.md §11; the
-#      design target is 1.5×, the gate absorbs short-mode timer noise)
-#      fail the build;
+#      a B14 repeated-query speedup below 1.15× (DESIGN.md §11; the
+#      design target is 1.5×, the gate absorbs short-mode timer noise),
+#      a B15 WAL read-path tax above 1.15× (queries never append, so
+#      the bound is tight), or a B15 group-commit amortization below
+#      1.5× (DESIGN.md §13; ~8× measured) fail the build;
 #   3. compare it against the committed BENCH_report.json — any
 #      benchmark more than 25% slower fails the build (the
 #      bench-regression gate; a failed compare re-measures once so a
@@ -44,14 +46,23 @@ go tool cover -func=/tmp/core_cover.out | awk '
         printf "internal/core coverage %.1f%% (floor 80.0%%)\n", $3
     }'
 
-# Fuzz smoke: a short randomized pass over the parser round-trip and
-# the sequential-vs-parallel differential oracle. Any corpus crasher
-# found earlier re-runs here as a regression seed.
+# Crash-recovery smoke: the seeded crash-point grid drives the durable
+# session through every WAL write and fsync index (with torn tails) and
+# checks the recovered state against the prefix-consistency oracle.
+# Short mode strides the grid; the full grid runs in `go test ./...`
+# above.
+go test -run '^TestCrashPointGrid$|^TestCheckpointRecovery$' -short .
+
+# Fuzz smoke: a short randomized pass over the parser round-trip, the
+# sequential-vs-parallel differential oracle, and randomized
+# crash-point recovery against the prefix-consistency oracle. Any
+# corpus crasher found earlier re-runs here as a regression seed.
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 15s ./internal/parser
 go test -run '^$' -fuzz '^FuzzEvalQuery$' -fuzztime 15s ./internal/core
+go test -run '^$' -fuzz '^FuzzRecovery$' -fuzztime 15s .
 
 go run ./cmd/idlbench -short -out BENCH_new.json
-go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15
+go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5
 # The regression gate, with one confirmation pass: sustained host
 # contention can inflate a whole snapshot run, so a failed compare
 # re-measures once and only fails when the regression reproduces. A
