@@ -51,6 +51,41 @@ func debugHandler(db *idl.DB) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(db.Events())
 	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		h, err := db.Health()
+		if err != nil {
+			debugError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		h, err := db.Health()
+		if err != nil {
+			debugError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Healthy bool            `json:"healthy"`
+			SLOs    []idl.SLOStatus `json:"slos"`
+		}{Healthy: h.Healthy(), SLOs: h.SLOs})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		// Probe first so a tracing-off error becomes a clean 503
+		// instead of a half-written 200 body.
+		if _, err := db.Traces(); err != nil {
+			debugError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		db.ExportTraces(w)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -58,6 +93,16 @@ func debugHandler(db *idl.DB) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// debugError reports a disabled-subsystem error as JSON with 503, so
+// scrapers distinguish "off" from "broken".
+func debugError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
 }
 
 // startDebugServer listens on addr and serves debugHandler in the

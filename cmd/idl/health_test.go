@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"idl"
+)
+
+// TestMetaHealth: \health renders the rolling-window report, \health
+// json emits the same report as JSON, and -no-metrics sessions degrade
+// gracefully.
+func TestMetaHealth(t *testing.T) {
+	db, _ := openDB(config{demo: true})
+	db.Metrics()
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { meta(db, config{}, `\health`) })
+	for _, want := range []string{"health: healthy", "engine.query: win=", "slo engine.query:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\health output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() { meta(db, config{}, `\health json`) })
+	var rep idl.HealthReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("\\health json is not JSON: %v\n%s", err, out)
+	}
+	if len(rep.Ops) == 0 || rep.Ops[0].Name != "engine.query" {
+		t.Errorf("\\health json ops = %+v", rep.Ops)
+	}
+	if len(rep.SLOs) == 0 {
+		t.Errorf("\\health json missing slos:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, config{noMetrics: true}, `\health`) })
+	if !strings.Contains(out, "metrics disabled") {
+		t.Errorf("-no-metrics \\health should degrade:\n%s", out)
+	}
+}
+
+// TestMetaStatsWAL: on a durable session, \stats surfaces the WAL's
+// status line alongside the metrics table.
+func TestMetaStatsWAL(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.demo = true
+	cfg.wal = t.TempDir()
+	out := captureStdout(t, func() {
+		db, err := openDB(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		db.Metrics() // as run() does via setupObservability
+		if err := execute(db, "?.euter.r+(.date=1/7/85,.stkCode=stk001,.clsPrice=70)"); err != nil {
+			t.Error(err)
+		}
+		meta(db, cfg, `\stats`)
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "wal: dir=") || !strings.Contains(out, "durability=sync") {
+		t.Errorf("\\stats on a durable session should include the WAL status:\n%s", out)
+	}
+	if !strings.Contains(out, "wal.fsync.count") {
+		t.Errorf("\\stats should include WAL fsync metrics:\n%s", out)
+	}
+}
+
+// TestDebugHealthEndpoints: the three health endpoints answer 503 JSON
+// while their subsystem is off and 200 JSON once enabled.
+func TestDebugHealthEndpoints(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.demo = true
+	cfg.noMetrics = true
+	db, err := openDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := startDebugServer("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+	}
+
+	// Disabled subsystems: a clean 503 with a JSON error body, so
+	// scrapers can tell "off" from "broken".
+	for _, path := range []string{"/debug/health", "/debug/slo", "/debug/traces"} {
+		code, ct, body := get(path)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while disabled: status %d, want 503", path, code)
+		}
+		if ct != "application/json" {
+			t.Errorf("GET %s while disabled: content type %q", path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("GET %s while disabled: body %q", path, body)
+		}
+	}
+
+	db.Metrics()
+	db.EnableTracing(16)
+	if _, err := db.Query("?.euter.r(.stkCode=S)"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, ct, body := get("/debug/health")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("GET /debug/health: status %d content type %q", code, ct)
+	}
+	var rep idl.HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/health is not JSON: %v\n%s", err, body)
+	}
+	if len(rep.Ops) == 0 || len(rep.SLOs) == 0 {
+		t.Errorf("/debug/health report is empty:\n%s", body)
+	}
+
+	code, ct, body = get("/debug/slo")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("GET /debug/slo: status %d content type %q", code, ct)
+	}
+	var slo struct {
+		Healthy bool            `json:"healthy"`
+		SLOs    []idl.SLOStatus `json:"slos"`
+	}
+	if err := json.Unmarshal([]byte(body), &slo); err != nil {
+		t.Fatalf("/debug/slo is not JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range slo.SLOs {
+		if s.Name == "engine.query" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/slo missing engine.query:\n%s", body)
+	}
+
+	code, ct, body = get("/debug/traces")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("GET /debug/traces: status %d content type %q", code, ct)
+	}
+	var doc struct {
+		Traces []idl.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Traces) == 0 || doc.Traces[len(doc.Traces)-1].TraceID == "" {
+		t.Errorf("/debug/traces should contain the traced query:\n%s", body)
+	}
+}
+
+// healthNormalizers scrub the timing-dependent tokens out of \health
+// output; counts, SLO parameters, WAL LSNs and byte counts stay.
+var healthNormalizers = []struct {
+	re   *regexp.Regexp
+	repl string
+}{
+	{regexp.MustCompile(`(rate|mean|p50|p99|p999|max|burn|fsync-total|recovery)=[^ \n]+`), `$1=_`},
+	{regexp.MustCompile(`bad=\d+/`), `bad=_/`},
+	{regexp.MustCompile(`burn=_ (ok|BURNING)`), `burn=_ _`},
+	{regexp.MustCompile(`health: (healthy|UNHEALTHY)`), `health: _`},
+}
+
+func normalizeHealth(s string) string {
+	for _, n := range healthNormalizers {
+		s = n.re.ReplaceAllString(s, n.repl)
+	}
+	return s
+}
+
+// TestGoldenHealthSession pins the \health surface of a durable session
+// that updated all three stock schemas. Latencies, rates and burn rates
+// are nondeterministic and normalized away; operation counts, SLO
+// parameters, window sizes and WAL progress (LSNs, segment and fsync
+// counts, appended bytes) are deterministic and pinned byte for byte.
+func TestGoldenHealthSession(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.demo = true
+	cfg.wal = dir
+
+	out := captureStdout(t, func() {
+		db, err := openDB(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		db.Metrics() // as run() does via setupObservability
+		script := `?.euter.r+(.date=1/7/85,.stkCode=stk001,.clsPrice=70);
+?.chwab.r(.date=1/2/85, +.newco=99);
+?.ource.newco+(.date=1/2/85,.clsPrice=99);
+?.euter.r(.stkCode=stk001,.clsPrice=P)`
+		if err := execute(db, script); err != nil {
+			t.Error(err)
+		}
+		meta(db, cfg, `\health`)
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	got := normalizeHealth(strings.ReplaceAll(out, dir, "WALDIR"))
+
+	goldenPath := filepath.Join("testdata", "health_session.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("health session output drift:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -38,6 +38,9 @@
 //	-debug-addr a    serve debug endpoints on this address:
 //	                 /debug/metrics (engine metrics, JSON or ?format=table),
 //	                 /debug/events (flight recorder, JSON or ?format=text),
+//	                 /debug/health (rolling-window health report),
+//	                 /debug/slo (SLO burn rates only),
+//	                 /debug/traces (exported span trees with trace IDs),
 //	                 /debug/vars (expvar), /debug/pprof/ (profiles)
 //	-journal path    append every statement and its answer to a .idlog
 //	                 workload journal, replayable with cmd/idlreplay
@@ -55,7 +58,11 @@
 //	\rels <db>                 list relations in a database
 //	\cat                       catalog statistics (tuples, attributes)
 //	\stats [json]              engine metrics (counters, gauges, latency
-//	                           histograms) and federation member health
+//	                           histograms), federation member health, and
+//	                           WAL status on durable sessions
+//	\health [json]             rolling-window health: last-minute op
+//	                           latencies (p50/p99/p999), SLO burn rates,
+//	                           durability state
 //	\reset-stats               zero the metrics and evaluator counters
 //	\flightrec [json|clear]    dump (or clear) the flight recorder
 //	\views                     registered view rules
@@ -425,7 +432,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \health [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -492,6 +499,29 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		if rep := db.LastSyncReport(); rep != nil {
 			fmt.Println("federation:", rep.String())
 		}
+		if st, ok := db.WALStatus(); ok {
+			fmt.Println(st.String())
+		}
+	case `\health`:
+		if cfg.noMetrics {
+			fmt.Println("metrics disabled (-no-metrics)")
+			break
+		}
+		db.Metrics() // health is a metrics product; attach lazily like \stats
+		h, err := db.Health()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if len(fields) > 1 && fields[1] == "json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(h); err != nil {
+				fmt.Println("error:", err)
+			}
+			break
+		}
+		fmt.Println(h.String())
 	case `\flightrec`:
 		mode := "text"
 		if len(fields) > 1 {

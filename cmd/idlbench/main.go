@@ -1,5 +1,5 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B15 engine benchmarks (see DESIGN.md §5, §8, §10–§13)
+// runs the B1–B16 engine benchmarks (see DESIGN.md §5, §8, §10–§14)
 // against the deterministic internal/stocks workload and writes a
 // machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
 // and the engine's evaluator counters — so performance can be compared
@@ -34,6 +34,10 @@
 //	                      append, so the bound is tight
 //	-min-group-amortize   validation bound on the B15 exec-family group-
 //	                      commit amortization (sync ns/op ÷ group ns/op)
+//	-max-telemetry-overhead validation bound on the B16 windowed-telemetry
+//	                      tax (windowed ns/op ÷ off ns/op): rolling
+//	                      histograms and SLO trackers must stay within a
+//	                      few percent of the uninstrumented engine
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -62,8 +66,9 @@ import (
 
 // reportSchema versions the report layout for downstream tooling.
 // Schema 2 added FlightOverhead; schema 3 added Parallel (B13); schema 4
-// added PlanCache (B14); schema 5 added WAL (B15).
-const reportSchema = 5
+// added PlanCache (B14); schema 5 added WAL (B15); schema 6 added
+// Telemetry (B16).
+const reportSchema = 6
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -139,6 +144,22 @@ type WALSummary struct {
 	GroupAmortization float64 `json:"group_amortization"` // sync ÷ group
 }
 
+// TelemetrySummary is the B16 result: the windowed-telemetry tax on the
+// E5 query. off is the nil-registry floor; metrics attaches a registry
+// with windowed instruments disabled (cumulative counters and histograms
+// only); windowed is the production default — rolling-window histograms
+// plus SLO trackers observing every operation; traced additionally
+// attaches the span tracer. WindowedRatio (windowed ÷ off) is the
+// CI-gated headline: live rolling quantiles and burn rates must cost only
+// a few percent even on a cheap query.
+type TelemetrySummary struct {
+	OffNsPerOp      int64   `json:"off_ns_per_op"`
+	MetricsNsPerOp  int64   `json:"metrics_ns_per_op"`
+	WindowedNsPerOp int64   `json:"windowed_ns_per_op"`
+	TracedNsPerOp   int64   `json:"traced_ns_per_op"`
+	WindowedRatio   float64 `json:"windowed_ratio"` // windowed ÷ off
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
 	Schema         int              `json:"schema"`
@@ -150,6 +171,7 @@ type Report struct {
 	Parallel       ParallelSpeedup  `json:"parallel"`
 	PlanCache      PlanCacheSummary `json:"plan_cache"`
 	WAL            WALSummary       `json:"wal"`
+	Telemetry      TelemetrySummary `json:"telemetry"`
 }
 
 func main() {
@@ -166,6 +188,7 @@ func main() {
 		minPlan   = flag.Float64("min-plan-speedup", 1.0, "validation bound on the B14 interpreted÷cached speedup")
 		maxWAL    = flag.Float64("max-wal-overhead", 1.15, "validation bound on the B15 query-family WAL-on÷WAL-off ratio")
 		minAmort  = flag.Float64("min-group-amortize", 1.5, "validation bound on the B15 sync÷group exec amortization")
+		maxTelem  = flag.Float64("max-telemetry-overhead", 1.03, "validation bound on the B16 windowed÷off telemetry ratio")
 	)
 	flag.Parse()
 	if *compare {
@@ -180,7 +203,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort, *maxTelem); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -219,6 +242,10 @@ func main() {
 	fmt.Printf("%-40s query-ratio=%.2f group-amortize=%.2fx (exec off=%dns sync=%dns group=%dns)\n",
 		"B15/wal-overhead", rep.WAL.QueryRatio, rep.WAL.GroupAmortization,
 		rep.WAL.ExecOffNsPerOp, rep.WAL.ExecSyncNsPerOp, rep.WAL.ExecGroupNsPerOp)
+	fmt.Printf("%-40s windowed-ratio=%.3f (off=%dns metrics=%dns windowed=%dns traced=%dns)\n",
+		"B16/telemetry-overhead", rep.Telemetry.WindowedRatio,
+		rep.Telemetry.OffNsPerOp, rep.Telemetry.MetricsNsPerOp,
+		rep.Telemetry.WindowedNsPerOp, rep.Telemetry.TracedNsPerOp)
 	fmt.Println("wrote", *out)
 }
 
@@ -302,9 +329,10 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 // validateReport enforces the CI gate: well-formed JSON with the
 // expected schema, every benchmark measured, tracing plus
 // flight-recorder overhead under the stated bounds, the B13 sync-family
-// parallel speedup above its floor, and the B14 plan-cache hit rate and
-// repeated-query speedup above theirs.
-func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize float64) error {
+// parallel speedup above its floor, the B14 plan-cache hit rate and
+// repeated-query speedup above theirs, and the B16 windowed-telemetry
+// tax under its ceiling.
+func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize, maxTelemetry float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -373,6 +401,13 @@ func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, m
 	}
 	if wl.GroupAmortization < minGroupAmortize {
 		return fmt.Errorf("%s: group-commit amortization %.2fx below bound %.2fx", path, wl.GroupAmortization, minGroupAmortize)
+	}
+	tl := rep.Telemetry
+	if tl.OffNsPerOp <= 0 || tl.MetricsNsPerOp <= 0 || tl.WindowedNsPerOp <= 0 || tl.TracedNsPerOp <= 0 {
+		return fmt.Errorf("%s: telemetry families not measured", path)
+	}
+	if tl.WindowedRatio > maxTelemetry {
+		return fmt.Errorf("%s: windowed telemetry ratio %.3f exceeds bound %.3f", path, tl.WindowedRatio, maxTelemetry)
 	}
 	return nil
 }
@@ -909,6 +944,53 @@ func runAll(short bool) *Report {
 			ExecSyncNsPerOp:   esync.NsPerOp,
 			ExecGroupNsPerOp:  egroup.NsPerOp,
 			GroupAmortization: float64(esync.NsPerOp) / float64(egroup.NsPerOp),
+		}
+	}
+
+	// B16: the windowed-telemetry tax. The E5 query runs with telemetry
+	// escalating through its four levels: no registry, cumulative-only
+	// (windowed instruments gated off), the windowed default (rolling
+	// histograms + SLO classification per operation), and windowed plus
+	// span tracing. The gated ratio is windowed ÷ off — the full price of
+	// live rolling quantiles and burn rates over an uninstrumented engine.
+	{
+		src := stocks.QueryHighestPerDay()["euter"]
+		newE := func() *core.Engine {
+			e, _ := engineFor(stocks.Config{Stocks: 16, Days: 20, Seed: 43}, core.DefaultOptions())
+			return e
+		}
+		eOff := newE()
+		runOff := mustQuery(src)
+		off := measure("B16/telemetry/off", short, eOff, func() { runOff(eOff) })
+		add(off)
+
+		eMet := newE()
+		rMet := obs.NewRegistry()
+		rMet.SetWindowed(false)
+		eMet.SetMetrics(rMet)
+		runMet := mustQuery(src)
+		met := measure("B16/telemetry/metrics", short, eMet, func() { runMet(eMet) })
+		add(met)
+
+		eWin := newE()
+		eWin.SetMetrics(obs.NewRegistry()) // windowed instruments default on
+		runWin := mustQuery(src)
+		win := measure("B16/telemetry/windowed", short, eWin, func() { runWin(eWin) })
+		add(win)
+
+		eTr := newE()
+		eTr.SetMetrics(obs.NewRegistry())
+		eTr.SetTracer(obs.NewTracer(4))
+		runTr := mustQuery(src)
+		tr := measure("B16/telemetry/traced", short, eTr, func() { runTr(eTr) })
+		add(tr)
+
+		rep.Telemetry = TelemetrySummary{
+			OffNsPerOp:      off.NsPerOp,
+			MetricsNsPerOp:  met.NsPerOp,
+			WindowedNsPerOp: win.NsPerOp,
+			TracedNsPerOp:   tr.NsPerOp,
+			WindowedRatio:   float64(win.NsPerOp) / float64(off.NsPerOp),
 		}
 	}
 

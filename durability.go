@@ -1,9 +1,11 @@
 package idl
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"idl/internal/object"
 	"idl/internal/parser"
@@ -154,6 +156,7 @@ func openWALFS(dir string, opts WALOptions, fsys wal.FS) (*DB, *RecoveryReport, 
 	// Restore the checkpoint: universe first, then the registrations the
 	// snapshot alone cannot carry. db.wal is still nil here, so nothing
 	// in the replay re-logs.
+	replayStart := time.Now()
 	if recovered.Universe != nil {
 		recovered.Universe.Each(func(name string, v Value) bool {
 			db.engine.Base().Put(name, v)
@@ -190,12 +193,23 @@ func openWALFS(dir string, opts WALOptions, fsys wal.FS) (*DB, *RecoveryReport, 
 			report.Replayed++
 		}
 	}
+	// The logical restore (checkpoint install + registrations + tail
+	// redo) joins the log's own scan time in wal.recovery.replay_ns.
+	log.NoteReplay(time.Since(replayStart))
 	db.rec.Emit(qlog.KindRecover, report.String(), nil)
 
 	// Recovery done: attach the log and wire the commit hooks. From here
 	// every committed mutation appends.
 	db.wal = log
 	db.walDurability = opts.Durability
+	// A registry may already exist — a Bootstrap that Mounts a member
+	// creates one — so wire the log in now; metricsLocked handles
+	// registries created after this point.
+	db.mu.Lock()
+	if db.metrics != nil {
+		log.SetMetrics(db.metrics)
+	}
+	db.mu.Unlock()
 	db.cat.SetMutationLogger(func(op, dbName, rel string, tuples []*object.Tuple) error {
 		rec := wal.DDLRecord{Op: op, DB: dbName, Rel: rel}
 		for _, t := range tuples {
@@ -209,7 +223,8 @@ func openWALFS(dir string, opts WALOptions, fsys wal.FS) (*DB, *RecoveryReport, 
 		if err != nil {
 			return fmt.Errorf("idl: wal: encode ddl: %w", err)
 		}
-		return db.walAppend(wal.TypeDDL, payload)
+		_, err = db.walAppend(wal.TypeDDL, payload)
+		return err
 	})
 	db.cat.SetSnapshotLogger(func(name string, snap *Tuple) error {
 		rec := wal.MemberSnapRecord{Name: name}
@@ -224,7 +239,8 @@ func openWALFS(dir string, opts WALOptions, fsys wal.FS) (*DB, *RecoveryReport, 
 		if err != nil {
 			return fmt.Errorf("idl: wal: encode member snapshot: %w", err)
 		}
-		return db.walAppend(wal.TypeMemberSnap, payload)
+		_, err = db.walAppend(wal.TypeMemberSnap, payload)
+		return err
 	})
 	return db, report, nil
 }
@@ -309,15 +325,41 @@ func (db *DB) replayRecord(r wal.Record) error {
 	return fmt.Errorf("unknown record type %d", r.Type)
 }
 
-// walAppend logs one committed mutation (no-op without a WAL). An append
-// failure means memory is ahead of the log: the log is now poisoned and
-// the error propagates to the caller, who must treat the store as
-// failed.
-func (db *DB) walAppend(typ byte, payload []byte) error {
+// walAppend logs one committed mutation (no-op without a WAL), returning
+// the assigned LSN. An append failure means memory is ahead of the log:
+// the log is now poisoned and the error propagates to the caller, who
+// must treat the store as failed.
+func (db *DB) walAppend(typ byte, payload []byte) (uint64, error) {
 	if db.wal == nil {
-		return nil
+		return 0, nil
 	}
-	_, err := db.wal.Append(typ, payload)
+	return db.wal.Append(typ, payload)
+}
+
+// walAppendTraced is walAppend under a "wal.commit" span when tracing is
+// enabled: the span carries the record type, the assigned LSN, and the
+// caller's trace/op IDs from ctx, so a commit can be joined to the query
+// that caused it and to the physical log offline.
+func (db *DB) walAppendTraced(ctx context.Context, typ byte, payload []byte) error {
+	tracer := db.engine.Tracer()
+	if tracer == nil || db.wal == nil {
+		_, err := db.walAppend(typ, payload)
+		return err
+	}
+	span := tracer.Start("wal.commit")
+	span.SetStr("type", wal.TypeName(typ))
+	if tid := qlog.TraceID(ctx); tid != "" {
+		span.SetStr("trace", tid)
+	}
+	if qid := qlog.OpID(ctx); qid != 0 {
+		span.SetInt("qid", int64(qid))
+	}
+	lsn, err := db.walAppend(typ, payload)
+	span.SetInt("lsn", int64(lsn))
+	if err != nil {
+		span.SetStr("err", err.Error())
+	}
+	span.End()
 	return err
 }
 
@@ -372,6 +414,15 @@ type WALStatus struct {
 	CheckpointLSN uint64
 	Checkpoints   int // checkpoints taken by this process
 	Err           error
+
+	// Durability instrumentation (live native counters, present even
+	// without a metrics registry; see also the wal.* registry metrics).
+	CheckpointLag  uint64        // records appended since the last checkpoint
+	Fsyncs         uint64        // fsyncs issued by this process
+	FsyncTotal     time.Duration // total time spent in fsync
+	BytesAppended  int64         // record bytes appended by this process
+	Recovery       time.Duration // startup scan + logical replay
+	TruncatedTails uint64        // torn tails repaired at startup
 }
 
 func (s WALStatus) String() string {
@@ -395,14 +446,20 @@ func (db *DB) WALStatus() (WALStatus, bool) {
 	d := db.walDurability
 	db.mu.Unlock()
 	return WALStatus{
-		Dir:           st.Dir,
-		Durability:    d,
-		NextLSN:       st.NextLSN,
-		Appended:      st.Appended,
-		Segments:      st.Segments,
-		CheckpointLSN: st.CheckpointLSN,
-		Checkpoints:   st.Checkpoints,
-		Err:           st.Err,
+		Dir:            st.Dir,
+		Durability:     d,
+		NextLSN:        st.NextLSN,
+		Appended:       st.Appended,
+		Segments:       st.Segments,
+		CheckpointLSN:  st.CheckpointLSN,
+		Checkpoints:    st.Checkpoints,
+		Err:            st.Err,
+		CheckpointLag:  st.CheckpointLag,
+		Fsyncs:         st.Fsyncs,
+		FsyncTotal:     time.Duration(st.FsyncNanos),
+		BytesAppended:  st.BytesAppended,
+		Recovery:       time.Duration(st.RecoveryNS + st.ReplayNS),
+		TruncatedTails: st.TruncatedTails,
 	}, true
 }
 

@@ -161,13 +161,23 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 // annotations.
 func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Context) (*Result, error)) (*Result, error) {
 	op := db.rec.Begin(qlog.KindQuery)
+	tracer := db.engine.Tracer()
+	if op != nil || tracer != nil {
+		// The trace ID joins this query's event, journal record, span
+		// tree, member fetches and WAL commits across layers.
+		tid := db.nextTraceID()
+		op.SetTraceID(tid)
+		if op == nil {
+			ctx = qlog.WithTraceID(ctx, tid)
+		}
+	}
 	if op != nil {
 		op.SetText(q.String())
 		op.SetWorkers(db.engine.Workers())
-		// Tag the context only when a tracer will consume the ID: the
-		// tag upgrades a Background context into a cancellable one, which
-		// the evaluator then polls.
-		if db.engine.Tracer() != nil {
+		// Tag the context only when a tracer will consume the IDs: the
+		// tag upgrades a Background context into a value-carrying one,
+		// which the evaluator then polls.
+		if tracer != nil {
 			ctx = op.Context(ctx)
 		}
 	}
@@ -213,10 +223,18 @@ func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Co
 // unreachable member aborts the request before any mutation.
 func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 	op := db.rec.Begin(qlog.KindExec)
+	tracer := db.engine.Tracer()
+	if op != nil || tracer != nil {
+		tid := db.nextTraceID()
+		op.SetTraceID(tid)
+		if op == nil {
+			ctx = qlog.WithTraceID(ctx, tid)
+		}
+	}
 	if op != nil {
 		op.SetText(q.String())
 		op.SetWorkers(db.engine.Workers())
-		if db.engine.Tracer() != nil {
+		if tracer != nil {
 			ctx = op.Context(ctx)
 		}
 	}
@@ -234,7 +252,7 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 		db.walCommit.Lock()
 		info, err = db.engine.ExecuteCtx(ctx, q)
 		if err == nil {
-			err = db.walAppend(wal.TypeExec, []byte(q.String()))
+			err = db.walAppendTraced(ctx, wal.TypeExec, []byte(q.String()))
 		}
 		db.walCommit.Unlock()
 	} else {
@@ -307,7 +325,7 @@ func (db *DB) LoadCtx(ctx context.Context, src string) ([]*ScriptResult, error) 
 			err := db.engine.AddRule(s)
 			db.rec.Emit(qlog.KindRule, s.String(), err)
 			if err == nil {
-				err = db.walAppend(wal.TypeRule, []byte(s.String()))
+				_, err = db.walAppend(wal.TypeRule, []byte(s.String()))
 			}
 			if err != nil {
 				return out, fmt.Errorf("idl: rule %q: %w", s.String(), err)
@@ -317,7 +335,7 @@ func (db *DB) LoadCtx(ctx context.Context, src string) ([]*ScriptResult, error) 
 			err := db.engine.AddClause(s)
 			db.rec.Emit(qlog.KindClause, s.String(), err)
 			if err == nil {
-				err = db.walAppend(wal.TypeClause, []byte(s.String()))
+				_, err = db.walAppend(wal.TypeClause, []byte(s.String()))
 			}
 			if err != nil {
 				return out, fmt.Errorf("idl: clause %q: %w", s.String(), err)

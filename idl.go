@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idl/internal/ast"
@@ -146,6 +147,12 @@ type DB struct {
 	wal           *wal.Log
 	walCommit     sync.Mutex
 	walDurability Durability
+
+	// Trace identity (see trace.go): traceBase is a per-process random
+	// base XORed with a golden-ratio-stepped sequence, so trace IDs are
+	// unique across restarts but cheap to mint.
+	traceBase uint64
+	traceSeq  atomic.Uint64
 }
 
 // DefaultOptions returns the production engine defaults — the options
@@ -169,10 +176,13 @@ func OpenWithOptions(opts Options) *DB {
 	// Worker parallelism extends to member syncs: fetches overlap up to
 	// the same degree the evaluator partitions scans.
 	cat.SetFetchConcurrency(opts.Workers)
+	// Member fetches join the caller's trace when tracing is enabled.
+	cat.SetTracer(engine.Tracer)
 	return &DB{
-		engine: engine,
-		cat:    cat,
-		rec:    qlog.NewRecorder(qlog.DefaultRingSize),
+		engine:    engine,
+		cat:       cat,
+		rec:       qlog.NewRecorder(qlog.DefaultRingSize),
+		traceBase: newTraceBase(),
 	}
 }
 
@@ -248,7 +258,7 @@ func (db *DB) DefineView(src string) error {
 	err = db.engine.AddRule(r)
 	db.rec.Emit(qlog.KindRule, r.String(), err)
 	if err == nil {
-		err = db.walAppend(wal.TypeRule, []byte(r.String()))
+		_, err = db.walAppend(wal.TypeRule, []byte(r.String()))
 	}
 	return err
 }
@@ -274,7 +284,7 @@ func (db *DB) DefineProgram(src string) error {
 	err = db.engine.AddClause(c)
 	db.rec.Emit(qlog.KindClause, c.String(), err)
 	if err == nil {
-		err = db.walAppend(wal.TypeClause, []byte(c.String()))
+		_, err = db.walAppend(wal.TypeClause, []byte(c.String()))
 	}
 	return err
 }
@@ -312,6 +322,17 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		}
 	}
 	op := db.rec.Begin(qlog.KindCall)
+	tracer := db.engine.Tracer()
+	ctx := context.Background()
+	if op != nil || tracer != nil {
+		tid := db.nextTraceID()
+		op.SetTraceID(tid)
+		if op == nil {
+			ctx = qlog.WithTraceID(ctx, tid)
+		} else if tracer != nil {
+			ctx = op.Context(ctx)
+		}
+	}
 	var text string
 	if op != nil || db.wal != nil {
 		var attrs map[string]string
@@ -324,7 +345,7 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		op.SetText(text)
 	}
 	// Programs run updates; member sync is fail-fast like Exec.
-	if _, err := db.syncSources(context.Background(), false); err != nil {
+	if _, err := db.syncSources(ctx, false); err != nil {
 		op.End(err)
 		return nil, err
 	}
@@ -332,13 +353,13 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 	var err error
 	if db.wal != nil {
 		db.walCommit.Lock()
-		info, err = db.engine.Call(namespace, name, converted)
+		info, err = db.engine.CallCtx(ctx, namespace, name, converted)
 		if err == nil {
-			err = db.walAppend(wal.TypeExec, []byte(text))
+			err = db.walAppendTraced(ctx, wal.TypeExec, []byte(text))
 		}
 		db.walCommit.Unlock()
 	} else {
-		info, err = db.engine.Call(namespace, name, converted)
+		info, err = db.engine.CallCtx(ctx, namespace, name, converted)
 	}
 	if info != nil {
 		sum, changes := execSummary(info)

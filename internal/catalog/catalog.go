@@ -49,6 +49,11 @@ type Catalog struct {
 	membersG     *obs.Gauge
 	unavailableG *obs.Gauge
 	metrics      *obs.Registry
+
+	// tracer reads the owner's current span tracer (see SetTracer); when
+	// it returns non-nil, member fetches emit federation.fetch root spans
+	// annotated with the caller's trace/op IDs.
+	tracer func() *obs.Tracer
 }
 
 // New wraps a universe tuple. onChange (optional) runs after each

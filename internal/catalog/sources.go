@@ -10,6 +10,7 @@ import (
 	"idl/internal/federation"
 	"idl/internal/object"
 	"idl/internal/obs"
+	"idl/internal/qlog"
 )
 
 // Federation support: a catalog can mount member databases that live
@@ -121,6 +122,15 @@ func (c *Catalog) SetMetrics(r *obs.Registry) {
 	c.membersG.Set(int64(len(c.sources)))
 }
 
+// SetTracer wires a live reader of the owner's span tracer (usually
+// Engine.Tracer, so enabling/disabling tracing on the DB takes effect
+// here without further plumbing). When tracing is on, every member fetch
+// emits a "federation.fetch" root span carrying the member name, the
+// caller's trace/op IDs, and the fetch outcome.
+func (c *Catalog) SetTracer(fn func() *obs.Tracer) {
+	c.tracer = fn
+}
+
 func (c *Catalog) applyUniverse(fn func(*object.Tuple) bool) {
 	if c.apply != nil {
 		c.apply(fn)
@@ -170,8 +180,28 @@ func (c *Catalog) fetchAll(ctx context.Context, names []string, failFast bool) [
 	fetch := func(i int) {
 		src := c.sources[names[i]]
 		r := &results[i]
+		var span *obs.Span
+		if c.tracer != nil {
+			if t := c.tracer(); t != nil {
+				span = t.Start("federation.fetch")
+				span.SetStr("member", names[i])
+				if tid := qlog.TraceID(ctx); tid != "" {
+					span.SetStr("trace", tid)
+				}
+				if qid := qlog.OpID(ctx); qid != 0 {
+					span.SetInt("qid", int64(qid))
+				}
+			}
+		}
 		r.snap, r.err = federation.Fetch(ctx, src)
 		r.breaker, r.attempts = federation.Probe(src)
+		if span != nil {
+			span.SetStr("breaker", r.breaker).SetInt("attempts", int64(r.attempts))
+			if r.err != nil {
+				span.SetStr("err", r.err.Error())
+			}
+			span.End()
+		}
 	}
 	conc := c.fetchConc
 	if conc > len(names) {

@@ -16,6 +16,8 @@ type opMetrics struct {
 	count   *obs.Counter
 	errors  *obs.Counter
 	latency *obs.Histogram
+	window  *obs.WindowedHistogram
+	slo     *obs.SLOTracker
 }
 
 // engineMetrics caches every engine-level metric pointer. A nil
@@ -62,6 +64,8 @@ func opMetricsFor(r *obs.Registry, op string) opMetrics {
 		count:   r.Counter("engine." + op + ".count"),
 		errors:  r.Counter("engine." + op + ".errors"),
 		latency: r.Histogram("engine." + op + ".latency"),
+		window:  r.Window("engine." + op + ".latency"),
+		slo:     r.SLO("engine."+op, 0, 0), // registry defaults
 	}
 }
 
@@ -101,7 +105,10 @@ func (em *engineMetrics) record(om *opMetrics, start time.Time, local Stats, err
 	if err != nil {
 		om.errors.Inc()
 	}
-	om.latency.Observe(time.Since(start))
+	d := time.Since(start)
+	om.latency.Observe(d)
+	om.window.Observe(d)
+	om.slo.Observe(d, err != nil)
 	em.evalWork(local)
 }
 
@@ -157,6 +164,9 @@ func annotateOpID(span *obs.Span, ctx context.Context) {
 	}
 	if qid := qlog.OpID(ctx); qid != 0 {
 		span.SetInt("qid", int64(qid))
+	}
+	if tid := qlog.TraceID(ctx); tid != "" {
+		span.SetStr("trace", tid)
 	}
 }
 

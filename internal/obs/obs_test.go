@@ -63,14 +63,17 @@ func TestHistogramObserveAndQuantile(t *testing.T) {
 	if h.Mean() != wantSum/100 {
 		t.Fatalf("Mean = %v, want %v", h.Mean(), wantSum/100)
 	}
-	if got := h.Quantile(0.5); got != BucketUpper(0) {
-		t.Errorf("p50 = %v, want %v", got, BucketUpper(0))
+	// p50 interpolates inside bucket 0 (rank 50 of 90 in [0,1µs)), but
+	// never reports below the observed minimum.
+	if got := h.Quantile(0.5); got < 500*time.Nanosecond || got >= BucketUpper(0) {
+		t.Errorf("p50 = %v, want within [500ns, %v)", got, BucketUpper(0))
 	}
-	if got := h.Quantile(0.99); got != BucketUpper(2) {
-		t.Errorf("p99 = %v, want %v", got, BucketUpper(2))
+	// p99 lands near the top of bucket 2 and clamps to the observed max.
+	if got := h.Quantile(0.99); got != 3*time.Microsecond {
+		t.Errorf("p99 = %v, want 3µs (clamped to max)", got)
 	}
-	if got := h.Quantile(1); got != BucketUpper(2) {
-		t.Errorf("p100 = %v, want %v", got, BucketUpper(2))
+	if got := h.Quantile(1); got != 3*time.Microsecond {
+		t.Errorf("p100 = %v, want 3µs (clamped to max)", got)
 	}
 	b := h.Buckets()
 	if b[0] != 90 || b[2] != 10 {
@@ -87,6 +90,66 @@ func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
 		t.Errorf("empty histogram: mean=%v p99=%v count=%d", h.Mean(), h.Quantile(0.99), h.Count())
+	}
+}
+
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	// A single observation: every quantile is exactly that value
+	// (interpolation clamps to the observed min == max).
+	var h Histogram
+	h.Observe(700 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 700*time.Nanosecond {
+			t.Errorf("single-value q=%v = %v, want 700ns", q, got)
+		}
+	}
+
+	// Uniform fill of one bucket: quantiles are monotone and stay inside
+	// the observed [min, max] range, never at the raw bucket upper bound.
+	var u Histogram
+	for i := 0; i < 100; i++ {
+		u.Observe(5 * time.Microsecond) // bucket [4µs, 8µs)
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.999, 1} {
+		got := u.Quantile(q)
+		if got != 5*time.Microsecond {
+			t.Errorf("uniform q=%v = %v, want 5µs (clamped)", q, got)
+		}
+		if got < prev {
+			t.Errorf("quantiles not monotone: q=%v gave %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+
+	// Two distinct buckets: q=0 clamps to min, q=1 clamps to max, and the
+	// crossover between buckets happens at the right rank.
+	var b Histogram
+	for i := 0; i < 50; i++ {
+		b.Observe(500 * time.Nanosecond) // bucket 0
+	}
+	for i := 0; i < 50; i++ {
+		b.Observe(10 * time.Microsecond) // bucket [8µs, 16µs)
+	}
+	if got := b.Quantile(0); got != 500*time.Nanosecond {
+		t.Errorf("q=0 = %v, want min 500ns", got)
+	}
+	if got := b.Quantile(1); got != 10*time.Microsecond {
+		t.Errorf("q=1 = %v, want max 10µs", got)
+	}
+	if got := b.Quantile(0.5); got < 500*time.Nanosecond || got > time.Microsecond {
+		t.Errorf("q=0.5 = %v, want inside the first bucket", got)
+	}
+	if got := b.Quantile(0.51); got < 8*time.Microsecond {
+		t.Errorf("q=0.51 = %v, want inside the second bucket", got)
+	}
+
+	// Out-of-range q values clamp instead of panicking.
+	if got := b.Quantile(-3); got != 500*time.Nanosecond {
+		t.Errorf("q=-3 = %v, want min", got)
+	}
+	if got := b.Quantile(7); got != 10*time.Microsecond {
+		t.Errorf("q=7 = %v, want max", got)
 	}
 }
 

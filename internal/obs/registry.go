@@ -98,6 +98,16 @@ type Histogram struct {
 	// genuine 0ns observation stays representable.
 	minPlus1 atomic.Int64
 	max      atomic.Int64
+	// unit is "" for durations (the default) or "count" for dimensionless
+	// distributions (e.g. group-commit batch sizes). Set once at creation,
+	// before the pointer is shared; it only changes how snapshots render.
+	unit string
+}
+
+// ObserveN records one dimensionless observation (a batch size, a row
+// count) into a count-unit histogram.
+func (h *Histogram) ObserveN(n int64) {
+	h.Observe(time.Duration(n))
 }
 
 // bucketIndex maps a duration to its bucket: the smallest i with
@@ -196,10 +206,27 @@ func (h *Histogram) Mean() time.Duration {
 	return h.Sum() / time.Duration(n)
 }
 
-// Quantile returns the upper bound of the bucket containing the q-th
-// quantile (0 ≤ q ≤ 1) — an overestimate by at most one doubling.
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1), linearly interpolated
+// within the winning bucket and clamped to the observed Min/Max — so a
+// histogram holding one 3µs observation reports p99 = 3µs, not the 4µs
+// bucket bound.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.Count()
+	if h == nil {
+		return 0
+	}
+	var counts [HistBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileOf(&counts, h.Count(), h.Min(), h.Max(), q)
+}
+
+// quantileOf computes an interpolated quantile over fixed exponential
+// bucket counts. Bucket i covers (BucketUpper(i-1), BucketUpper(i)]
+// (bucket 0 starts at 0); the rank's position within its bucket
+// interpolates linearly between the bounds, and the result clamps to
+// the exact observed extrema. Shared by Histogram and WindowSnapshot.
+func quantileOf(counts *[HistBuckets]uint64, n uint64, min, max time.Duration, q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
@@ -213,14 +240,32 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if rank == 0 {
 		rank = 1
 	}
+	if rank > n {
+		rank = n
+	}
 	var cum uint64
 	for i := 0; i < HistBuckets; i++ {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			return BucketUpper(i)
+		c := counts[i]
+		if c == 0 || cum+c < rank {
+			cum += c
+			continue
 		}
+		lower := time.Duration(0)
+		if i > 0 {
+			lower = BucketUpper(i - 1)
+		}
+		upper := BucketUpper(i)
+		frac := float64(rank-cum) / float64(c)
+		v := lower + time.Duration(frac*float64(upper-lower))
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+		return v
 	}
-	return BucketUpper(HistBuckets - 1)
+	return max
 }
 
 // Buckets returns a copy of the raw bucket counts.
@@ -253,14 +298,26 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*WindowedHistogram
+	slos     map[string]*SLOTracker
+	// windowed gates every window and SLO tracker created through this
+	// registry (shared pointer, so SetWindowed flips them all at once).
+	// Default on; the telemetry-overhead benches turn it off to isolate
+	// the windowed layer's cost.
+	windowed *atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
+	on := &atomic.Bool{}
+	on.Store(true)
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		windows:  map[string]*WindowedHistogram{},
+		slos:     map[string]*SLOTracker{},
+		windowed: on,
 	}
 }
 
@@ -328,6 +385,121 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CountHistogram returns the named dimensionless histogram (batch
+// sizes, row counts), creating it on first use. Snapshots render its
+// values as plain integers instead of durations.
+func (r *Registry) CountHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{unit: "count"}
+	r.hists[name] = h
+	return h
+}
+
+// Window returns the named rolling-window histogram (DefaultWindow /
+// DefaultWindowSlices), creating it on first use. Created windows share
+// the registry's windowed flag.
+func (r *Registry) Window(name string) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	w, ok := r.windows[name]
+	r.mu.RUnlock()
+	if ok {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok = r.windows[name]; ok {
+		return w
+	}
+	w = NewWindow(DefaultWindow, DefaultWindowSlices)
+	w.enabled = r.windowed
+	r.windows[name] = w
+	return w
+}
+
+// WindowValue snapshots the named window without creating it.
+func (r *Registry) WindowValue(name string) (WindowSnapshot, bool) {
+	if r == nil {
+		return WindowSnapshot{}, false
+	}
+	r.mu.RLock()
+	w, ok := r.windows[name]
+	r.mu.RUnlock()
+	if !ok {
+		return WindowSnapshot{}, false
+	}
+	return w.Snapshot(), true
+}
+
+// SLO returns the named SLO tracker, creating it on first use with the
+// given target latency and availability objective (zero values take the
+// Default* constants). The first creator's parameters win; adjust later
+// with SetTarget/SetObjective.
+func (r *Registry) SLO(name string, target time.Duration, objective float64) *SLOTracker {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t, ok := r.slos[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok = r.slos[name]; ok {
+		return t
+	}
+	t = NewSLO(name, target, objective, DefaultWindow, DefaultWindowSlices)
+	t.enabled = r.windowed
+	r.slos[name] = t
+	return t
+}
+
+// SLOStatuses reports every registered SLO tracker, sorted by name.
+func (r *Registry) SLOStatuses() []SLOStatus {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]SLOStatus, 0, len(r.slos))
+	for _, t := range r.slos {
+		out = append(out, t.Status())
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetWindowed enables or disables every windowed histogram and SLO
+// tracker created through this registry (existing and future). Counters,
+// gauges and cumulative histograms are unaffected.
+func (r *Registry) SetWindowed(on bool) {
+	if r != nil {
+		r.windowed.Store(on)
+	}
+}
+
+// Windowed reports whether windowed instruments are observing.
+func (r *Registry) Windowed() bool {
+	return r != nil && r.windowed.Load()
+}
+
 // Reset zeroes every registered metric (the metrics stay registered, so
 // held pointers remain valid).
 func (r *Registry) Reset() {
@@ -344,6 +516,26 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+	for _, w := range r.windows {
+		for i := range w.slices {
+			s := &w.slices[i]
+			s.mu.Lock()
+			s.h.reset()
+			s.slot.Store(-1)
+			s.mu.Unlock()
+		}
+	}
+	for _, t := range r.slos {
+		for _, wc := range []*windowedCounter{t.total, t.bad} {
+			for i := range wc.slices {
+				s := &wc.slices[i]
+				s.mu.Lock()
+				s.n.Store(0)
+				s.slot.Store(-1)
+				s.mu.Unlock()
+			}
+		}
 	}
 }
 
@@ -383,10 +575,12 @@ type GaugeVal struct {
 }
 
 // HistVal summarizes one histogram in a snapshot. Durations are
-// nanoseconds; P50/P99 are bucket upper bounds while Min/Max are the
-// exact extrema observed.
+// nanoseconds; quantiles are interpolated within their bucket and
+// clamped to the exact extrema observed. Unit "count" marks a
+// dimensionless histogram whose values are plain integers.
 type HistVal struct {
 	Name   string `json:"name"`
+	Unit   string `json:"unit,omitempty"`
 	Count  uint64 `json:"count"`
 	SumNS  int64  `json:"sum_ns"`
 	MeanNS int64  `json:"mean_ns"`
@@ -396,12 +590,27 @@ type HistVal struct {
 	MaxNS  int64  `json:"max_ns"`
 }
 
+// WindowVal summarizes one rolling-window histogram in a snapshot.
+type WindowVal struct {
+	Name       string  `json:"name"`
+	WindowNS   int64   `json:"window_ns"`
+	Count      uint64  `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	MeanNS     int64   `json:"mean_ns"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	P999NS     int64   `json:"p999_ns"`
+	MaxNS      int64   `json:"max_ns"`
+}
+
 // Snapshot is a point-in-time copy of every registered metric, sorted by
 // name — the unit the debug endpoint serializes and the CLI renders.
 type Snapshot struct {
 	Counters   []CounterVal `json:"counters"`
 	Gauges     []GaugeVal   `json:"gauges"`
 	Histograms []HistVal    `json:"histograms"`
+	Windows    []WindowVal  `json:"windows,omitempty"`
+	SLOs       []SLOStatus  `json:"slos,omitempty"`
 }
 
 // Snapshot captures the registry. Values are read atomically per metric;
@@ -422,6 +631,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms = append(s.Histograms, HistVal{
 			Name:   name,
+			Unit:   h.unit,
 			Count:  h.Count(),
 			SumNS:  int64(h.Sum()),
 			MeanNS: int64(h.Mean()),
@@ -431,9 +641,28 @@ func (r *Registry) Snapshot() Snapshot {
 			MaxNS:  int64(h.Max()),
 		})
 	}
+	for name, w := range r.windows {
+		ws := w.Snapshot()
+		s.Windows = append(s.Windows, WindowVal{
+			Name:       name,
+			WindowNS:   int64(ws.Window),
+			Count:      ws.Count,
+			RatePerSec: ws.Rate(),
+			MeanNS:     int64(ws.Mean()),
+			P50NS:      int64(ws.Quantile(0.5)),
+			P99NS:      int64(ws.Quantile(0.99)),
+			P999NS:     int64(ws.Quantile(0.999)),
+			MaxNS:      int64(ws.Max),
+		})
+	}
+	for _, t := range r.slos {
+		s.SLOs = append(s.SLOs, t.Status())
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Windows, func(i, j int) bool { return s.Windows[i].Name < s.Windows[j].Name })
+	sort.Slice(s.SLOs, func(i, j int) bool { return s.SLOs[i].Name < s.SLOs[j].Name })
 	return s
 }
 
@@ -463,6 +692,11 @@ func (s Snapshot) Table() string {
 			width = len(h.Name)
 		}
 	}
+	for _, w := range s.Windows {
+		if len(w.Name) > width {
+			width = len(w.Name)
+		}
+	}
 	var b strings.Builder
 	for _, c := range s.Counters {
 		fmt.Fprintf(&b, "%-*s  %d\n", width, c.Name, c.Value)
@@ -471,10 +705,24 @@ func (s Snapshot) Table() string {
 		fmt.Fprintf(&b, "%-*s  %d\n", width, g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "%-*s  n=%d mean=%s min=%s p50≤%s p99≤%s max=%s\n",
+		if h.Unit == "count" {
+			fmt.Fprintf(&b, "%-*s  n=%d mean=%d min=%d p50=%d p99=%d max=%d\n",
+				width, h.Name, h.Count, h.MeanNS, h.MinNS, h.P50NS, h.P99NS, h.MaxNS)
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s  n=%d mean=%s min=%s p50=%s p99=%s max=%s\n",
 			width, h.Name, h.Count,
 			time.Duration(h.MeanNS), time.Duration(h.MinNS),
 			time.Duration(h.P50NS), time.Duration(h.P99NS), time.Duration(h.MaxNS))
+	}
+	for _, w := range s.Windows {
+		fmt.Fprintf(&b, "%-*s  win=%s n=%d rate=%.3g/s mean=%s p50=%s p99=%s p999=%s\n",
+			width, w.Name, time.Duration(w.WindowNS), w.Count, w.RatePerSec,
+			time.Duration(w.MeanNS), time.Duration(w.P50NS),
+			time.Duration(w.P99NS), time.Duration(w.P999NS))
+	}
+	for _, t := range s.SLOs {
+		fmt.Fprintf(&b, "%s\n", t.String())
 	}
 	return b.String()
 }

@@ -56,6 +56,7 @@ type Event struct {
 	Member     string        `json:"member,omitempty"`     // member database name (breaker events)
 	Workers    int           `json:"workers,omitempty"`    // parallelism degree the operation ran under (0 = sequential)
 	PlanCache  string        `json:"plan_cache,omitempty"` // plan-cache outcome: hit / stale / miss / cold (queries)
+	TraceID    string        `json:"trace_id,omitempty"`   // facade-minted trace ID shared with span trees and WAL commit spans
 	Slow       bool          `json:"slow,omitempty"`       // duration exceeded the slow threshold
 	Err        string        `json:"err,omitempty"`
 }

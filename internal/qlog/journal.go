@@ -51,6 +51,7 @@ type Record struct {
 	Degraded  string       `json:"degraded,omitempty"`   // deterministic degraded-report rendering
 	Workers   int          `json:"workers,omitempty"`    // parallelism degree the statement ran under (0 = sequential)
 	PlanCache string       `json:"plan_cache,omitempty"` // plan-cache outcome: hit / stale / miss / cold
+	TraceID   string       `json:"trace_id,omitempty"`   // facade-minted trace ID joining span trees and WAL commit spans
 	Err       string       `json:"err,omitempty"`
 }
 

@@ -229,13 +229,27 @@ func (op *Op) Seq() uint64 {
 	return op.ev.Seq
 }
 
-// Context tags ctx with this operation's ID so downstream span trees
-// can be joined back to the event ("qid" annotation).
+// Context tags ctx with this operation's ID (and trace ID, when one was
+// minted) so downstream span trees can be joined back to the event
+// ("qid" / "trace" annotations).
 func (op *Op) Context(ctx context.Context) context.Context {
 	if op == nil {
 		return ctx
 	}
-	return WithOpID(ctx, op.ev.Seq)
+	ctx = WithOpID(ctx, op.ev.Seq)
+	if op.ev.TraceID != "" {
+		ctx = WithTraceID(ctx, op.ev.TraceID)
+	}
+	return ctx
+}
+
+// SetTraceID records the facade-minted trace ID joining this event to
+// span trees, journal records and WAL commit spans.
+func (op *Op) SetTraceID(id string) {
+	if op == nil || id == "" {
+		return
+	}
+	op.ev.TraceID = id
 }
 
 // Journaling reports whether this op will be appended to the journal;
@@ -362,6 +376,7 @@ func (op *Op) finish(errMsg string) {
 				Degraded:  ev.Degraded,
 				Workers:   ev.Workers,
 				PlanCache: ev.PlanCache,
+				TraceID:   ev.TraceID,
 				Err:       ev.Err,
 			})
 		}
@@ -422,6 +437,9 @@ func attrs(ev *Event) []slog.Attr {
 	if ev.PlanCache != "" {
 		out = append(out, slog.String("plan_cache", ev.PlanCache))
 	}
+	if ev.TraceID != "" {
+		out = append(out, slog.String("trace", ev.TraceID))
+	}
 	if ev.Slow {
 		out = append(out, slog.Bool("slow", true))
 	}
@@ -444,4 +462,21 @@ func OpID(ctx context.Context) uint64 {
 		return v
 	}
 	return 0
+}
+
+type traceIDKey struct{}
+
+// WithTraceID tags ctx with a facade-minted trace ID so spans created
+// anywhere below the facade (member fetches, WAL commits, evaluator
+// roots) can carry the same correlation key.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID extracts the trace ID from ctx ("" when absent).
+func TraceID(ctx context.Context) string {
+	if v, ok := ctx.Value(traceIDKey{}).(string); ok {
+		return v
+	}
+	return ""
 }

@@ -31,8 +31,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"idl/internal/object"
+	"idl/internal/obs"
 	"idl/internal/storage"
 )
 
@@ -125,6 +127,96 @@ type Log struct {
 	ckptLSN   uint64 // newest checkpoint's LSN
 	ckptCount int    // checkpoints taken by this Log
 	err       error  // sticky write failure
+
+	// Native instrumentation, surfaced through Status even when no
+	// metrics registry is attached.
+	unsyncedRecs   uint64 // records appended since the last fsync
+	fsyncs         uint64
+	fsyncNanos     int64
+	bytesAppended  int64 // record bytes appended (excluding headers)
+	recoveryNS     int64 // Open's directory scan + tail decode
+	replayNS       int64 // caller-reported logical replay (NoteReplay)
+	truncatedTails uint64
+
+	m *logMetrics // nil until SetMetrics
+}
+
+// logMetrics are the registry instruments the log feeds when a metrics
+// registry is attached. All obs types are nil-safe, so a zero value
+// works too.
+type logMetrics struct {
+	fsyncCount *obs.Counter
+	fsyncLat   [3]*obs.Histogram // indexed by SyncMode at sync time
+	batchRecs  *obs.Histogram    // group-commit batch size (records per fsync)
+	appendB    *obs.Counter
+	lsn        *obs.Gauge
+	segments   *obs.Gauge
+	ckptLag    *obs.Gauge // records appended since the last checkpoint
+	ckptCount  *obs.Counter
+	ckptLat    *obs.Histogram
+	replay     *obs.Gauge // recovery scan + replay duration, ns
+	truncated  *obs.Counter
+}
+
+// SetMetrics attaches a metrics registry: fsync latency split by sync
+// policy, group-commit batch sizes, append volume, live LSN / segment /
+// checkpoint-lag gauges, and recovery counters. Idempotent per registry;
+// current state is pushed immediately so gauges are live from attach.
+func (l *Log) SetMetrics(r *obs.Registry) {
+	if l == nil || r == nil {
+		return
+	}
+	m := &logMetrics{
+		fsyncCount: r.Counter("wal.fsync.count"),
+		batchRecs:  r.CountHistogram("wal.fsync.batch_records"),
+		appendB:    r.Counter("wal.append.bytes"),
+		lsn:        r.Gauge("wal.lsn"),
+		segments:   r.Gauge("wal.segments"),
+		ckptLag:    r.Gauge("wal.checkpoint.lag_records"),
+		ckptCount:  r.Counter("wal.checkpoint.count"),
+		ckptLat:    r.Histogram("wal.checkpoint.latency"),
+		replay:     r.Gauge("wal.recovery.replay_ns"),
+		truncated:  r.Counter("wal.recovery.truncated_tails"),
+	}
+	for mode := SyncAlways; mode <= SyncNever; mode++ {
+		m.fsyncLat[mode] = r.Histogram("wal.fsync.latency." + mode.String())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = m
+	m.appendB.Add(uint64(l.bytesAppended))
+	m.fsyncCount.Add(l.fsyncs)
+	m.truncated.Add(l.truncatedTails)
+	m.replay.Set(l.recoveryNS + l.replayNS)
+	l.gaugesLocked()
+}
+
+// gaugesLocked refreshes the live gauges; callers hold l.mu.
+func (l *Log) gaugesLocked() {
+	if l.m == nil {
+		return
+	}
+	l.m.lsn.Set(int64(l.nextLSN - 1))
+	segs := int64(len(l.sealed))
+	if l.active != nil {
+		segs++
+	}
+	l.m.segments.Set(segs)
+	l.m.ckptLag.Set(int64(l.nextLSN - 1 - l.ckptLSN))
+}
+
+// NoteReplay records the caller's logical replay duration (the redo pass
+// over the recovered tail) so recovery cost is visible end to end.
+func (l *Log) NoteReplay(d time.Duration) {
+	if l == nil || d < 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.replayNS += int64(d)
+	if l.m != nil {
+		l.m.replay.Set(l.recoveryNS + l.replayNS)
+	}
 }
 
 // Recovered is what Open reconstructed from the directory.
@@ -155,6 +247,7 @@ type Recovered struct {
 // needs to rebuild in-memory state: checkpoint universe + rule/clause
 // sources, then the tail records to replay.
 func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	start := time.Now()
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
@@ -274,6 +367,10 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 	if err := l.startSegment(); err != nil {
 		return nil, nil, err
 	}
+	if rec.Truncated {
+		l.truncatedTails++
+	}
+	l.recoveryNS = int64(time.Since(start))
 	return l, rec, nil
 }
 
@@ -379,6 +476,12 @@ func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
 	l.unsynced += int64(len(buf))
 	l.nextLSN++
 	l.appended++
+	l.unsyncedRecs++
+	l.bytesAppended += int64(len(buf))
+	if l.m != nil {
+		l.m.appendB.Add(uint64(len(buf)))
+		l.gaugesLocked()
+	}
 	switch l.opts.Mode {
 	case SyncAlways:
 		if err := l.syncLocked(); err != nil {
@@ -408,10 +511,26 @@ func (l *Log) syncLocked() error {
 	if l.unsynced == 0 || l.active == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.active.Sync(); err != nil {
 		return l.fail(fmt.Errorf("wal: fsync: %w", err))
 	}
+	d := time.Since(start)
+	l.fsyncs++
+	l.fsyncNanos += int64(d)
+	if l.m != nil {
+		l.m.fsyncCount.Inc()
+		mode := l.opts.Mode
+		if mode < SyncAlways || mode > SyncNever {
+			mode = SyncAlways
+		}
+		l.m.fsyncLat[mode].Observe(d)
+		if l.unsyncedRecs > 0 {
+			l.m.batchRecs.ObserveN(int64(l.unsyncedRecs))
+		}
+	}
 	l.unsynced = 0
+	l.unsyncedRecs = 0
 	return nil
 }
 
@@ -472,6 +591,7 @@ func ckptChecksum(lsn uint64, rules, clauses []string, snapshot []byte) string {
 // and drops the sealed segments and stale checkpoints the new one makes
 // unnecessary. It returns the checkpoint's covered LSN.
 func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint64, error) {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
@@ -562,6 +682,11 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 	if _, err := l.appendLocked(TypeCheckpoint, []byte(name)); err != nil {
 		return 0, err
 	}
+	if l.m != nil {
+		l.m.ckptCount.Inc()
+		l.m.ckptLat.Observe(time.Since(start))
+		l.gaugesLocked()
+	}
 	return lsn, nil
 }
 
@@ -607,6 +732,16 @@ type Status struct {
 	CheckpointLSN uint64
 	Checkpoints   int // checkpoints taken by this process
 	Err           error
+
+	// Durability instrumentation (native counters; live even without a
+	// metrics registry).
+	CheckpointLag  uint64 // records appended since the last checkpoint
+	Fsyncs         uint64
+	FsyncNanos     int64 // total time spent in fsync
+	BytesAppended  int64 // record bytes appended by this process
+	RecoveryNS     int64 // Open's scan + tail decode
+	ReplayNS       int64 // caller-reported logical replay (NoteReplay)
+	TruncatedTails uint64
 }
 
 func (s Status) String() string {
@@ -628,15 +763,22 @@ func (l *Log) Status() Status {
 		segs++
 	}
 	return Status{
-		Dir:           l.dir,
-		Mode:          l.opts.Mode,
-		NextLSN:       l.nextLSN,
-		Appended:      l.appended,
-		Segments:      segs,
-		SegmentBytes:  l.activeSize,
-		CheckpointLSN: l.ckptLSN,
-		Checkpoints:   l.ckptCount,
-		Err:           l.err,
+		Dir:            l.dir,
+		Mode:           l.opts.Mode,
+		NextLSN:        l.nextLSN,
+		Appended:       l.appended,
+		Segments:       segs,
+		SegmentBytes:   l.activeSize,
+		CheckpointLSN:  l.ckptLSN,
+		Checkpoints:    l.ckptCount,
+		Err:            l.err,
+		CheckpointLag:  l.nextLSN - 1 - l.ckptLSN,
+		Fsyncs:         l.fsyncs,
+		FsyncNanos:     l.fsyncNanos,
+		BytesAppended:  l.bytesAppended,
+		RecoveryNS:     l.recoveryNS,
+		ReplayNS:       l.replayNS,
+		TruncatedTails: l.truncatedTails,
 	}
 }
 

@@ -26,6 +26,11 @@ type (
 	QueryTracer = obs.Tracer
 	// QuerySpan is one timed node in an operation's span tree.
 	QuerySpan = obs.Span
+	// SLOStatus is one SLO tracker's point-in-time report (burn rate,
+	// window counts) as returned inside DB.Health().
+	SLOStatus = obs.SLOStatus
+	// WindowSnapshot is a rolling-window histogram's merged distribution.
+	WindowSnapshot = obs.WindowSnapshot
 	// ExplainPlan is a query evaluation plan; after ExplainAnalyze each
 	// step also carries measured actuals.
 	ExplainPlan = core.Explain
@@ -47,6 +52,9 @@ func (db *DB) metricsLocked() *obs.Registry {
 		db.metrics = obs.NewRegistry()
 		db.engine.SetMetrics(db.metrics)
 		db.cat.SetMetrics(db.metrics)
+		if db.wal != nil {
+			db.wal.SetMetrics(db.metrics)
+		}
 		if db.snapshotBytes > 0 {
 			db.metrics.Gauge("storage.snapshot_bytes").Set(db.snapshotBytes)
 		}
