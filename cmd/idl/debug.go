@@ -22,6 +22,11 @@ var publishOnce sync.Once
 //	                \stats rendering)
 //	/debug/events   the flight recorder as JSON (?format=text for the
 //	                \flightrec rendering)
+//	/debug/statements        statement digests, heaviest first (?by=
+//	                         calls|p99|rows|time, ?k=n); 503 when
+//	                         insights are off
+//	/debug/statements/<fp>   one digest with its captured slow-query
+//	                         exemplars; 404 on unknown fingerprints
 //	/debug/vars     expvar (includes idl.metrics and Go runtime stats)
 //	/debug/pprof/   the standard pprof profiles
 func debugHandler(db *idl.DB) http.Handler {
@@ -85,6 +90,49 @@ func debugHandler(db *idl.DB) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		db.ExportTraces(w)
+	})
+	mux.HandleFunc("/debug/statements", func(w http.ResponseWriter, r *http.Request) {
+		k := 0
+		if v := r.URL.Query().Get("k"); v != "" {
+			fmt.Sscanf(v, "%d", &k)
+		}
+		by := r.URL.Query().Get("by")
+		if by == "" {
+			by = "time"
+		}
+		digests, err := db.TopStatements(k, by)
+		if err != nil {
+			debugError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Statements []idl.StatementDigest `json:"statements"`
+			Dropped    uint64                `json:"dropped"`
+		}{Statements: digests, Dropped: db.StatementsDropped()})
+	})
+	mux.HandleFunc("/debug/statements/", func(w http.ResponseWriter, r *http.Request) {
+		fp := r.URL.Path[len("/debug/statements/"):]
+		d, exemplars, err := db.Statement(fp)
+		if err != nil {
+			// Off-state is a 503 like the other endpoints; an unknown or
+			// malformed fingerprint on a live store is a plain 404.
+			if !db.InsightsEnabled() {
+				debugError(w, err)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Digest    idl.StatementDigest     `json:"digest"`
+			Exemplars []idl.StatementExemplar `json:"exemplars"`
+		}{Digest: d, Exemplars: exemplars})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

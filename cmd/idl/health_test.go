@@ -179,7 +179,7 @@ var healthNormalizers = []struct {
 	re   *regexp.Regexp
 	repl string
 }{
-	{regexp.MustCompile(`(rate|mean|p50|p99|p999|max|burn|fsync-total|recovery)=[^ \n]+`), `$1=_`},
+	{regexp.MustCompile(`(rate|mean|p50|p99|p999|max|total|burn|fsync-total|recovery)=[^ \n]+`), `$1=_`},
 	{regexp.MustCompile(`bad=\d+/`), `bad=_/`},
 	{regexp.MustCompile(`burn=_ (ok|BURNING)`), `burn=_ _`},
 	{regexp.MustCompile(`health: (healthy|UNHEALTHY)`), `health: _`},
@@ -209,7 +209,8 @@ func TestGoldenHealthSession(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		db.Metrics() // as run() does via setupObservability
+		db.Metrics()                            // as run() does via setupObservability
+		db.EnableInsights(idl.InsightsConfig{}) // likewise: digests join \health
 		script := `?.euter.r+(.date=1/7/85,.stkCode=stk001,.clsPrice=70);
 ?.chwab.r(.date=1/2/85, +.newco=99);
 ?.ource.newco+(.date=1/2/85,.clsPrice=99);

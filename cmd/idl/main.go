@@ -41,6 +41,8 @@
 //	                 /debug/health (rolling-window health report),
 //	                 /debug/slo (SLO burn rates only),
 //	                 /debug/traces (exported span trees with trace IDs),
+//	                 /debug/statements (statement digests; append a
+//	                 fingerprint for one digest with its exemplars),
 //	                 /debug/vars (expvar), /debug/pprof/ (profiles)
 //	-journal path    append every statement and its answer to a .idlog
 //	                 workload journal, replayable with cmd/idlreplay
@@ -51,6 +53,10 @@
 //	-dump-on-error   dump the flight recorder to stderr when a statement
 //	                 fails or a member's circuit breaker opens
 //	-no-metrics      do not collect engine metrics for the session
+//	-no-insights     do not accumulate per-statement query digests (on by
+//	                 default: every statement folds into a digest keyed by
+//	                 its AST fingerprint, with resource accounting and
+//	                 adaptive slow-query capture; see \top, \statement)
 //
 // Shell meta-commands:
 //
@@ -62,7 +68,14 @@
 //	                           WAL status on durable sessions
 //	\health [json]             rolling-window health: last-minute op
 //	                           latencies (p50/p99/p999), SLO burn rates,
-//	                           durability state
+//	                           heaviest statement digests, durability
+//	                           state
+//	\top [calls|p99|rows|time] [k]
+//	                           top statement digests by the given key
+//	                           (default: time, k=10)
+//	\statement <fingerprint>   one digest in full: plan-cache outcomes,
+//	                           resource accounting, captured slow-query
+//	                           exemplars with their trace trees
 //	\reset-stats               zero the metrics and evaluator counters
 //	\flightrec [json|clear]    dump (or clear) the flight recorder
 //	\views                     registered view rules
@@ -132,6 +145,7 @@ type config struct {
 	flightRec   int
 	dumpOnError bool
 	noMetrics   bool
+	noInsights  bool
 }
 
 func defaultConfig() config {
@@ -161,6 +175,7 @@ func main() {
 	flag.IntVar(&cfg.flightRec, "flightrec", cfg.flightRec, "flight recorder capacity in events (0 disables it)")
 	flag.BoolVar(&cfg.dumpOnError, "dump-on-error", false, "dump the flight recorder to stderr on statement failure or breaker open")
 	flag.BoolVar(&cfg.noMetrics, "no-metrics", false, "do not collect engine metrics for the session")
+	flag.BoolVar(&cfg.noInsights, "no-insights", false, "do not accumulate per-statement query digests")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idl:", err)
@@ -231,6 +246,13 @@ func setupObservability(db *idl.DB, cfg config) (cleanup func() error, err error
 	// just those after it. The registry costs nothing measurable (B11).
 	if !cfg.noMetrics {
 		db.Metrics()
+	}
+	if !cfg.noInsights {
+		// Digests for the whole session. The slow-query log threshold
+		// doubles as the absolute capture threshold; the ×4-of-own-p50
+		// rule adaptively flags statements degrading relative to
+		// themselves even when no absolute threshold is set.
+		db.EnableInsights(idl.InsightsConfig{SlowThreshold: cfg.slowQuery, SlowFactor: 4})
 	}
 	db.SetFlightRecorderSize(cfg.flightRec)
 	db.SetSlowQueryThreshold(cfg.slowQuery)
@@ -432,7 +454,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \health [json] \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \health [json] \top [calls|p99|rows|time] [k] \statement <fp> \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -549,7 +571,16 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\reset-stats`:
 		db.ResetMetrics()
 		db.Engine().ResetStats()
-		fmt.Println("metrics and evaluator counters reset")
+		db.ResetStatements()
+		fmt.Println("metrics, evaluator counters, and statement digests reset")
+	case `\top`:
+		metaTop(db, fields[1:])
+	case `\statement`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\statement <fingerprint>")
+			break
+		}
+		metaStatement(db, fields[1])
 	case `\trace`:
 		metaTrace(db, fields[1:])
 	case `\workers`:
@@ -621,6 +652,72 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		fmt.Println("unknown meta-command; try \\help")
 	}
 	return true
+}
+
+// metaTop prints the top statement digests: \top [calls|p99|rows|time] [k].
+func metaTop(db *idl.DB, args []string) {
+	by, k := "time", 10
+	if len(args) > 0 {
+		switch args[0] {
+		case "calls", "p99", "rows", "time":
+			by = args[0]
+			args = args[1:]
+		default:
+			if _, err := fmt.Sscanf(args[0], "%d", &k); err != nil {
+				fmt.Println("usage: \\top [calls|p99|rows|time] [k]")
+				return
+			}
+			args = args[1:]
+		}
+	}
+	if len(args) > 0 {
+		if _, err := fmt.Sscanf(args[0], "%d", &k); err != nil || k < 1 {
+			fmt.Println("usage: \\top [calls|p99|rows|time] [k]")
+			return
+		}
+	}
+	digests, err := db.TopStatements(k, by)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(digests) == 0 {
+		fmt.Println("no statements digested yet")
+		return
+	}
+	fmt.Printf("top %d statements by %s:\n", len(digests), by)
+	for _, d := range digests {
+		fmt.Printf("%s %s calls=%d err=%d rows=%d p99=%s total=%s %s\n",
+			d.Fingerprint, d.Kind, d.Calls, d.Errors, d.Resources.RowsScanned,
+			time.Duration(d.P99NS), time.Duration(d.TotalNS), d.Text)
+	}
+	if n := db.StatementsDropped(); n > 0 {
+		fmt.Printf("(%d observations of new shapes dropped at the digest bound)\n", n)
+	}
+}
+
+// metaStatement prints one digest in full, with captured exemplars.
+func metaStatement(db *idl.DB, fp string) {
+	d, exemplars, err := db.Statement(fp)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("statement %s kind=%s calls=%d err=%d degraded=%d\n", d.Fingerprint, d.Kind, d.Calls, d.Errors, d.Degraded)
+	fmt.Printf("text: %s\n", d.Text)
+	fmt.Printf("plan-cache: hit=%d stale=%d miss=%d cold=%d\n", d.PlanHit, d.PlanStale, d.PlanMiss, d.PlanCold)
+	r := d.Resources
+	fmt.Printf("resources: rows=%d tuples=%d fixpoint=%d index-builds=%d index-probes=%d fed-fetches=%d wal-bytes=%d\n",
+		r.RowsScanned, r.TuplesEmitted, r.FixpointRounds, r.IndexBuilds, r.IndexProbes, r.FedFetches, r.WALBytes)
+	fmt.Printf("latency: mean=%s p50=%s p99=%s window-n=%d rate=%.3g/s\n",
+		time.Duration(d.MeanNS), time.Duration(d.P50NS), time.Duration(d.P99NS), d.WindowCount, d.RatePerSec)
+	fmt.Printf("captures: %d (exemplars kept: %d)\n", d.Captures, len(exemplars))
+	for i, ex := range exemplars {
+		fmt.Printf("exemplar %d: trace=%s dur=%s events=%d\n", i+1, ex.TraceID, time.Duration(ex.DurationNS), len(ex.Events))
+		if ex.Trace != nil {
+			fmt.Println(ex.Trace.String())
+		}
+	}
 }
 
 // metaTrace drives the span tracer: on [capacity] / off / show.

@@ -1,5 +1,5 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B16 engine benchmarks (see DESIGN.md §5, §8, §10–§14)
+// runs the B1–B17 engine benchmarks (see DESIGN.md §5, §8, §10–§15)
 // against the deterministic internal/stocks workload and writes a
 // machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
 // and the engine's evaluator counters — so performance can be compared
@@ -38,6 +38,10 @@
 //	                      tax (windowed ns/op ÷ off ns/op): rolling
 //	                      histograms and SLO trackers must stay within a
 //	                      few percent of the uninstrumented engine
+//	-max-insights-overhead validation bound on the B17 statement-digest
+//	                      tax (digests ns/op ÷ off ns/op): fingerprinting,
+//	                      digest accounting and the windowed latency
+//	                      histogram must stay within a few percent
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -67,8 +71,8 @@ import (
 // reportSchema versions the report layout for downstream tooling.
 // Schema 2 added FlightOverhead; schema 3 added Parallel (B13); schema 4
 // added PlanCache (B14); schema 5 added WAL (B15); schema 6 added
-// Telemetry (B16).
-const reportSchema = 6
+// Telemetry (B16); schema 7 added Insights (B17).
+const reportSchema = 7
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -160,6 +164,20 @@ type TelemetrySummary struct {
 	WindowedRatio   float64 `json:"windowed_ratio"` // windowed ÷ off
 }
 
+// InsightsSummary is the B17 result: the statement-digest tax on the E5
+// query at the DB layer. off is a plain DB; digests enables the insights
+// store with slow-query capture off (the production default shape:
+// fingerprint, counter and windowed-histogram updates per query);
+// capture sets an always-firing slow threshold so every op also snapshots
+// an exemplar — the worst case, reported but not gated. DigestsRatio
+// (digests ÷ off) is the CI-gated headline.
+type InsightsSummary struct {
+	OffNsPerOp     int64   `json:"off_ns_per_op"`
+	DigestsNsPerOp int64   `json:"digests_ns_per_op"`
+	CaptureNsPerOp int64   `json:"capture_ns_per_op"`
+	DigestsRatio   float64 `json:"digests_ratio"` // digests ÷ off
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
 	Schema         int              `json:"schema"`
@@ -172,6 +190,7 @@ type Report struct {
 	PlanCache      PlanCacheSummary `json:"plan_cache"`
 	WAL            WALSummary       `json:"wal"`
 	Telemetry      TelemetrySummary `json:"telemetry"`
+	Insights       InsightsSummary  `json:"insights"`
 }
 
 func main() {
@@ -189,6 +208,7 @@ func main() {
 		maxWAL    = flag.Float64("max-wal-overhead", 1.15, "validation bound on the B15 query-family WAL-on÷WAL-off ratio")
 		minAmort  = flag.Float64("min-group-amortize", 1.5, "validation bound on the B15 sync÷group exec amortization")
 		maxTelem  = flag.Float64("max-telemetry-overhead", 1.03, "validation bound on the B16 windowed÷off telemetry ratio")
+		maxIns    = flag.Float64("max-insights-overhead", 1.03, "validation bound on the B17 digests÷off insights ratio")
 	)
 	flag.Parse()
 	if *compare {
@@ -203,7 +223,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort, *maxTelem); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort, *maxTelem, *maxIns); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -246,6 +266,9 @@ func main() {
 		"B16/telemetry-overhead", rep.Telemetry.WindowedRatio,
 		rep.Telemetry.OffNsPerOp, rep.Telemetry.MetricsNsPerOp,
 		rep.Telemetry.WindowedNsPerOp, rep.Telemetry.TracedNsPerOp)
+	fmt.Printf("%-40s digests-ratio=%.3f (off=%dns digests=%dns capture=%dns)\n",
+		"B17/insights-overhead", rep.Insights.DigestsRatio,
+		rep.Insights.OffNsPerOp, rep.Insights.DigestsNsPerOp, rep.Insights.CaptureNsPerOp)
 	fmt.Println("wrote", *out)
 }
 
@@ -331,8 +354,8 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 // flight-recorder overhead under the stated bounds, the B13 sync-family
 // parallel speedup above its floor, the B14 plan-cache hit rate and
 // repeated-query speedup above theirs, and the B16 windowed-telemetry
-// tax under its ceiling.
-func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize, maxTelemetry float64) error {
+// and B17 statement-digest taxes under their ceilings.
+func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize, maxTelemetry, maxInsights float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -408,6 +431,13 @@ func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, m
 	}
 	if tl.WindowedRatio > maxTelemetry {
 		return fmt.Errorf("%s: windowed telemetry ratio %.3f exceeds bound %.3f", path, tl.WindowedRatio, maxTelemetry)
+	}
+	in := rep.Insights
+	if in.OffNsPerOp <= 0 || in.DigestsNsPerOp <= 0 || in.CaptureNsPerOp <= 0 {
+		return fmt.Errorf("%s: insights families not measured", path)
+	}
+	if in.DigestsRatio > maxInsights {
+		return fmt.Errorf("%s: insights digests ratio %.3f exceeds bound %.3f", path, in.DigestsRatio, maxInsights)
 	}
 	return nil
 }
@@ -991,6 +1021,48 @@ func runAll(short bool) *Report {
 			WindowedNsPerOp: win.NsPerOp,
 			TracedNsPerOp:   tr.NsPerOp,
 			WindowedRatio:   float64(win.NsPerOp) / float64(off.NsPerOp),
+		}
+	}
+
+	// B17: the statement-digest tax. The E5 query runs at the DB layer —
+	// where the insights store observes — three ways: a plain DB (off), a
+	// DB with the digest store enabled but capture off (the production
+	// default: per-op fingerprint, atomic counter and windowed-histogram
+	// updates), and a DB whose slow threshold fires on every op, so each
+	// query also snapshots a flight-recorder exemplar into the digest's
+	// ring (the worst case; captures are bounded per digest in practice).
+	// The gated ratio is digests ÷ off.
+	{
+		src := stocks.QueryHighestPerDay()["euter"]
+		newDB := func(cfg *idl.InsightsConfig) *idl.DB {
+			db := idl.Open()
+			ds := stocks.Generate(stocks.Config{Stocks: 16, Days: 20, Seed: 43})
+			ds.Populate(db.Engine().Base())
+			db.Engine().Invalidate()
+			if cfg != nil {
+				db.EnableInsights(*cfg)
+			}
+			return db
+		}
+		runQ := func(db *idl.DB) {
+			if _, err := db.Query(src); err != nil {
+				panic(err)
+			}
+		}
+		dbOff := newDB(nil)
+		off := measure("B17/insights/off", short, dbOff.Engine(), func() { runQ(dbOff) })
+		add(off)
+		dbDig := newDB(&idl.InsightsConfig{})
+		dig := measure("B17/insights/digests", short, dbDig.Engine(), func() { runQ(dbDig) })
+		add(dig)
+		dbCap := newDB(&idl.InsightsConfig{SlowThreshold: time.Nanosecond})
+		capt := measure("B17/insights/capture", short, dbCap.Engine(), func() { runQ(dbCap) })
+		add(capt)
+		rep.Insights = InsightsSummary{
+			OffNsPerOp:     off.NsPerOp,
+			DigestsNsPerOp: dig.NsPerOp,
+			CaptureNsPerOp: capt.NsPerOp,
+			DigestsRatio:   float64(dig.NsPerOp) / float64(off.NsPerOp),
 		}
 	}
 

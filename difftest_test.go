@@ -386,6 +386,71 @@ func TestDifferentialGeneratedWorkload(t *testing.T) {
 	}
 }
 
+// TestDifferentialDigestCounters extends the differential surface to
+// statement insights: for a fixed workload, every digest's call, error
+// and resource counters (rows scanned, tuples emitted, fixpoint rounds,
+// index work, federation fetches) must be identical whether evaluation
+// ran sequentially or at 2/4/8 workers. Latency fields are timing
+// products and excluded; everything else in a digest is evaluation
+// output and falls under the same byte-identity contract as answers.
+func TestDifferentialDigestCounters(t *testing.T) {
+	cfg := stocks.Config{Stocks: 12, Days: 15, Seed: 11, Discrepancies: 5}
+	probe := stocks.Generate(cfg)
+	threshold := probe.MaxPrice() * 3 / 4
+	stmts := generatedWorkloadStatements(threshold)
+
+	type key struct{ fp, kind string }
+	type counters struct {
+		calls, errors uint64
+		res           StatementResources
+	}
+	run := func(workers int) map[key]counters {
+		db := diffOpen(diffModes[2].set, workers)
+		ds := stocks.Generate(cfg)
+		ds.Populate(db.Engine().Base())
+		db.Engine().Invalidate()
+		if err := db.DefineViews(stocks.RulesUnified...); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DefineView(stocks.RulePnew); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DefineViews(stocks.RulesCustomized...); err != nil {
+			t.Fatal(err)
+		}
+		db.EnableInsights(InsightsConfig{})
+		diffTranscript(t, db, stmts)
+		digests, err := db.Statements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[key]counters, len(digests))
+		for _, d := range digests {
+			out[key{d.Fingerprint, d.Kind}] = counters{d.Calls, d.Errors, d.Resources}
+		}
+		return out
+	}
+	base := run(0)
+	if len(base) != len(stmts) {
+		t.Fatalf("sequential run digested %d statements, want %d", len(base), len(stmts))
+	}
+	for _, w := range diffWorkerCounts {
+		got := run(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d digested %d statements, sequential %d", w, len(got), len(base))
+		}
+		for k, b := range base {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("workers=%d missing digest %s kind=%s", w, k.fp, k.kind)
+			}
+			if !reflect.DeepEqual(b, g) {
+				t.Errorf("workers=%d digest %s counters diverge:\nsequential: %+v\nparallel:   %+v", w, k.fp, b, g)
+			}
+		}
+	}
+}
+
 // TestDifferentialDatalogBaseline cross-checks the first-order-expressible
 // intention ("any stock above N") against the internal/datalog baseline,
 // for sequential and parallel IDL evaluation alike.

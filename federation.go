@@ -3,6 +3,7 @@ package idl
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"idl/internal/ast"
 	"idl/internal/federation"
@@ -160,16 +161,23 @@ func (db *DB) queryParsed(ctx context.Context, q *ast.Query) (*Result, error) {
 // the configured failure mode, degradation reporting, and answer/plan
 // annotations.
 func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Context) (*Result, error)) (*Result, error) {
+	ins := db.insightsRef()
 	op := db.rec.Begin(qlog.KindQuery)
 	tracer := db.engine.Tracer()
-	if op != nil || tracer != nil {
+	var tid string
+	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
 		// The trace ID joins this query's event, journal record, span
-		// tree, member fetches and WAL commits across layers.
-		tid := db.nextTraceID()
+		// tree, member fetches, WAL commits and slow-query exemplars
+		// across layers.
+		tid = db.nextTraceID()
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)
 		}
+	}
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
 	}
 	if op != nil {
 		op.SetText(q.String())
@@ -184,11 +192,13 @@ func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Co
 	rep, err := db.syncSources(ctx, db.engine.Options().BestEffort)
 	if err != nil {
 		op.End(err)
+		db.observeQuery(ins, q, start, tid, nil, nil, err)
 		return nil, err
 	}
 	ans, err := eval(ctx)
 	if err != nil {
 		op.End(err)
+		db.observeQuery(ins, q, start, tid, nil, rep, err)
 		return nil, err
 	}
 	if ans.Plan != nil {
@@ -215,6 +225,9 @@ func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Co
 		}
 		op.End(nil)
 	}
+	// Observed after op.End, so the journal record exists and the root
+	// span is filed before any slow-query exemplar goes looking for them.
+	db.observeQuery(ins, q, start, tid, ans, rep, nil)
 	return ans, nil
 }
 
@@ -222,10 +235,12 @@ func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Co
 // the sync is always fail-fast regardless of Options.BestEffort: an
 // unreachable member aborts the request before any mutation.
 func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
+	ins := db.insightsRef()
 	op := db.rec.Begin(qlog.KindExec)
 	tracer := db.engine.Tracer()
-	if op != nil || tracer != nil {
-		tid := db.nextTraceID()
+	var tid string
+	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
+		tid = db.nextTraceID()
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)
@@ -238,12 +253,20 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 			ctx = op.Context(ctx)
 		}
 	}
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	if _, err := db.syncSources(ctx, false); err != nil {
 		op.End(err)
+		if ins != nil {
+			db.observeExec(ins, ast.Fingerprint(q), "exec", q.String(), start, tid, nil, 0, err)
+		}
 		return nil, err
 	}
 	var info *ExecInfo
 	var err error
+	var walBytes int
 	if db.wal != nil {
 		// Commit protocol: apply, then append, under one lock so the log's
 		// record order is the apply order. A failed append poisons the log
@@ -252,7 +275,10 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 		db.walCommit.Lock()
 		info, err = db.engine.ExecuteCtx(ctx, q)
 		if err == nil {
-			err = db.walAppendTraced(ctx, wal.TypeExec, []byte(q.String()))
+			payload := []byte(q.String())
+			if err = db.walAppendTraced(ctx, wal.TypeExec, payload); err == nil {
+				walBytes = len(payload)
+			}
 		}
 		db.walCommit.Unlock()
 	} else {
@@ -263,6 +289,9 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 		op.SetExec(sum, changes)
 	}
 	op.End(err)
+	if ins != nil {
+		db.observeExec(ins, ast.Fingerprint(q), "exec", q.String(), start, tid, info, walBytes, err)
+	}
 	return info, err
 }
 

@@ -47,13 +47,28 @@ type WALHealth struct {
 	Err            string `json:"err,omitempty"`
 }
 
+// StatementHealth is one statement digest's entry in the health report:
+// the heaviest query shapes by total evaluation time, joined in when
+// insights are enabled.
+type StatementHealth struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Calls       uint64 `json:"calls"`
+	Errors      uint64 `json:"errors"`
+	RowsScanned uint64 `json:"rows_scanned"`
+	P99NS       int64  `json:"p99_ns"`
+	TotalNS     int64  `json:"total_ns"`
+}
+
 // HealthReport is the DB's point-in-time health: rolling-window latency
-// summaries per operation kind, SLO statuses, and (for durable sessions)
-// the WAL's state.
+// summaries per operation kind, SLO statuses, the heaviest statement
+// digests (when insights are enabled), and (for durable sessions) the
+// WAL's state.
 type HealthReport struct {
-	Ops  []OpHealth      `json:"ops"`
-	SLOs []obs.SLOStatus `json:"slos"`
-	WAL  *WALHealth      `json:"wal,omitempty"`
+	Ops        []OpHealth        `json:"ops"`
+	SLOs       []obs.SLOStatus   `json:"slos"`
+	Statements []StatementHealth `json:"statements,omitempty"`
+	WAL        *WALHealth        `json:"wal,omitempty"`
 }
 
 // Healthy reports whether every SLO is inside its error budget and the
@@ -83,6 +98,11 @@ func (h *HealthReport) String() string {
 	}
 	for _, s := range h.SLOs {
 		fmt.Fprintf(&b, "%s\n", s.String())
+	}
+	for _, d := range h.Statements {
+		fmt.Fprintf(&b, "digest %s kind=%s calls=%d err=%d rows=%d p99=%s total=%s\n",
+			d.Fingerprint, d.Kind, d.Calls, d.Errors, d.RowsScanned,
+			time.Duration(d.P99NS), time.Duration(d.TotalNS))
 	}
 	if h.WAL != nil {
 		fmt.Fprintf(&b, "wal: durability=%s lsn=%d segments=%d checkpoint-lag=%d fsyncs=%d fsync-total=%s appended-bytes=%d recovery=%s truncated-tails=%d",
@@ -129,6 +149,26 @@ func (db *DB) Health() (*HealthReport, error) {
 		})
 	}
 	h.SLOs = reg.SLOStatuses()
+	if s := db.insightsRef(); s != nil {
+		// The three busiest shapes by call count: enough to name the
+		// workload's hot statements without flooding the report (the full
+		// table, including time/p99/rows orderings, lives behind
+		// Statements / \top). Calls order deterministically (fingerprint
+		// tiebreak), so the report goldens byte-stably.
+		if tops, err := s.Top(3, "calls"); err == nil {
+			for _, d := range tops {
+				h.Statements = append(h.Statements, StatementHealth{
+					Fingerprint: d.Fingerprint,
+					Kind:        d.Kind,
+					Calls:       d.Calls,
+					Errors:      d.Errors,
+					RowsScanned: d.Resources.RowsScanned,
+					P99NS:       d.P99NS,
+					TotalNS:     d.TotalNS,
+				})
+			}
+		}
+	}
 	if st, ok := db.WALStatus(); ok {
 		wh := &WALHealth{
 			Dir:            st.Dir,

@@ -32,6 +32,7 @@ import (
 	"idl/internal/catalog"
 	"idl/internal/core"
 	"idl/internal/federation"
+	"idl/internal/insights"
 	"idl/internal/object"
 	"idl/internal/obs"
 	"idl/internal/parser"
@@ -139,6 +140,11 @@ type DB struct {
 	// from Open — a lock-free ring of the last events — and grows an
 	// event log / workload journal when attached.
 	rec *qlog.Recorder
+
+	// Query insights (see insights.go): per-statement digests keyed by
+	// AST fingerprint with adaptive slow-query capture; nil means
+	// insights are off and the hot path pays one nil test.
+	insights *insights.Store
 
 	// Durability (see durability.go): DBs opened with OpenWAL log every
 	// committed mutation here; nil means no WAL and commit hooks cost one
@@ -321,11 +327,13 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 			return nil, fmt.Errorf("idl: unsupported parameter type %T for %s", v, k)
 		}
 	}
+	ins := db.insightsRef()
 	op := db.rec.Begin(qlog.KindCall)
 	tracer := db.engine.Tracer()
 	ctx := context.Background()
-	if op != nil || tracer != nil {
-		tid := db.nextTraceID()
+	var tid string
+	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
+		tid = db.nextTraceID()
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)
@@ -334,7 +342,7 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		}
 	}
 	var text string
-	if op != nil || db.wal != nil {
+	if op != nil || db.wal != nil || ins != nil {
 		var attrs map[string]string
 		if p, ok := db.engine.LookupProgram(namespace, name); ok {
 			attrs = p.ParamAttrs()
@@ -344,18 +352,26 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		text = callText(namespace, name, converted, attrs)
 		op.SetText(text)
 	}
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	// Programs run updates; member sync is fail-fast like Exec.
 	if _, err := db.syncSources(ctx, false); err != nil {
 		op.End(err)
+		db.observeExec(ins, callFingerprint(namespace, name), "call", text, start, tid, nil, 0, err)
 		return nil, err
 	}
 	var info *ExecInfo
 	var err error
+	var walBytes int
 	if db.wal != nil {
 		db.walCommit.Lock()
 		info, err = db.engine.CallCtx(ctx, namespace, name, converted)
 		if err == nil {
-			err = db.walAppendTraced(ctx, wal.TypeExec, []byte(text))
+			if err = db.walAppendTraced(ctx, wal.TypeExec, []byte(text)); err == nil {
+				walBytes = len(text)
+			}
 		}
 		db.walCommit.Unlock()
 	} else {
@@ -366,6 +382,7 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 		op.SetExec(sum, changes)
 	}
 	op.End(err)
+	db.observeExec(ins, callFingerprint(namespace, name), "call", text, start, tid, info, walBytes, err)
 	return info, err
 }
 

@@ -138,6 +138,10 @@ type Engine struct {
 	readOnly map[string]bool
 
 	lastRecompute RecomputeStats
+	// fixpointRounds counts view-materialization iterations engine-wide;
+	// entry points snapshot it around an operation to attribute the rounds
+	// that operation triggered (Answer.Resources / ExecResult.Resources).
+	fixpointRounds uint64
 }
 
 // SetValidator installs (or clears, with nil) an integrity validator run
@@ -394,10 +398,15 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 		return nil, fmt.Errorf("core: query contains update expressions; use Execute")
 	}
 	cctx := cancellable(ctx)
+	rounds := e.fixpointRounds
 	if _, err := e.refreshEffective(cctx); err != nil {
 		return nil, err
 	}
-	return e.runPlanned(cctx, ctx, q, nil, nil)
+	ans, err := e.runPlanned(cctx, ctx, q, nil, nil)
+	if ans != nil {
+		ans.Resources.FixpointRounds = e.fixpointRounds - rounds
+	}
+	return ans, err
 }
 
 // runPlanned evaluates a pure query under e.mu against the refreshed
@@ -516,6 +525,7 @@ func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Qu
 		return nil, err
 	}
 	ans.Plan = info
+	ans.Resources = resourcesFrom(local, ans.Len())
 	return ans, nil
 }
 
@@ -555,6 +565,7 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, err
 		annotateOpID(span, ctx)
 	}
 	var local Stats
+	rounds := e.fixpointRounds
 	u := &updater{
 		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
@@ -584,6 +595,8 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, err
 	if u.result.Changed() {
 		e.markDirty(monotoneResult(u.result))
 	}
+	u.result.Resources = resourcesFrom(local, u.result.Bindings)
+	u.result.Resources.FixpointRounds = e.fixpointRounds - rounds
 	return u.result, nil
 }
 
@@ -626,6 +639,7 @@ func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string
 		annotateOpID(span, ctx)
 	}
 	var local Stats
+	rounds := e.fixpointRounds
 	u := &updater{
 		ev:     &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: e.opts.UseIndex, noSchedule: e.opts.NoSchedule, stats: &local, ctx: cancellable(ctx)},
 		undo:   &undoLog{},
@@ -654,6 +668,8 @@ func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string
 	if u.result.Changed() {
 		e.markDirty(monotoneResult(u.result))
 	}
+	u.result.Resources = resourcesFrom(local, u.result.Bindings)
+	u.result.Resources.FixpointRounds = e.fixpointRounds - rounds
 	return u.result, nil
 }
 
@@ -725,6 +741,7 @@ func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 	}
 	e.derived = derived
 	e.lastRecompute = stats
+	e.fixpointRounds += uint64(stats.Iterations)
 	e.effective = mergeUniverse(e.base, derived)
 	if e.opts.ExposeMeta && !e.effective.Has(MetaDB) {
 		// Reify on a copy when the merge returned the base by reference,

@@ -139,6 +139,12 @@ type Answer struct {
 	// the planner.
 	Plan *PlanInfo
 
+	// Resources is this query's resource-accounting record: the evaluator
+	// work it consumed (scans, probes, enumerations), the rows it emitted,
+	// and the fixpoint rounds of any view rematerialization it triggered.
+	// Deterministic at every worker count.
+	Resources Resources
+
 	rowIndex map[uint64][]int
 }
 

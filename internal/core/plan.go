@@ -425,6 +425,7 @@ func (p *PreparedQuery) QueryCtx(ctx context.Context) (*Answer, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cctx := cancellable(ctx)
+	rounds := e.fixpointRounds
 	eff, err := e.refreshEffective(cctx)
 	if err != nil {
 		return nil, err
@@ -440,5 +441,9 @@ func (p *PreparedQuery) QueryCtx(ctx context.Context) (*Answer, error) {
 			info.CompileNS = p.pl.compileNS
 		}
 	}
-	return e.runPlanned(cctx, ctx, p.pl.q, p.pl, info)
+	ans, err := e.runPlanned(cctx, ctx, p.pl.q, p.pl, info)
+	if ans != nil {
+		ans.Resources.FixpointRounds = e.fixpointRounds - rounds
+	}
+	return ans, err
 }

@@ -1,0 +1,31 @@
+package core
+
+// Resources is the per-operation resource-accounting record: what one
+// query, update request, or program call actually consumed, as opposed
+// to the engine-lifetime totals in Stats. The evaluator fills it from
+// the operation's private Stats delta (so parallel evaluation reports
+// byte-identical numbers at every worker count, see DESIGN.md §10), and
+// the entry points add the fixpoint rounds any view rematerialization
+// the operation triggered cost. The facade layers federation fetches
+// and WAL bytes on top (idl.DB), and the insights store aggregates the
+// records per statement digest (DESIGN.md §15).
+type Resources struct {
+	RowsScanned    uint64 `json:"rows_scanned"`    // set elements tested by scans
+	TuplesEmitted  uint64 `json:"tuples_emitted"`  // answer rows (queries) or bindings (updates)
+	FixpointRounds uint64 `json:"fixpoint_rounds"` // view-materialization iterations triggered
+	IndexBuilds    uint64 `json:"index_builds"`    // attribute indexes (re)built
+	IndexProbes    uint64 `json:"index_probes"`    // index-answered set expressions
+	AttrEnums      uint64 `json:"attr_enums"`      // higher-order attribute enumerations
+}
+
+// resourcesFrom projects one operation's evaluator counters into a
+// resource record; emitted is the operation's output cardinality.
+func resourcesFrom(local Stats, emitted int) Resources {
+	return Resources{
+		RowsScanned:   local.ElementsScanned,
+		TuplesEmitted: uint64(emitted),
+		IndexBuilds:   local.IndexBuilds,
+		IndexProbes:   local.IndexProbes,
+		AttrEnums:     local.AttrEnums,
+	}
+}

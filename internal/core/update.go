@@ -17,6 +17,10 @@ type ExecResult struct {
 	AttrsDeleted  int // tuple attributes deleted
 	ValuesSet     int // atomic values replaced (incl. nulled)
 	Bindings      int // substitutions the request's query parts produced
+
+	// Resources is the request's resource-accounting record (scans,
+	// probes, fixpoint rounds triggered); TuplesEmitted carries Bindings.
+	Resources Resources
 }
 
 func (r *ExecResult) total() int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,12 @@ type Tracer struct {
 	mu       sync.Mutex
 	capacity int
 	recent   []*Span // finished roots, oldest first
+
+	// dropped counts finished roots evicted by the capacity bound, so a
+	// long session can tell "quiet" from "overwritten". An optional
+	// registry counter mirrors it (SetDropCounter) for scrape surfaces.
+	dropped     atomic.Uint64
+	dropCounter *Counter
 }
 
 // NewTracer returns an enabled tracer keeping the last capacity finished
@@ -64,11 +71,71 @@ func (t *Tracer) file(s *Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.recent) >= t.capacity {
-		copy(t.recent, t.recent[1:])
-		t.recent[len(t.recent)-1] = s
+		drop := len(t.recent) - t.capacity + 1
+		copy(t.recent, t.recent[drop:])
+		t.recent = t.recent[:t.capacity]
+		t.recent[t.capacity-1] = s
+		t.countDropped(uint64(drop))
 		return
 	}
 	t.recent = append(t.recent, s)
+}
+
+// countDropped tallies evictions; callers hold t.mu.
+func (t *Tracer) countDropped(n uint64) {
+	t.dropped.Add(n)
+	if t.dropCounter != nil {
+		t.dropCounter.Add(n)
+	}
+}
+
+// Dropped returns how many finished root spans the retention bound has
+// evicted since the tracer was created.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// SetDropCounter mirrors future evictions into a registry counter
+// (typically "traces.dropped"); nil detaches.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropCounter = c
+}
+
+// Capacity returns the retention bound (0 for a nil tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.capacity
+}
+
+// SetCapacity rebounds the ring at runtime (minimum 1). Shrinking
+// evicts the oldest spans immediately and counts them as dropped.
+func (t *Tracer) SetCapacity(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.capacity = n
+	if over := len(t.recent) - n; over > 0 {
+		copy(t.recent, t.recent[over:])
+		t.recent = t.recent[:n]
+		t.countDropped(uint64(over))
+	}
 }
 
 // Attr is one span annotation: a string or integer value under a key.

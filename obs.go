@@ -86,11 +86,34 @@ func (db *DB) ResetMetrics() {
 // EnableTracing attaches a span tracer retaining the last capacity root
 // operations (queries, update requests, program calls, view
 // materializations), each a tree of timed child spans. It returns the
-// tracer for inspection; enabling replaces any previous tracer.
+// tracer for inspection; enabling replaces any previous tracer. When
+// metrics are on, retention evictions count under "traces.dropped".
 func (db *DB) EnableTracing(capacity int) *QueryTracer {
 	t := obs.NewTracer(capacity)
+	if reg := db.metricsRef(); reg != nil {
+		t.SetDropCounter(reg.Counter("traces.dropped"))
+	}
 	db.engine.SetTracer(t)
 	return t
+}
+
+// SetTraceRetention rebounds the attached tracer's ring at runtime
+// (minimum 1). Shrinking evicts the oldest span trees immediately,
+// counting them as dropped. A no-op when tracing is off.
+func (db *DB) SetTraceRetention(capacity int) {
+	db.engine.Tracer().SetCapacity(capacity)
+}
+
+// TraceRetention returns the tracer's ring bound (0 when tracing is
+// off).
+func (db *DB) TraceRetention() int {
+	return db.engine.Tracer().Capacity()
+}
+
+// TracesDropped reports how many finished span trees the retention
+// bound has evicted since tracing was enabled (0 when off).
+func (db *DB) TracesDropped() uint64 {
+	return db.engine.Tracer().Dropped()
 }
 
 // DisableTracing detaches the tracer; traced operations return to a

@@ -14,9 +14,11 @@
 #      design target is 1.5×, the gate absorbs short-mode timer noise),
 #      a B15 WAL read-path tax above 1.15× (queries never append, so
 #      the bound is tight), a B15 group-commit amortization below
-#      1.5× (DESIGN.md §13; ~8× measured), or a B16 windowed-telemetry
+#      1.5× (DESIGN.md §13; ~8× measured), a B16 windowed-telemetry
 #      tax above 1.03× (DESIGN.md §14: rolling histograms and SLO
-#      trackers must cost ≤3% on a cheap query) fail the build;
+#      trackers must cost ≤3% on a cheap query), or a B17
+#      statement-digest tax above 1.03× (DESIGN.md §15: fingerprinting
+#      and digest accounting must cost ≤3% per query) fail the build;
 #   3. compare it against the committed BENCH_report.json — any
 #      benchmark more than 25% slower fails the build (the
 #      bench-regression gate; a failed compare re-measures once so a
@@ -64,7 +66,7 @@ go test -run '^$' -fuzz '^FuzzEvalQuery$' -fuzztime 15s ./internal/core
 go test -run '^$' -fuzz '^FuzzRecovery$' -fuzztime 15s .
 
 go run ./cmd/idlbench -short -out BENCH_new.json
-go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5 -max-telemetry-overhead 1.03
+go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5 -max-telemetry-overhead 1.03 -max-insights-overhead 1.03
 # The regression gate, with one confirmation pass: sustained host
 # contention can inflate a whole snapshot run, so a failed compare
 # re-measures once and only fails when the regression reproduces. A

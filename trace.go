@@ -78,9 +78,11 @@ func (db *DB) Traces() ([]TraceRecord, error) {
 }
 
 // ExportTraces writes the retained traces to w as one JSON document:
-// {"traces": [...]}. Span trees serialize with name, duration_ns, attrs
-// and children, so the export can be joined against the event log
-// (trace_id), the workload journal (trace_id) and WAL records (the
+// {"traces": [...], "dropped": N} — dropped counts span trees the
+// retention bound evicted, so a consumer can tell a quiet window from
+// an overwritten one. Span trees serialize with name, duration_ns,
+// attrs and children, so the export can be joined against the event
+// log (trace_id), the workload journal (trace_id) and WAL records (the
 // wal.commit span's lsn attribute) offline.
 func (db *DB) ExportTraces(w io.Writer) error {
 	traces, err := db.Traces()
@@ -90,6 +92,7 @@ func (db *DB) ExportTraces(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Traces []TraceRecord `json:"traces"`
-	}{Traces: traces})
+		Traces  []TraceRecord `json:"traces"`
+		Dropped uint64        `json:"dropped"`
+	}{Traces: traces, Dropped: db.engine.Tracer().Dropped()})
 }
