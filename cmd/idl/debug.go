@@ -1,166 +1,26 @@
 package main
 
 import (
-	"encoding/json"
-	"expvar"
-	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
-	"sync"
 
 	"idl"
+	"idl/internal/server"
 )
 
-// publishOnce guards the process-global expvar name: expvar.Publish
-// panics on duplicates, and tests may start several debug servers.
-var publishOnce sync.Once
+// The REPL's -debug-addr endpoints are the shared registration helper
+// in internal/server — the same handlers idld mounts behind /debug/ on
+// its serving mux, so the embedded and the standalone server cannot
+// drift.
 
-// debugHandler serves the observability endpoints for one DB:
-//
-//	/debug/metrics  the metrics registry as JSON (?format=table for the
-//	                \stats rendering)
-//	/debug/events   the flight recorder as JSON (?format=text for the
-//	                \flightrec rendering)
-//	/debug/statements        statement digests, heaviest first (?by=
-//	                         calls|p99|rows|time, ?k=n); 503 when
-//	                         insights are off
-//	/debug/statements/<fp>   one digest with its captured slow-query
-//	                         exemplars; 404 on unknown fingerprints
-//	/debug/vars     expvar (includes idl.metrics and Go runtime stats)
-//	/debug/pprof/   the standard pprof profiles
-func debugHandler(db *idl.DB) http.Handler {
-	publishOnce.Do(func() {
-		expvar.Publish("idl.metrics", expvar.Func(func() any {
-			return db.Metrics().Snapshot()
-		}))
-	})
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "table" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, db.Metrics().Snapshot().Table())
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		db.Metrics().WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			db.DumpEvents(w)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(db.Events())
-	})
-	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
-		h, err := db.Health()
-		if err != nil {
-			debugError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(h)
-	})
-	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
-		h, err := db.Health()
-		if err != nil {
-			debugError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			Healthy bool            `json:"healthy"`
-			SLOs    []idl.SLOStatus `json:"slos"`
-		}{Healthy: h.Healthy(), SLOs: h.SLOs})
-	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		// Probe first so a tracing-off error becomes a clean 503
-		// instead of a half-written 200 body.
-		if _, err := db.Traces(); err != nil {
-			debugError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		db.ExportTraces(w)
-	})
-	mux.HandleFunc("/debug/statements", func(w http.ResponseWriter, r *http.Request) {
-		k := 0
-		if v := r.URL.Query().Get("k"); v != "" {
-			fmt.Sscanf(v, "%d", &k)
-		}
-		by := r.URL.Query().Get("by")
-		if by == "" {
-			by = "time"
-		}
-		digests, err := db.TopStatements(k, by)
-		if err != nil {
-			debugError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			Statements []idl.StatementDigest `json:"statements"`
-			Dropped    uint64                `json:"dropped"`
-		}{Statements: digests, Dropped: db.StatementsDropped()})
-	})
-	mux.HandleFunc("/debug/statements/", func(w http.ResponseWriter, r *http.Request) {
-		fp := r.URL.Path[len("/debug/statements/"):]
-		d, exemplars, err := db.Statement(fp)
-		if err != nil {
-			// Off-state is a 503 like the other endpoints; an unknown or
-			// malformed fingerprint on a live store is a plain 404.
-			if !db.InsightsEnabled() {
-				debugError(w, err)
-				return
-			}
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			Digest    idl.StatementDigest     `json:"digest"`
-			Exemplars []idl.StatementExemplar `json:"exemplars"`
-		}{Digest: d, Exemplars: exemplars})
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-// debugError reports a disabled-subsystem error as JSON with 503, so
-// scrapers distinguish "off" from "broken".
-func debugError(w http.ResponseWriter, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusServiceUnavailable)
-	json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{Error: err.Error()})
-}
-
-// startDebugServer listens on addr and serves debugHandler in the
-// background, returning the bound address (useful with ":0").
+// startDebugServer listens on addr and serves the shared debug handler
+// in the background, returning the bound address (useful with ":0").
 func startDebugServer(addr string, db *idl.DB) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: debugHandler(db)}
+	srv := &http.Server{Handler: server.DebugHandler(db)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idl/internal/server"
+	"idl/internal/workload"
+)
+
+// captureJournal records a workload journal against an embedded demo
+// DB — the ground truth the server round-trip is compared against.
+func captureJournal(t *testing.T, cfg workload.Config, stmts []string) string {
+	t.Helper()
+	db, err := workload.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.idlog")
+	if err := db.StartJournal(path, cfg.Meta()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stmts {
+		if _, err := db.Load(s); err != nil {
+			t.Fatalf("capture %q: %v", s, err)
+		}
+	}
+	if err := db.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// serveDemo starts an in-process idld-equivalent server over a fresh
+// demo universe built from the same workload config.
+func serveDemo(t *testing.T, cfg workload.Config) *httptest.Server {
+	t.Helper()
+	db, err := workload.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+var demoStatements = []string{
+	".dbI.p+(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+	"?.euter.r(.stkCode=S, .clsPrice>100)",
+	"?.euter.r+(.date=6/6/85, .stkCode=newco, .clsPrice=321)",
+	"?.dbI.p(.stk=newco, .price=P)",
+	"?.chwab.r(.S>100)",
+}
+
+// TestCheckRoundTrip: a journal captured against the embedded engine
+// replays byte-identically through the wire protocol — rules register,
+// updates apply, and every answer matches the recorded canonical form.
+func TestCheckRoundTrip(t *testing.T) {
+	cfg := workload.Default()
+	path := captureJournal(t, cfg, demoStatements)
+	ts := serveDemo(t, cfg)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-check", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "replayed 5 records") || !strings.Contains(out.String(), "OK") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestCheckDetectsDivergence: replaying against a server whose universe
+// was perturbed first exits 1 and names the mismatching field.
+func TestCheckDetectsDivergence(t *testing.T) {
+	cfg := workload.Default()
+	path := captureJournal(t, cfg, demoStatements)
+
+	db, err := workload.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the served universe: one extra high-priced stock changes
+	// the recorded answers.
+	if _, err := db.Exec("?.euter.r+(.date=1/1/85, .stkCode=rogue, .clsPrice=999)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-check", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mismatch") || !strings.Contains(out.String(), "answer") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestLoadGates: an open-loop run against a healthy server passes
+// generous SLO gates and reports the latency distribution; impossible
+// gates fail with exit 1.
+func TestLoadGates(t *testing.T) {
+	cfg := workload.Default()
+	path := captureJournal(t, cfg, demoStatements)
+	ts := serveDemo(t, cfg)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-qps", "100", "-duration", "300ms",
+		"-min-qps", "10", "-max-p99", "5s", "-max-error-rate", "0", path,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"sent=30", "latency p50=", "GATES PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// An impossible p99 gate fails the run.
+	out.Reset()
+	code = run([]string{
+		"-addr", ts.URL, "-qps", "50", "-duration", "200ms", "-max-p99", "1ns", path,
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("impossible gate exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE FAIL") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestLoadTenants cycles tenants and checks the per-tenant counters
+// moved on the server.
+func TestLoadTenants(t *testing.T) {
+	cfg := workload.Default()
+	path := captureJournal(t, cfg, demoStatements)
+
+	db, err := workload.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-qps", "100", "-duration", "200ms", "-tenants", "alpha,beta", path,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	a := db.Metrics().Counter("server.tenant.alpha.requests").Value()
+	b := db.Metrics().Counter("server.tenant.beta.requests").Value()
+	if a == 0 || b == 0 {
+		t.Errorf("tenant cycling: alpha=%d beta=%d requests, want both > 0", a, b)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "http://127.0.0.1:1", filepath.Join(t.TempDir(), "missing.idlog")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing journal exit %d, want 2", code)
+	}
+}

@@ -168,8 +168,9 @@ func (db *DB) runQueryOp(ctx context.Context, q *ast.Query, eval func(context.Co
 	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
 		// The trace ID joins this query's event, journal record, span
 		// tree, member fetches, WAL commits and slow-query exemplars
-		// across layers.
-		tid = db.nextTraceID()
+		// across layers. A ctx already carrying an ID (the wire server's
+		// X-Trace-Id adoption) keeps it.
+		tid = db.traceIDFor(ctx)
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)
@@ -240,7 +241,7 @@ func (db *DB) execParsed(ctx context.Context, q *ast.Query) (*ExecInfo, error) {
 	tracer := db.engine.Tracer()
 	var tid string
 	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
-		tid = db.nextTraceID()
+		tid = db.traceIDFor(ctx)
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)

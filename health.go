@@ -118,7 +118,14 @@ func (h *HealthReport) String() string {
 }
 
 // opWindows are the operation kinds Health reports, in render order.
-var opWindows = []string{"engine.query", "engine.exec", "engine.call"}
+// The server.* entries populate only when internal/server fronts this
+// DB (the wire server observes per-endpoint latencies into the same
+// registry); WindowValue misses are skipped, so embedded sessions
+// render the engine ops alone.
+var opWindows = []string{
+	"engine.query", "engine.exec", "engine.call",
+	"server.query", "server.exec", "server.prepare", "server.prepared",
+}
 
 // Health returns the rolling-window health report. It fails when metrics
 // are not enabled (Metrics attaches the registry; Mount does too) —

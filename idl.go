@@ -308,6 +308,16 @@ func (db *DB) DefinePrograms(srcs ...string) error {
 // Call invokes a named update program with parameter bindings keyed by
 // the program's head variables. Values may be Go literals or Values.
 func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, error) {
+	return db.CallCtx(context.Background(), namespace, name, params)
+}
+
+// CallCtx is Call under a context: member sync and program execution
+// observe cancellation and deadlines, and a ctx already tagged with a
+// trace ID (the wire server's X-Trace-Id adoption) keeps it.
+func (db *DB) CallCtx(ctx context.Context, namespace, name string, params map[string]any) (*ExecInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	converted := make(map[string]Value, len(params))
 	for k, v := range params {
 		switch x := v.(type) {
@@ -330,10 +340,9 @@ func (db *DB) Call(namespace, name string, params map[string]any) (*ExecInfo, er
 	ins := db.insightsRef()
 	op := db.rec.Begin(qlog.KindCall)
 	tracer := db.engine.Tracer()
-	ctx := context.Background()
 	var tid string
 	if op != nil || tracer != nil || (ins != nil && ins.CaptureEnabled()) {
-		tid = db.nextTraceID()
+		tid = db.traceIDFor(ctx)
 		op.SetTraceID(tid)
 		if op == nil {
 			ctx = qlog.WithTraceID(ctx, tid)

@@ -1,0 +1,88 @@
+package server
+
+import "sync"
+
+// Admission control. The gate bounds work the server accepts rather
+// than queueing it: an open-loop overload must shed (429 + Retry-After)
+// instead of building an unbounded queue of goroutines all waiting on
+// the engine. Two bounds apply — a global max-inflight and a per-tenant
+// cap — so one tenant saturating the server cannot starve the others of
+// every slot (per-tenant fairness). Draining closes the gate entirely;
+// because the draining flag and the inflight counters share one mutex,
+// a drainer that has flipped the flag can trust a zero inflight count:
+// no admission can slip in afterward.
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	admitted       admitResult = iota
+	shedServer                 // global max-inflight reached
+	shedTenant                 // tenant's fair share reached
+	refuseDraining             // server is draining; no new work
+)
+
+type admission struct {
+	max       int // global inflight bound
+	perTenant int // per-tenant inflight bound
+
+	mu       sync.Mutex
+	inflight int
+	tenants  map[string]int
+	draining bool
+}
+
+func newAdmission(max, perTenant int) *admission {
+	return &admission{max: max, perTenant: perTenant, tenants: make(map[string]int)}
+}
+
+// tryAcquire claims one slot for tenant without blocking.
+func (a *admission) tryAcquire(tenant string) admitResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case a.draining:
+		return refuseDraining
+	case a.inflight >= a.max:
+		return shedServer
+	case a.tenants[tenant] >= a.perTenant:
+		return shedTenant
+	}
+	a.inflight++
+	a.tenants[tenant]++
+	return admitted
+}
+
+// release returns tenant's slot.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	if n := a.tenants[tenant] - 1; n <= 0 {
+		delete(a.tenants, tenant)
+	} else {
+		a.tenants[tenant] = n
+	}
+}
+
+// current reports the admitted-and-executing request count.
+func (a *admission) current() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// beginDrain closes the gate. After it returns no request can acquire a
+// slot, so once current reaches zero it stays zero.
+func (a *admission) beginDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// drainingNow reports whether the gate is closed.
+func (a *admission) drainingNow() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Open-loop load generation. Requests fire on a fixed schedule derived
+// from the target QPS, regardless of whether earlier requests have
+// completed — the generator never slows down to match the server, so a
+// server falling behind accumulates visible latency and shed instead of
+// silently throttling the load (the coordinated-omission trap of
+// closed-loop harnesses). Each scheduled send runs in its own
+// goroutine; the admission gate on the server side is what bounds
+// concurrent work.
+
+// LoadConfig tunes one open-loop run.
+type LoadConfig struct {
+	// QPS is the target send rate (required, > 0).
+	QPS float64
+	// Duration is how long to keep sending (required, > 0).
+	Duration time.Duration
+	// Statements cycle round-robin, one per scheduled send. Entries run
+	// as queries unless listed in Execs.
+	Statements []string
+	// Execs marks statement indices that go to /v1/exec.
+	Execs map[int]bool
+	// Tenants cycle round-robin across sends; empty means the server's
+	// default tenant.
+	Tenants []string
+	// TimeoutMs forwards as X-Timeout-Ms (0 = server default).
+	TimeoutMs int
+}
+
+// LoadReport is the outcome of one open-loop run.
+type LoadReport struct {
+	Sent     int           // requests scheduled and sent
+	OK       int           // 2xx
+	Shed     int           // 429 (admission control)
+	Errors   int           // everything else, transport errors included
+	ByStatus map[int]int   // HTTP status → count (transport errors under 0)
+	Wall     time.Duration // first send to last completion
+
+	// Latency distribution over successful (2xx) requests.
+	P50, P90, P99, P999, Max time.Duration
+}
+
+// AchievedQPS is the completed-successfully rate over the wall clock.
+func (r *LoadReport) AchievedQPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// ErrorRate is Errors/Sent; ShedRate is Shed/Sent.
+func (r *LoadReport) ErrorRate() float64 { return rate(r.Errors, r.Sent) }
+func (r *LoadReport) ShedRate() float64  { return rate(r.Shed, r.Sent) }
+
+func rate(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// RunLoad drives one open-loop run against base. It returns when every
+// scheduled request has completed (each carries its own deadline, so
+// completion is bounded). ctx cancels the schedule early.
+func RunLoad(ctx context.Context, base string, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.QPS <= 0 || cfg.Duration <= 0 || len(cfg.Statements) == 0 {
+		return nil, errors.New("server: load config needs QPS > 0, Duration > 0 and statements")
+	}
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	// One transport for the whole run; per-send clients share it but
+	// carry their own tenant/session state.
+	transport := &http.Client{}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		byStatus  = map[int]int{}
+		wg        sync.WaitGroup
+	)
+	record := func(status int, d time.Duration) {
+		mu.Lock()
+		byStatus[status]++
+		if status/100 == 2 {
+			latencies = append(latencies, d)
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	sent := 0
+	for i := 0; ; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		if next.Sub(start) >= cfg.Duration {
+			break
+		}
+		// Absolute scheduling: sleeping until start+i*interval keeps the
+		// send clock honest even when individual sends run long.
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				i = int(cfg.Duration/interval) + 1
+				continue
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		stmt := cfg.Statements[i%len(cfg.Statements)]
+		isExec := cfg.Execs[i%len(cfg.Statements)]
+		c := &Client{Base: base, Timeout: cfg.TimeoutMs, HTTP: transport}
+		if len(cfg.Tenants) > 0 {
+			c.Tenant = cfg.Tenants[i%len(cfg.Tenants)]
+		}
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			var err error
+			if isExec {
+				_, err = c.Exec(context.Background(), stmt)
+			} else {
+				_, err = c.Query(context.Background(), stmt)
+			}
+			d := time.Since(t0)
+			status := http.StatusOK
+			if err != nil {
+				var se *StatusError
+				if errors.As(err, &se) {
+					status = se.Code
+				} else {
+					status = 0 // transport failure
+				}
+			}
+			record(status, d)
+		}()
+	}
+	wg.Wait()
+	rep := &LoadReport{Sent: sent, ByStatus: byStatus, Wall: time.Since(start)}
+	for status, n := range byStatus {
+		switch {
+		case status/100 == 2:
+			rep.OK += n
+		case status == http.StatusTooManyRequests:
+			rep.Shed += n
+		default:
+			rep.Errors += n
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		pick := func(q float64) time.Duration {
+			return latencies[int(q*float64(len(latencies)-1))]
+		}
+		rep.P50, rep.P90, rep.P99, rep.P999 = pick(0.50), pick(0.90), pick(0.99), pick(0.999)
+		rep.Max = latencies[len(latencies)-1]
+	}
+	return rep, nil
+}

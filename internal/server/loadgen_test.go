@@ -1,0 +1,62 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"idl/internal/server"
+)
+
+// TestRunLoad drives the open-loop generator against a live server and
+// checks the schedule arithmetic and outcome classification.
+func TestRunLoad(t *testing.T) {
+	_, ts := newServer(t, demoDB(t), server.Config{MaxInflight: 32, TenantInflight: 32})
+
+	rep, err := server.RunLoad(context.Background(), ts.URL, server.LoadConfig{
+		QPS:      100,
+		Duration: 500 * time.Millisecond,
+		Statements: []string{
+			"?.euter.r(.stkCode=S, .clsPrice>100)",
+			"?.chwab.r(.S>100)",
+		},
+	})
+	if err != nil {
+		t.Fatalf("run load: %v", err)
+	}
+	// Open loop: the schedule, not the server, decides the send count.
+	if want := 50; rep.Sent != want {
+		t.Errorf("sent %d requests, want %d (open-loop schedule)", rep.Sent, want)
+	}
+	if rep.OK != rep.Sent || rep.Errors != 0 || rep.Shed != 0 {
+		t.Errorf("outcomes: ok=%d shed=%d errors=%d of %d", rep.OK, rep.Shed, rep.Errors, rep.Sent)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Errorf("latency distribution inconsistent: p50=%s p99=%s max=%s", rep.P50, rep.P99, rep.Max)
+	}
+	if rep.AchievedQPS() <= 0 {
+		t.Errorf("achieved qps: %f", rep.AchievedQPS())
+	}
+
+	// A statement pool with a broken statement shows up as errors, not
+	// silence.
+	rep, err = server.RunLoad(context.Background(), ts.URL, server.LoadConfig{
+		QPS:        100,
+		Duration:   100 * time.Millisecond,
+		Statements: []string{"?.euter.r(.stkCode="},
+	})
+	if err != nil {
+		t.Fatalf("run load: %v", err)
+	}
+	if rep.Errors != rep.Sent || rep.OK != 0 {
+		t.Errorf("broken statements: ok=%d errors=%d of %d, want all errors", rep.OK, rep.Errors, rep.Sent)
+	}
+	if rep.ErrorRate() != 1 {
+		t.Errorf("error rate: %f, want 1", rep.ErrorRate())
+	}
+
+	// Config validation.
+	if _, err := server.RunLoad(context.Background(), ts.URL, server.LoadConfig{}); err == nil {
+		t.Error("empty config should be rejected")
+	}
+}

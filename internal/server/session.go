@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"idl"
+)
+
+// Sessions. A session is per-tenant server-side state: the prepared
+// statements a connection has compiled. Sessions are addressed by
+// (tenant, id) — the key includes the tenant, so one tenant can never
+// reach another's prepared statements even by guessing IDs. The table
+// is bounded: creation sweeps expired sessions first and refuses when
+// the bound still holds, so an open-loop client leak cannot grow server
+// memory without limit. IDs are minted from a plain counter — they are
+// names, not secrets (isolation comes from the tenant key), and
+// deterministic IDs keep wire transcripts byte-stable.
+
+type session struct {
+	id     string
+	tenant string
+
+	mu       sync.Mutex
+	prepared map[string]*idl.Prepared
+	nextStmt int
+	lastUsed time.Time // guarded by the table's mutex
+}
+
+// put files a prepared statement under the next ID ("p1", "p2", …).
+func (s *session) put(p *idl.Prepared) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextStmt++
+	id := fmt.Sprintf("p%d", s.nextStmt)
+	s.prepared[id] = p
+	return id
+}
+
+// lookup returns the prepared statement under id (nil when absent).
+func (s *session) lookup(id string) *idl.Prepared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prepared[id]
+}
+
+// close drops the prepared statement under id, reporting whether it
+// existed.
+func (s *session) close(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.prepared[id]
+	delete(s.prepared, id)
+	return ok
+}
+
+// ids lists the session's prepared statement IDs, sorted.
+func (s *session) ids() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.prepared))
+	for id := range s.prepared {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type sessionTable struct {
+	idle time.Duration // idle expiry bound
+	max  int           // live session bound
+
+	mu    sync.Mutex
+	byKey map[string]*session
+	seq   uint64
+}
+
+func newSessionTable(idle time.Duration, max int) *sessionTable {
+	return &sessionTable{idle: idle, max: max, byKey: make(map[string]*session)}
+}
+
+// sessionKey scopes a session ID to its tenant. The NUL separator
+// cannot appear in either part (tenant names are validated, IDs are
+// minted), so keys never collide across tenants.
+func sessionKey(tenant, id string) string { return tenant + "\x00" + id }
+
+// get returns tenant's session id, touching its idle clock; nil when
+// the session does not exist (or belongs to another tenant).
+func (t *sessionTable) get(tenant, id string, now time.Time) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.byKey[sessionKey(tenant, id)]
+	if s != nil {
+		s.lastUsed = now
+	}
+	return s
+}
+
+// create mints a session for tenant. A full table sweeps expired
+// sessions first and refuses when still at the bound.
+func (t *sessionTable) create(tenant string, now time.Time) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byKey) >= t.max {
+		t.sweepLocked(now)
+		if len(t.byKey) >= t.max {
+			return nil, fmt.Errorf("server: session table full (%d live sessions)", len(t.byKey))
+		}
+	}
+	t.seq++
+	s := &session{
+		id:       fmt.Sprintf("s%d", t.seq),
+		tenant:   tenant,
+		prepared: make(map[string]*idl.Prepared),
+		lastUsed: now,
+	}
+	t.byKey[sessionKey(tenant, s.id)] = s
+	return s, nil
+}
+
+// sweep drops sessions idle past the bound, returning how many.
+func (t *sessionTable) sweep(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sweepLocked(now)
+}
+
+func (t *sessionTable) sweepLocked(now time.Time) int {
+	dropped := 0
+	for key, s := range t.byKey {
+		if now.Sub(s.lastUsed) > t.idle {
+			delete(t.byKey, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// len reports the live session count.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byKey)
+}

@@ -1,0 +1,88 @@
+package server
+
+import "idl/internal/qlog"
+
+// Wire protocol types. Every body is JSON; every response is either the
+// endpoint's success type or ErrorResponse. Answers travel in their
+// canonical string rendering (sorted rows, the same form the workload
+// journal stores), so a wire answer byte-compares against an embedded
+// evaluation of the same statement.
+
+// Request headers.
+const (
+	// HeaderTenant namespaces sessions and admission accounting; absent
+	// means Config.DefaultTenant.
+	HeaderTenant = "X-Tenant"
+	// HeaderSession addresses a server-side session. Prepare mints a
+	// session when the header is absent and returns its ID in the
+	// response header of the same name.
+	HeaderSession = "X-Session-Id"
+	// HeaderTrace propagates a caller-chosen trace ID into the engine's
+	// correlation plane (flight recorder, journal, span trees, WAL
+	// commit spans). Absent means the facade mints one per operation.
+	HeaderTrace = "X-Trace-Id"
+	// HeaderTimeout lowers the request deadline below the server
+	// default, in milliseconds (values above Config.MaxTimeout clamp).
+	HeaderTimeout = "X-Timeout-Ms"
+)
+
+// StatementRequest carries one IDL statement (query, exec, rule or
+// clause depending on the endpoint).
+type StatementRequest struct {
+	Stmt string `json:"stmt"`
+}
+
+// PreparedRequest addresses one prepared statement in the session.
+type PreparedRequest struct {
+	ID string `json:"id"`
+}
+
+// QueryResponse is a query answer: the canonical rendering plus the row
+// count, and the degraded report when the federation answered
+// best-effort.
+type QueryResponse struct {
+	Answer   string `json:"answer"`
+	Rows     int    `json:"rows"`
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// ExecResponse reports what an update request changed.
+type ExecResponse struct {
+	Exec qlog.ExecSummary `json:"exec"`
+}
+
+// OKResponse acknowledges an endpoint with no payload (rule, clause,
+// close-prepared).
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// PrepareResponse names a freshly prepared statement and the session
+// holding it.
+type PrepareResponse struct {
+	ID      string `json:"id"`
+	Text    string `json:"text"`
+	Session string `json:"session"`
+}
+
+// SessionResponse describes one session: its prepared statement IDs,
+// sorted.
+type SessionResponse struct {
+	Session  string   `json:"session"`
+	Tenant   string   `json:"tenant"`
+	Prepared []string `json:"prepared"`
+}
+
+// HealthzResponse is the liveness probe's body. Status is "ok" or
+// "draining"; Inflight counts admitted requests currently executing,
+// Sessions the live session-table population.
+type HealthzResponse struct {
+	Status   string `json:"status"`
+	Inflight int    `json:"inflight"`
+	Sessions int    `json:"sessions"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

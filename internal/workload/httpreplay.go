@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"idl/internal/qlog"
+	"idl/internal/server"
+)
+
+// Replay over the wire. ReplayServer is Replay with the DB behind
+// idld's HTTP front: every record becomes a wire request through one
+// Client (one tenant, one connection's worth of state), and the
+// responses are compared against the journal exactly as the embedded
+// replay compares engine results. Because the server renders answers
+// with the same canonical sorted form the journal captured, a faithful
+// server replays a journal byte-for-byte — this is the equivalence the
+// round-trip tests assert.
+
+// ReplayServer runs every record against the server behind c in
+// journal order and compares wire outcomes with journaled ones. The
+// returned Report's replayed latencies include the HTTP round-trip.
+func ReplayServer(ctx context.Context, c *server.Client, recs []qlog.Record, opts Options) *Report {
+	rep := &Report{ByKind: map[string]int{}}
+	for _, rec := range recs {
+		rep.Total++
+		rep.ByKind[rec.Kind]++
+		start := time.Now()
+		switch rec.Kind {
+		case qlog.KindRule:
+			compareWireErr(rep, rec, c.Rule(ctx, rec.Text))
+		case qlog.KindClause:
+			compareWireErr(rep, rec, c.Clause(ctx, rec.Text))
+		case qlog.KindQuery:
+			resp, err := c.Query(ctx, rec.Text)
+			if compareWireErr(rep, rec, err) && err == nil {
+				compareWireQuery(rep, rec, resp, opts)
+			}
+		case qlog.KindExec, qlog.KindCall:
+			resp, err := c.Exec(ctx, rec.Text)
+			if compareWireErr(rep, rec, err) && err == nil {
+				compareWireExec(rep, rec, resp)
+			}
+		default:
+			rep.mismatch(rec, "kind", rec.Kind, "replayable record")
+		}
+		rep.Outcomes = append(rep.Outcomes, Outcome{
+			Seq:        rec.Seq,
+			Kind:       rec.Kind,
+			RecordedNS: rec.NS,
+			ReplayedNS: time.Since(start).Nanoseconds(),
+		})
+	}
+	return rep
+}
+
+// compareWireErr is compareErr for wire outcomes: a StatusError's Msg
+// carries the server-side error string verbatim, so it compares against
+// the journaled error the same way an engine error would. Transport
+// failures (no StatusError) can never match a journaled engine error.
+func compareWireErr(r *Report, rec qlog.Record, err error) bool {
+	got := ""
+	if err != nil {
+		var se *server.StatusError
+		if errors.As(err, &se) {
+			got = se.Msg
+		} else {
+			got = "transport: " + err.Error()
+		}
+	}
+	if got != rec.Err {
+		r.mismatch(rec, "err", rec.Err, got)
+		return false
+	}
+	return true
+}
+
+func compareWireQuery(r *Report, rec qlog.Record, resp *server.QueryResponse, opts Options) {
+	if opts.Recovered && rec.Degraded != "" && resp.Degraded == "" {
+		if !answerSubset(rec.Answer, resp.Answer) {
+			r.mismatch(rec, "answer", rec.Answer+" (subset)", resp.Answer)
+		} else {
+			r.Recovered++
+		}
+		return
+	}
+	if resp.Degraded != rec.Degraded {
+		r.mismatch(rec, "degraded", rec.Degraded, resp.Degraded)
+	}
+	if resp.Answer != rec.Answer {
+		r.mismatch(rec, "answer", rec.Answer, resp.Answer)
+		return
+	}
+	if resp.Rows != rec.Rows {
+		r.mismatch(rec, "rows", fmt.Sprint(rec.Rows), fmt.Sprint(resp.Rows))
+	}
+}
+
+func compareWireExec(r *Report, rec qlog.Record, resp *server.ExecResponse) {
+	want := qlog.ExecSummary{}
+	if rec.Exec != nil {
+		want = *rec.Exec
+	}
+	if resp.Exec != want {
+		r.mismatch(rec, "exec", fmt.Sprintf("%+v", want), fmt.Sprintf("%+v", resp.Exec))
+	}
+}

@@ -2,8 +2,9 @@
 # Full CI gate: formatting, compile, vet, the whole test suite (chaos,
 # concurrency and cancellation tests included) under the race detector
 # with shuffled test order, a coverage floor on the engine, fuzz smoke
-# on the parser and the parallel evaluator, then the benchmark
-# pipeline:
+# on the parser and the parallel evaluator, a served-path smoke (idld
+# on an ephemeral port: wire replay check, open-loop SLO gates,
+# graceful-drain exit 0), then the benchmark pipeline:
 #
 #   1. regenerate the snapshot in short mode to BENCH_new.json;
 #   2. validate it — malformed reports, unmeasured benchmarks,
@@ -64,6 +65,26 @@ go test -run '^TestCrashPointGrid$|^TestCheckpointRecovery$' -short .
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 15s ./internal/parser
 go test -run '^$' -fuzz '^FuzzEvalQuery$' -fuzztime 15s ./internal/core
 go test -run '^$' -fuzz '^FuzzRecovery$' -fuzztime 15s .
+
+# Server smoke: capture a queries-only journal, serve the same demo
+# universe from idld on an ephemeral port, byte-compare the journal's
+# answers through the wire protocol (-check), then drive the pool
+# open-loop for 5 s under SLO gates: minimum achieved QPS, a p99
+# ceiling generous enough for a loaded CI host (measured p99 is ~2 ms),
+# and zero errors. The SIGTERM at the end is itself a gate — the
+# daemon must drain inflight requests, checkpoint, and exit 0.
+go build -o /tmp/idld ./cmd/idld
+go build -o /tmp/idlload ./cmd/idlload
+rm -f /tmp/server_smoke.idlog /tmp/idld.addr
+go run ./cmd/idl -demo -journal /tmp/server_smoke.idlog -script scripts/server_smoke.idl > /dev/null
+/tmp/idld -demo -addr 127.0.0.1:0 -addr-file /tmp/idld.addr &
+IDLD_PID=$!
+for i in $(seq 100); do test -s /tmp/idld.addr && break; sleep 0.1; done
+IDLD_ADDR="http://$(cat /tmp/idld.addr)"
+/tmp/idlload -addr "$IDLD_ADDR" -check /tmp/server_smoke.idlog
+/tmp/idlload -addr "$IDLD_ADDR" -qps 200 -duration 5s -min-qps 150 -max-p99 250ms -max-error-rate 0 /tmp/server_smoke.idlog
+kill -TERM "$IDLD_PID"
+wait "$IDLD_PID"
 
 go run ./cmd/idlbench -short -out BENCH_new.json
 go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5 -max-telemetry-overhead 1.03 -max-insights-overhead 1.03

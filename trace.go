@@ -1,6 +1,7 @@
 package idl
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"idl/internal/obs"
+	"idl/internal/qlog"
 )
 
 // Trace export and correlation. Every query, update request and program
@@ -39,6 +41,19 @@ func newTraceBase() uint64 {
 func (db *DB) nextTraceID() string {
 	seq := db.traceSeq.Add(1)
 	return fmt.Sprintf("%016x", db.traceBase^(seq*0x9e3779b97f4a7c15))
+}
+
+// traceIDFor returns the trace ID one operation should run under: the
+// ID already tagged on ctx when an upstream caller supplied one (the
+// wire server adopts X-Trace-Id headers this way), else a freshly
+// minted one. Adoption keeps one distributed request correlated across
+// the wire protocol, flight-recorder events, journal records, span
+// trees and WAL commit spans.
+func (db *DB) traceIDFor(ctx context.Context) string {
+	if tid := qlog.TraceID(ctx); tid != "" {
+		return tid
+	}
+	return db.nextTraceID()
 }
 
 // TraceRecord is one exported operation trace: the facade-minted trace
