@@ -90,6 +90,9 @@
 //	\plan-cache [clear]        plan cache counters (hits, misses,
 //	                           evictions, resident plans, catalog epoch),
 //	                           or clear the cached plans
+//	\mvcc                      snapshot version-chain status: live
+//	                           versions, pinned reader epochs, retained
+//	                           bytes, freeze / GC / copy-on-write counts
 //	\wal                       write-ahead log status (next LSN, records
 //	                           appended, segments, last checkpoint)
 //	\checkpoint                snapshot the state into the WAL directory
@@ -454,7 +457,7 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`:
-		fmt.Println(`\dbs \rels <db> \cat \stats [json] \health [json] \top [calls|p99|rows|time] [k] \statement <fp> \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \wal \checkpoint \save <path> \quit`)
+		fmt.Println(`\dbs \rels <db> \cat \stats [json] \health [json] \top [calls|p99|rows|time] [k] \statement <fp> \reset-stats \flightrec [json|clear] \views \programs \estats \explain [analyze] <query> \trace on|off|show \workers [n] \plan-cache [clear] \mvcc \wal \checkpoint \save <path> \quit`)
 	case `\explain`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <query>")
@@ -611,6 +614,14 @@ func meta(db *idl.DB, cfg config, cmd string) bool {
 		if cfg.noPlanCache {
 			fmt.Println("plan cache disabled (-no-plan-cache)")
 		}
+	case `\mvcc`:
+		st := db.MVCCStats()
+		fmt.Printf("versions=%d/%d head-epoch=%d published=%t\n",
+			st.LiveVersions, st.MaxRevisions, st.HeadEpoch, st.HeadPublished)
+		fmt.Printf("pinned-readers=%d pinned-epochs=%v retained-bytes=%d\n",
+			st.PinnedReaders, st.PinnedEpochs, st.RetainedBytes)
+		fmt.Printf("freezes=%d collected=%d cow-clones=%d\n",
+			st.Freezes, st.Collected, st.COWClones)
 	case `\wal`:
 		st, ok := db.WALStatus()
 		if !ok {

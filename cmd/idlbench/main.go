@@ -1,5 +1,5 @@
 // Command idlbench is the repository's benchmark snapshot pipeline: it
-// runs the B1–B17 engine benchmarks (see DESIGN.md §5, §8, §10–§15)
+// runs the B1–B18 engine benchmarks (see DESIGN.md §5, §8, §10–§15, §17)
 // against the deterministic internal/stocks workload and writes a
 // machine-readable BENCH_report.json — per-benchmark ns/op, allocs/op,
 // and the engine's evaluator counters — so performance can be compared
@@ -42,6 +42,17 @@
 //	                      tax (digests ns/op ÷ off ns/op): fingerprinting,
 //	                      digest accounting and the windowed latency
 //	                      histogram must stay within a few percent
+//	-min-read-scaling     validation bound on the B18 mixed-workload read
+//	                      scaling: reads completed by four readers WHILE a
+//	                      writer's statement was executing, snapshot-read
+//	                      engine ÷ SerialReads engine. Serial readers
+//	                      block on the engine mutex for the whole commit,
+//	                      so the bound holds even on single-CPU machines
+//	-max-ckpt-ratio       validation bound on the B18 incremental
+//	                      checkpoint ratio (bytes written ÷ full
+//	                      checkpoint footprint after a single-relation
+//	                      update): unchanged relation segments must be
+//	                      reused by reference
 //
 // The workload is seeded, so the report's structure — benchmark names,
 // iteration floors, engine counters — is identical run to run; only the
@@ -56,6 +67,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"idl"
@@ -71,8 +84,9 @@ import (
 // reportSchema versions the report layout for downstream tooling.
 // Schema 2 added FlightOverhead; schema 3 added Parallel (B13); schema 4
 // added PlanCache (B14); schema 5 added WAL (B15); schema 6 added
-// Telemetry (B16); schema 7 added Insights (B17).
-const reportSchema = 7
+// Telemetry (B16); schema 7 added Insights (B17); schema 8 added MVCC
+// (B18).
+const reportSchema = 8
 
 // Benchmark is one measured benchmark in the report.
 type Benchmark struct {
@@ -178,6 +192,38 @@ type InsightsSummary struct {
 	DigestsRatio   float64 `json:"digests_ratio"` // digests ÷ off
 }
 
+// MVCCSummary is the B18 result: what epoch-pinned snapshot reads buy.
+// The readers family (reported, machine-dependent) runs N concurrent
+// point queries per op on the default snapshot-read engine.  The mixed
+// family is the CI-gated headline and measures the one MVCC property
+// that is scheduler-independent: whether reads complete while a commit
+// is in flight.  Each round starts one writer statement that drags a
+// negated self-join scan through the commit path (a multi-millisecond
+// engine-mutex hold), then releases four readers and counts only the
+// reads that finish before the statement does.  On a SerialReads engine
+// (the pre-MVCC architecture) every read takes the mutex, so the count
+// is ~zero; on the default engine readers pin the published snapshot
+// and never block, so the count is thousands.  ReadScaling is the
+// snapshot ÷ serial ratio (serial clamped to ≥1), and it holds on one
+// CPU — free-running aggregate throughput would not, because the OS
+// scheduler time-shares blocked readers' CPU back to the writer and
+// the arms converge.  The ckpt family takes a full checkpoint, updates
+// a single relation, checkpoints again, and reports written ÷ total
+// bytes for the second checkpoint — the incremental-checkpoint ratio,
+// bounded because every unchanged relation segment is reused by
+// reference.
+type MVCCSummary struct {
+	NumCPU            int     `json:"num_cpu"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	ReaderSpeedup4    float64 `json:"reader_speedup_4"`    // 4 × serial ns/op ÷ 4-reader ns/op
+	SerialCommitReads uint64  `json:"serial_commit_reads"` // reads finished during commits, SerialReads engine
+	MVCCCommitReads   uint64  `json:"mvcc_commit_reads"`   // reads finished during commits, snapshot engine
+	ReadScaling       float64 `json:"read_scaling"`        // mvcc ÷ max(serial, 1) commit reads
+	CkptWroteBytes    int64   `json:"ckpt_wrote_bytes"`    // second checkpoint: bytes written
+	CkptTotalBytes    int64   `json:"ckpt_total_bytes"`    // second checkpoint: full footprint
+	CkptRatio         float64 `json:"ckpt_ratio"`          // wrote ÷ total after one-relation update
+}
+
 // Report is the BENCH_report.json envelope.
 type Report struct {
 	Schema         int              `json:"schema"`
@@ -191,6 +237,7 @@ type Report struct {
 	WAL            WALSummary       `json:"wal"`
 	Telemetry      TelemetrySummary `json:"telemetry"`
 	Insights       InsightsSummary  `json:"insights"`
+	MVCC           MVCCSummary      `json:"mvcc"`
 }
 
 func main() {
@@ -209,6 +256,8 @@ func main() {
 		minAmort  = flag.Float64("min-group-amortize", 1.5, "validation bound on the B15 sync÷group exec amortization")
 		maxTelem  = flag.Float64("max-telemetry-overhead", 1.03, "validation bound on the B16 windowed÷off telemetry ratio")
 		maxIns    = flag.Float64("max-insights-overhead", 1.03, "validation bound on the B17 digests÷off insights ratio")
+		minScale  = flag.Float64("min-read-scaling", 2.5, "validation bound on the B18 snapshot÷serial during-commit read scaling")
+		maxCkpt   = flag.Float64("max-ckpt-ratio", 0.25, "validation bound on the B18 incremental checkpoint wrote÷total ratio")
 	)
 	flag.Parse()
 	if *compare {
@@ -223,7 +272,7 @@ func main() {
 		return
 	}
 	if *validate != "" {
-		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort, *maxTelem, *maxIns); err != nil {
+		if err := validateReport(*validate, *maxRatio, *maxFlight, *minPar, *minHit, *minPlan, *maxWAL, *minAmort, *maxTelem, *maxIns, *minScale, *maxCkpt); err != nil {
 			fmt.Fprintln(os.Stderr, "idlbench:", err)
 			os.Exit(1)
 		}
@@ -269,6 +318,10 @@ func main() {
 	fmt.Printf("%-40s digests-ratio=%.3f (off=%dns digests=%dns capture=%dns)\n",
 		"B17/insights-overhead", rep.Insights.DigestsRatio,
 		rep.Insights.OffNsPerOp, rep.Insights.DigestsNsPerOp, rep.Insights.CaptureNsPerOp)
+	fmt.Printf("%-40s read-scaling=%.0fx (during-commit reads serial=%d mvcc=%d) reader-speedup4=%.2fx ckpt-ratio=%.3f (%d/%d bytes)\n",
+		"B18/mvcc", rep.MVCC.ReadScaling,
+		rep.MVCC.SerialCommitReads, rep.MVCC.MVCCCommitReads, rep.MVCC.ReaderSpeedup4,
+		rep.MVCC.CkptRatio, rep.MVCC.CkptWroteBytes, rep.MVCC.CkptTotalBytes)
 	fmt.Println("wrote", *out)
 }
 
@@ -353,9 +406,10 @@ func compareReports(oldRep, newRep *Report, maxRegress float64) (lines, regressi
 // expected schema, every benchmark measured, tracing plus
 // flight-recorder overhead under the stated bounds, the B13 sync-family
 // parallel speedup above its floor, the B14 plan-cache hit rate and
-// repeated-query speedup above theirs, and the B16 windowed-telemetry
-// and B17 statement-digest taxes under their ceilings.
-func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize, maxTelemetry, maxInsights float64) error {
+// repeated-query speedup above theirs, the B16 windowed-telemetry and
+// B17 statement-digest taxes under their ceilings, and the B18 MVCC
+// read scaling and incremental-checkpoint ratio inside their bounds.
+func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, minPlanSpeedup, maxWALOverhead, minGroupAmortize, maxTelemetry, maxInsights, minReadScaling, maxCkptRatio float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -438,6 +492,21 @@ func validateReport(path string, maxRatio, maxFlight, minParallel, minHitRate, m
 	}
 	if in.DigestsRatio > maxInsights {
 		return fmt.Errorf("%s: insights digests ratio %.3f exceeds bound %.3f", path, in.DigestsRatio, maxInsights)
+	}
+	mv := rep.MVCC
+	// SerialCommitReads is legitimately zero — serial readers block for
+	// the whole commit; only the snapshot arm must have measured reads.
+	if mv.MVCCCommitReads == 0 {
+		return fmt.Errorf("%s: MVCC mixed family not measured", path)
+	}
+	if mv.ReadScaling < minReadScaling {
+		return fmt.Errorf("%s: MVCC read scaling %.2fx below bound %.2fx", path, mv.ReadScaling, minReadScaling)
+	}
+	if mv.CkptWroteBytes <= 0 || mv.CkptTotalBytes <= 0 {
+		return fmt.Errorf("%s: incremental checkpoint not measured", path)
+	}
+	if mv.CkptRatio > maxCkptRatio {
+		return fmt.Errorf("%s: incremental checkpoint ratio %.3f exceeds bound %.3f", path, mv.CkptRatio, maxCkptRatio)
 	}
 	return nil
 }
@@ -1063,6 +1132,185 @@ func runAll(short bool) *Report {
 			DigestsNsPerOp: dig.NsPerOp,
 			CaptureNsPerOp: capt.NsPerOp,
 			DigestsRatio:   float64(dig.NsPerOp) / float64(off.NsPerOp),
+		}
+	}
+
+	// B18: the MVCC dividend, three families (DESIGN.md §17).
+	{
+		parse := func(src string) *ast.Query {
+			q, err := parser.ParseQuery(src)
+			if err != nil {
+				panic(err)
+			}
+			return q
+		}
+		readQ := parse("?.euter.r(.stkCode=stk001, .clsPrice=P)")
+
+		// Readers: N concurrent point queries per op on the default
+		// snapshot-read engine. Reported, not gated: per-read scaling
+		// tracks GOMAXPROCS (≈1.0 on one CPU), the difftest grid pins
+		// that the answers stay byte-identical.
+		{
+			e, _ := engineFor(stocks.Config{Stocks: 48, Days: 40, Seed: 59}, core.DefaultOptions())
+			runRead := func() {
+				if _, err := e.Query(readQ); err != nil {
+					panic(err)
+				}
+			}
+			readerNs := map[int]int64{}
+			for _, readers := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("B18/mvcc/readers/%d", readers)
+				fn := runRead
+				if readers == 1 {
+					name = "B18/mvcc/readers/serial"
+				} else {
+					n := readers
+					fn = func() {
+						var wg sync.WaitGroup
+						for i := 0; i < n; i++ {
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								runRead()
+							}()
+						}
+						wg.Wait()
+					}
+				}
+				b := measure(name, short, e, fn)
+				add(b)
+				readerNs[readers] = b.NsPerOp
+			}
+			rep.MVCC.NumCPU = runtime.NumCPU()
+			rep.MVCC.GoMaxProcs = runtime.GOMAXPROCS(0)
+			rep.MVCC.ReaderSpeedup4 = float64(readerNs[1]*4) / float64(readerNs[4])
+		}
+
+		// Mixed: can four readers make progress while a commit is in
+		// flight? Each round starts one writer statement whose negated
+		// self-join scan holds the engine mutex for several milliseconds,
+		// waits for the writer to be inside its critical section, then
+		// releases the readers and counts only reads that FINISH before
+		// the statement does. Serial readers block on the mutex for the
+		// whole commit (count ~0); snapshot readers keep reading the
+		// published head. Counting completions during the commit — rather
+		// than free-running throughput over a window — is what makes the
+		// gate hold on one CPU: a blocked reader's timeslice goes back to
+		// the writer, so wall-clock aggregate rates converge between the
+		// arms even though the serial arm spends every commit frozen.
+		commitReads := func(serial bool) uint64 {
+			opts := core.DefaultOptions()
+			opts.SerialReads = serial
+			e, _ := engineFor(stocks.Config{Stocks: 96, Days: 40, Seed: 61}, opts)
+			// Flip one tuple in and out so every commit mutates; the scan
+			// conjuncts are the lock hold.
+			ins := parse("?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P), .euter.r+(.date=1/2/86,.stkCode=mix,.clsPrice=42)")
+			del := parse("?.euter.r(.date=D,.stkCode=S,.clsPrice=P), .euter.r~(.date=D, .clsPrice>P), .euter.r-(.stkCode=mix)")
+			// Warm both statement plans and publish a head.
+			for _, stmt := range []*ast.Query{ins, del} {
+				if _, err := e.Execute(stmt); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := e.Query(readQ); err != nil {
+				panic(err)
+			}
+			rounds := 6
+			if short {
+				rounds = 3
+			}
+			var during atomic.Uint64
+			var inFlight atomic.Bool
+			for i := 0; i < rounds; i++ {
+				stmt := ins
+				if i%2 == 1 {
+					stmt = del
+				}
+				release := make(chan struct{})
+				roundDone := make(chan struct{})
+				inFlight.Store(true)
+				go func() {
+					if _, err := e.Execute(stmt); err != nil {
+						panic(err)
+					}
+					inFlight.Store(false)
+					close(roundDone)
+				}()
+				var wg sync.WaitGroup
+				for r := 0; r < 4; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-release
+						for {
+							select {
+							case <-roundDone:
+								return
+							default:
+							}
+							if _, err := e.Query(readQ); err != nil {
+								panic(err)
+							}
+							// Completions after the statement finished (the
+							// serial arm's unblocked stragglers) don't count.
+							if inFlight.Load() {
+								during.Add(1)
+							}
+						}
+					}()
+				}
+				// The readers are quiescent, so the writer acquires the
+				// engine mutex immediately; by the time this sleep returns
+				// it is deep inside its scan.
+				time.Sleep(500 * time.Microsecond)
+				close(release)
+				<-roundDone
+				wg.Wait()
+				// Republish the head for the next round (the commit
+				// invalidated it); on the serial engine this is a plain read.
+				if _, err := e.Query(readQ); err != nil {
+					panic(err)
+				}
+			}
+			return during.Load()
+		}
+		rep.MVCC.SerialCommitReads = commitReads(true)
+		rep.MVCC.MVCCCommitReads = commitReads(false)
+		rep.MVCC.ReadScaling = float64(rep.MVCC.MVCCCommitReads) / float64(max(rep.MVCC.SerialCommitReads, 1))
+
+		// Checkpoint ratio: full checkpoint, single-relation update,
+		// checkpoint again; the second checkpoint's wrote ÷ total bytes is
+		// the incremental ratio (every unchanged relation segment reused).
+		{
+			dir, err := os.MkdirTemp("", "idlbench-ckpt-")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			db, _, err := idl.OpenWAL(dir, idl.WALOptions{Durability: idl.DurabilitySync})
+			if err != nil {
+				panic(err)
+			}
+			defer db.Close()
+			ds := stocks.Generate(stocks.Config{Stocks: 16, Days: 20, Seed: 43})
+			ds.Populate(db.Engine().Base())
+			db.Engine().Invalidate()
+			if _, err := db.Checkpoint(); err != nil {
+				panic(err)
+			}
+			if _, err := db.Exec("?.ource.stk001+(.date=1/2/86,.clsPrice=55)"); err != nil {
+				panic(err)
+			}
+			if _, err := db.Checkpoint(); err != nil {
+				panic(err)
+			}
+			st, ok := db.WALStatus()
+			if !ok {
+				panic("WAL status unavailable on a durable session")
+			}
+			rep.MVCC.CkptWroteBytes = st.CheckpointWroteBytes
+			rep.MVCC.CkptTotalBytes = st.CheckpointTotalBytes
+			rep.MVCC.CkptRatio = float64(st.CheckpointWroteBytes) / float64(st.CheckpointTotalBytes)
 		}
 	}
 

@@ -39,6 +39,9 @@
 //	-slo-target d       per-endpoint SLO latency target
 //	-drain-timeout d    how long SIGTERM waits for inflight requests
 //	-debug              mount the /debug/ observability endpoints
+//	-mutex-profile n    sample 1/n of mutex contention events so
+//	                    /debug/pprof/mutex captures lock hot spots
+//	                    (0 disables; pair with -debug)
 //	-no-insights        do not accumulate per-statement query digests
 //	-slow-query d       capture statements slower than d as exemplars
 //
@@ -55,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 	"time"
@@ -96,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		sloTarget      = fs.Duration("slo-target", 100*time.Millisecond, "per-endpoint SLO latency target")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for inflight requests")
 		debug          = fs.Bool("debug", false, "mount the /debug/ observability endpoints")
+		mutexProfile   = fs.Int("mutex-profile", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off)")
 		noInsights     = fs.Bool("no-insights", false, "do not accumulate per-statement query digests")
 		slowQuery      = fs.Duration("slow-query", 0, "capture statements slower than this as exemplars (0 = relative rule only)")
 	)
@@ -106,6 +111,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "usage: idld [flags]")
 		fs.PrintDefaults()
 		return 2
+	}
+	if *mutexProfile > 0 {
+		// Sampled mutex contention: cheap enough to leave on in smoke
+		// runs, and /debug/pprof/mutex then names the contended locks.
+		runtime.SetMutexProfileFraction(*mutexProfile)
 	}
 
 	db, err := openDB(dbConfig{

@@ -308,6 +308,45 @@ func TestDifferentialExperiments(t *testing.T) {
 	})
 }
 
+// TestDifferentialMVCCModes byte-compares the two concurrency-control
+// modes: SerialReads (every query under the engine mutex — the old
+// single-mutex behavior) and MVCC snapshot reads (the default lock-free
+// path), across worker counts 0/1/2/4/8, over every E1–E12 experiment.
+// The read path must be invisible to answers, row order, update counts
+// and errors alike.
+func TestDifferentialMVCCModes(t *testing.T) {
+	ccModes := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"mutex", func(o *Options) { o.SerialReads = true }},
+		{"mvcc", func(o *Options) {}},
+	}
+	workerGrid := []int{0, 1, 2, 4, 8}
+	for _, exp := range diffExperiments {
+		exp := exp
+		t.Run(exp.name, func(t *testing.T) {
+			run := func(mode func(*Options), workers int) []string {
+				db := diffOpen(mode, workers)
+				diffFixture(t, db)
+				if exp.setup != nil {
+					exp.setup(t, db)
+				}
+				return diffTranscript(t, db, exp.stmts)
+			}
+			base := run(ccModes[0].set, 0)
+			for _, m := range ccModes {
+				for _, w := range workerGrid {
+					if m.name == ccModes[0].name && w == 0 {
+						continue
+					}
+					diffCompare(t, fmt.Sprintf("%s cc=%s workers=%d", exp.name, m.name, w), base, run(m.set, w))
+				}
+			}
+		})
+	}
+}
+
 // generatedWorkloadStatements is the large-workload script: the paper's
 // three intentions over every schema, plus view queries over the unified
 // and customized views.

@@ -423,12 +423,28 @@ type WALStatus struct {
 	BytesAppended  int64         // record bytes appended by this process
 	Recovery       time.Duration // startup scan + logical replay
 	TruncatedTails uint64        // torn tails repaired at startup
+
+	// Incremental-checkpoint accounting for the newest checkpoint this
+	// process took: bytes actually written (manifest plus new relation
+	// segments) vs. the checkpoint's full footprint (manifest plus every
+	// referenced segment), and the written/reused segment split. The
+	// wrote÷total ratio is what segment reuse saved — near 1.0 on the
+	// first checkpoint, small after a narrow update.
+	CheckpointWroteBytes  int64
+	CheckpointTotalBytes  int64
+	CheckpointSegsWritten int
+	CheckpointSegsReused  int
 }
 
 func (s WALStatus) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "wal: dir=%s durability=%s next-lsn=%d appended=%d segments=%d checkpoint-lsn=%d checkpoints=%d",
 		s.Dir, s.Durability, s.NextLSN, s.Appended, s.Segments, s.CheckpointLSN, s.Checkpoints)
+	if s.CheckpointTotalBytes > 0 {
+		fmt.Fprintf(&b, " ckpt-wrote=%d/%d (segs %d new, %d reused)",
+			s.CheckpointWroteBytes, s.CheckpointTotalBytes,
+			s.CheckpointSegsWritten, s.CheckpointSegsReused)
+	}
 	if s.Err != nil {
 		fmt.Fprintf(&b, " ERROR=%v", s.Err)
 	}
@@ -460,6 +476,11 @@ func (db *DB) WALStatus() (WALStatus, bool) {
 		BytesAppended:  st.BytesAppended,
 		Recovery:       time.Duration(st.RecoveryNS + st.ReplayNS),
 		TruncatedTails: st.TruncatedTails,
+
+		CheckpointWroteBytes:  st.CheckpointWroteBytes,
+		CheckpointTotalBytes:  st.CheckpointTotalBytes,
+		CheckpointSegsWritten: st.CheckpointSegsWritten,
+		CheckpointSegsReused:  st.CheckpointSegsReused,
 	}, true
 }
 

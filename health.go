@@ -60,14 +60,32 @@ type StatementHealth struct {
 	TotalNS     int64  `json:"total_ns"`
 }
 
+// MVCCHealth is the snapshot version chain's health entry, a
+// JSON-friendly projection of MVCCStats: whether a head snapshot is
+// published, how many versions readers are holding live, and the
+// estimated retained footprint.
+type MVCCHealth struct {
+	LiveVersions  int      `json:"live_versions"`
+	HeadEpoch     uint64   `json:"head_epoch"`
+	HeadPublished bool     `json:"head_published"`
+	PinnedReaders int64    `json:"pinned_readers"`
+	PinnedEpochs  []uint64 `json:"pinned_epochs,omitempty"`
+	RetainedBytes int64    `json:"retained_bytes"`
+	Freezes       uint64   `json:"freezes"`
+	Collected     uint64   `json:"collected"`
+	COWClones     uint64   `json:"cow_clones"`
+	MaxRevisions  int      `json:"max_revisions"`
+}
+
 // HealthReport is the DB's point-in-time health: rolling-window latency
 // summaries per operation kind, SLO statuses, the heaviest statement
-// digests (when insights are enabled), and (for durable sessions) the
-// WAL's state.
+// digests (when insights are enabled), the MVCC version chain, and (for
+// durable sessions) the WAL's state.
 type HealthReport struct {
 	Ops        []OpHealth        `json:"ops"`
 	SLOs       []obs.SLOStatus   `json:"slos"`
 	Statements []StatementHealth `json:"statements,omitempty"`
+	MVCC       *MVCCHealth       `json:"mvcc,omitempty"`
 	WAL        *WALHealth        `json:"wal,omitempty"`
 }
 
@@ -103,6 +121,11 @@ func (h *HealthReport) String() string {
 		fmt.Fprintf(&b, "digest %s kind=%s calls=%d err=%d rows=%d p99=%s total=%s\n",
 			d.Fingerprint, d.Kind, d.Calls, d.Errors, d.RowsScanned,
 			time.Duration(d.P99NS), time.Duration(d.TotalNS))
+	}
+	if m := h.MVCC; m != nil {
+		fmt.Fprintf(&b, "mvcc: versions=%d/%d head-epoch=%d published=%t pinned=%d retained-bytes=%d freezes=%d collected=%d cow-clones=%d\n",
+			m.LiveVersions, m.MaxRevisions, m.HeadEpoch, m.HeadPublished,
+			m.PinnedReaders, m.RetainedBytes, m.Freezes, m.Collected, m.COWClones)
 	}
 	if h.WAL != nil {
 		fmt.Fprintf(&b, "wal: durability=%s lsn=%d segments=%d checkpoint-lag=%d fsyncs=%d fsync-total=%s appended-bytes=%d recovery=%s truncated-tails=%d",
@@ -175,6 +198,19 @@ func (db *DB) Health() (*HealthReport, error) {
 				})
 			}
 		}
+	}
+	ms := db.MVCCStats()
+	h.MVCC = &MVCCHealth{
+		LiveVersions:  ms.LiveVersions,
+		HeadEpoch:     ms.HeadEpoch,
+		HeadPublished: ms.HeadPublished,
+		PinnedReaders: ms.PinnedReaders,
+		PinnedEpochs:  ms.PinnedEpochs,
+		RetainedBytes: ms.RetainedBytes,
+		Freezes:       ms.Freezes,
+		Collected:     ms.Collected,
+		COWClones:     ms.COWClones,
+		MaxRevisions:  ms.MaxRevisions,
 	}
 	if st, ok := db.WALStatus(); ok {
 		wh := &WALHealth{

@@ -78,6 +78,11 @@ type ExecInfo = core.ExecResult
 // Stats counts evaluator work (scans, index probes, enumerations).
 type Stats = core.Stats
 
+// MVCCStats reports the engine's snapshot version chain: live versions,
+// pinned readers, retained bytes, and copy-on-write / collection
+// counters (see Options.MaxRevisions and Options.SerialReads).
+type MVCCStats = core.MVCCStats
+
 // Options tune the engine (index use, semi-naive evaluation, iteration
 // bound).
 type Options = core.Options
@@ -176,6 +181,10 @@ func OpenWithOptions(opts Options) *DB {
 	// Federated member snapshots install through the engine mutex so
 	// source syncs stay coherent with concurrent queries.
 	cat.SetApplier(engine.UpdateBase)
+	// DDL and bulk loads mutate relation sets inside applier functors;
+	// the barrier copy-on-writes any set shared with a live MVCC
+	// snapshot before the catalog touches it.
+	cat.SetWriteBarrier(engine.MutableSet)
 	// The catalog epoch is the engine's mutation counter — the version
 	// key of the plan cache and statistics layer.
 	cat.SetEpochSource(engine.Epoch)
@@ -556,6 +565,12 @@ func (db *DB) Views() []string {
 
 // Stats returns evaluator counters.
 func (db *DB) Stats() Stats { return db.engine.Stats() }
+
+// MVCCStats snapshots the engine's version-chain state: how many
+// snapshot versions are retained, which epochs readers have pinned, the
+// estimated retained footprint, and the freeze / collect / copy-on-write
+// counters. Native counters — available without a metrics registry.
+func (db *DB) MVCCStats() MVCCStats { return db.engine.MVCCStats() }
 
 // SetWorkers sets the degree of intra-operation parallelism (see
 // Options.Workers): n > 1 partitions large scans across n workers,

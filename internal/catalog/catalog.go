@@ -31,6 +31,12 @@ type Catalog struct {
 	sources map[string]federation.Source
 	apply   func(func(base *object.Tuple) bool)
 
+	// mutable is the engine's copy-on-write barrier (SetWriteBarrier):
+	// called inside an applyUniverse functor before mutating an existing
+	// relation set in place, so bulk loads never touch a set shared with
+	// a live MVCC snapshot. Nil means mutate in place.
+	mutable func(parent *object.Tuple, attr string, s *object.Set) *object.Set
+
 	// fetchConc caps how many member fetches SyncSources runs
 	// concurrently; 0 and 1 fetch sequentially (see SetFetchConcurrency).
 	fetchConc int
@@ -109,25 +115,53 @@ func (c *Catalog) logMutation(op, db, rel string, tuples []*object.Tuple) error 
 	return c.logMut(op, db, rel, tuples)
 }
 
+// SetWriteBarrier installs the engine's copy-on-write hook for in-place
+// set mutation (Engine.MutableSet). It is consulted only inside
+// applyUniverse functors, which run under the engine mutex.
+func (c *Catalog) SetWriteBarrier(fn func(parent *object.Tuple, attr string, s *object.Set) *object.Set) {
+	c.mutable = fn
+}
+
+func (c *Catalog) mutableSet(parent *object.Tuple, attr string, s *object.Set) *object.Set {
+	if c.mutable == nil {
+		return s
+	}
+	return c.mutable(parent, attr, s)
+}
+
 // CreateDatabase adds an empty database. It fails if the name is taken.
 func (c *Catalog) CreateDatabase(name string) error {
 	if name == "" {
 		return fmt.Errorf("catalog: database name must not be empty")
 	}
-	if c.universe.Has(name) {
-		return fmt.Errorf("catalog: database %q already exists", name)
+	var err error
+	c.applyUniverse(func(u *object.Tuple) bool {
+		if u.Has(name) {
+			err = fmt.Errorf("catalog: database %q already exists", name)
+			return false
+		}
+		u.Put(name, object.NewTuple())
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	c.universe.Put(name, object.NewTuple())
-	c.changed()
 	return c.logMutation("create-db", name, "", nil)
 }
 
 // DropDatabase removes a database and all its relations.
 func (c *Catalog) DropDatabase(name string) error {
-	if !c.universe.Delete(name) {
-		return fmt.Errorf("catalog: no database %q", name)
+	var err error
+	c.applyUniverse(func(u *object.Tuple) bool {
+		if !u.Delete(name) {
+			err = fmt.Errorf("catalog: no database %q", name)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	c.changed()
 	return c.logMutation("drop-db", name, "", nil)
 }
 
@@ -146,79 +180,181 @@ func (c *Catalog) database(name string) (*object.Tuple, error) {
 
 // CreateRelation adds an empty relation to a database.
 func (c *Catalog) CreateRelation(db, rel string) error {
-	d, err := c.database(db)
+	var err error
+	c.applyUniverse(func(u *object.Tuple) bool {
+		d, dErr := databaseIn(u, db)
+		if dErr != nil {
+			err = dErr
+			return false
+		}
+		if rel == "" {
+			err = fmt.Errorf("catalog: relation name must not be empty")
+			return false
+		}
+		if d.Has(rel) {
+			err = fmt.Errorf("catalog: relation %q already exists in %q", rel, db)
+			return false
+		}
+		d.Put(rel, object.NewSet())
+		return true
+	})
 	if err != nil {
 		return err
 	}
-	if rel == "" {
-		return fmt.Errorf("catalog: relation name must not be empty")
-	}
-	if d.Has(rel) {
-		return fmt.Errorf("catalog: relation %q already exists in %q", rel, db)
-	}
-	d.Put(rel, object.NewSet())
-	c.changed()
 	return c.logMutation("create-rel", db, rel, nil)
 }
 
 // DropRelation removes a relation.
 func (c *Catalog) DropRelation(db, rel string) error {
-	d, err := c.database(db)
+	var err error
+	c.applyUniverse(func(u *object.Tuple) bool {
+		d, dErr := databaseIn(u, db)
+		if dErr != nil {
+			err = dErr
+			return false
+		}
+		if !d.Delete(rel) {
+			err = fmt.Errorf("catalog: no relation %q in %q", rel, db)
+			return false
+		}
+		return true
+	})
 	if err != nil {
 		return err
 	}
-	if !d.Delete(rel) {
-		return fmt.Errorf("catalog: no relation %q in %q", rel, db)
-	}
-	c.changed()
 	return c.logMutation("drop-rel", db, rel, nil)
 }
 
-// Relation returns a relation's set, creating the relation (and database)
-// on demand when create is true.
-func (c *Catalog) Relation(db, rel string, create bool) (*object.Set, error) {
-	d, err := c.database(db)
-	if err != nil {
-		if !create {
-			return nil, err
-		}
-		if cErr := c.CreateDatabase(db); cErr != nil {
-			return nil, cErr
-		}
-		d, _ = c.database(db)
+// databaseIn resolves a database tuple inside an applyUniverse functor.
+func databaseIn(u *object.Tuple, name string) (*object.Tuple, error) {
+	v, ok := u.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("catalog: no database %q", name)
+	}
+	t, ok := v.(*object.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("catalog: database %q is not a tuple of relations", name)
+	}
+	return t, nil
+}
+
+// relationIn resolves (creating on demand) db.rel inside an applyUniverse
+// functor, reporting what it created so the caller can log the DDL.
+func relationIn(u *object.Tuple, db, rel string) (s *object.Set, madeDB, madeRel bool, err error) {
+	if db == "" {
+		return nil, false, false, fmt.Errorf("catalog: database name must not be empty")
+	}
+	dv, ok := u.Get(db)
+	if !ok {
+		dt := object.NewTuple()
+		u.Put(db, dt)
+		dv = dt
+		madeDB = true
+	}
+	d, ok := dv.(*object.Tuple)
+	if !ok {
+		return nil, madeDB, false, fmt.Errorf("catalog: database %q is not a tuple of relations", db)
 	}
 	v, ok := d.Get(rel)
 	if !ok {
-		if !create {
+		if rel == "" {
+			return nil, madeDB, false, fmt.Errorf("catalog: relation name must not be empty")
+		}
+		ns := object.NewSet()
+		d.Put(rel, ns)
+		return ns, madeDB, true, nil
+	}
+	s, ok = v.(*object.Set)
+	if !ok {
+		return nil, madeDB, false, fmt.Errorf("catalog: %s.%s is not a relation", db, rel)
+	}
+	return s, madeDB, false, nil
+}
+
+// Relation returns a relation's set, creating the relation (and database)
+// on demand when create is true. Creation routes through the applier so
+// it is coherent with a concurrently evaluating engine.
+func (c *Catalog) Relation(db, rel string, create bool) (*object.Set, error) {
+	if !create {
+		d, err := c.database(db)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := d.Get(rel)
+		if !ok {
 			return nil, fmt.Errorf("catalog: no relation %q in %q", rel, db)
 		}
-		s := object.NewSet()
-		d.Put(rel, s)
-		c.changed()
-		return s, c.logMutation("create-rel", db, rel, nil)
+		s, ok := v.(*object.Set)
+		if !ok {
+			return nil, fmt.Errorf("catalog: %s.%s is not a relation", db, rel)
+		}
+		return s, nil
 	}
-	s, ok := v.(*object.Set)
-	if !ok {
-		return nil, fmt.Errorf("catalog: %s.%s is not a relation", db, rel)
+	var (
+		s               *object.Set
+		madeDB, madeRel bool
+		err             error
+	)
+	c.applyUniverse(func(u *object.Tuple) bool {
+		s, madeDB, madeRel, err = relationIn(u, db, rel)
+		return madeDB || madeRel
+	})
+	if madeDB {
+		if lerr := c.logMutation("create-db", db, "", nil); lerr != nil {
+			return s, lerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if madeRel {
+		return s, c.logMutation("create-rel", db, rel, nil)
 	}
 	return s, nil
 }
 
 // Insert bulk-loads tuples into a relation (created on demand), skipping
-// duplicates, and returns how many were added.
+// duplicates, and returns how many were added. The whole batch lands in
+// one applier call, behind the copy-on-write barrier when the target set
+// is shared with a live MVCC snapshot.
 func (c *Catalog) Insert(db, rel string, tuples ...*object.Tuple) (int, error) {
-	s, err := c.Relation(db, rel, true)
+	var (
+		n               int
+		madeDB, madeRel bool
+		err             error
+	)
+	c.applyUniverse(func(u *object.Tuple) bool {
+		var s *object.Set
+		s, madeDB, madeRel, err = relationIn(u, db, rel)
+		if err != nil {
+			return madeDB
+		}
+		if !madeRel {
+			if d, dErr := databaseIn(u, db); dErr == nil {
+				s = c.mutableSet(d, rel, s)
+			}
+		}
+		for _, t := range tuples {
+			if s.Add(t) {
+				n++
+			}
+		}
+		return madeDB || madeRel || n > 0
+	})
+	if madeDB {
+		if lerr := c.logMutation("create-db", db, "", nil); lerr != nil {
+			return n, lerr
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, t := range tuples {
-		if s.Add(t) {
-			n++
+	if madeRel {
+		if lerr := c.logMutation("create-rel", db, rel, nil); lerr != nil {
+			return n, lerr
 		}
 	}
 	if n > 0 {
-		c.changed()
 		// Replay re-inserts the whole batch; Add skips the duplicates the
 		// original run skipped, so the outcome is identical.
 		return n, c.logMutation("insert", db, rel, tuples)

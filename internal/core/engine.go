@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idl/internal/ast"
@@ -67,6 +68,15 @@ type Options struct {
 	// PlanCacheSize bounds the plan cache (LRU eviction). 0 selects the
 	// default of 256 plans.
 	PlanCacheSize int
+	// MaxRevisions bounds MVCC snapshot retention: at each freeze,
+	// unpinned versions beyond the newest MaxRevisions are collected
+	// (pinned versions always survive). 0 selects the default of 4.
+	MaxRevisions int
+	// SerialReads disables the MVCC lock-free read path: queries
+	// evaluate under the engine mutex exactly as before the versioned
+	// universe landed. Used as the single-mutex baseline by the B18
+	// bench family and the differential suite's {mutex} arm.
+	SerialReads bool
 }
 
 // DefaultOptions returns the production defaults.
@@ -79,8 +89,11 @@ func DefaultOptions() Options {
 // materializes (higher-order) views (§6), and runs update programs
 // including view-update translation (§7).
 //
-// An Engine is safe for concurrent use; a single mutex serializes all
-// operations (queries mutate shared caches, so even reads take it).
+// An Engine is safe for concurrent use. Mutations (Execute, Call,
+// UpdateBase, DDL, rule registration) serialize on the engine mutex;
+// queries pin an immutable snapshot version (version.go) and evaluate
+// lock-free, falling back to the mutex only to freeze a fresh snapshot
+// after a mutation — or always, under Options.SerialReads.
 type Engine struct {
 	mu sync.Mutex
 
@@ -90,18 +103,36 @@ type Engine struct {
 	indexes *indexCache
 	opts    Options
 	stats   Stats
+	// statsMu guards the aggregate evaluator counters: lock-free
+	// snapshot readers merge their local counters without e.mu.
+	statsMu sync.Mutex
+
+	// MVCC version chain (version.go). head is the newest frozen
+	// snapshot (nil after any mutation, until a reader freezes a fresh
+	// one); versions are the retained snapshots; published marks every
+	// set shared into a live snapshot — the sets writers must
+	// copy-on-write. versions/published live under e.mu.
+	head      atomic.Pointer[version]
+	versions  []*version
+	published map[*object.Set]bool
+	// mvcc counters, under e.mu.
+	mvccFreezes   uint64
+	mvccCollected uint64
+	mvccCOWClones uint64
 
 	// epoch counts catalog changes: every mutation of the universe or
 	// the rule set bumps it (markDirty). Plans, prepared queries, and
 	// relation statistics validated at the current epoch are fresh.
 	epoch uint64
-	// plans is the epoch-keyed compiled-plan cache; relStats the lazy
-	// per-relation statistics memo. Both live under e.mu.
+	// plans is the epoch-keyed compiled-plan cache, under planMu so the
+	// lock-free read path can consult it; relStats is the lazy
+	// per-relation statistics memo (a sync.Map — see stats.go).
+	planMu        sync.Mutex
 	plans         *planCache
 	planHits      uint64
 	planMisses    uint64
 	planEvictions uint64
-	relStats      map[*object.Set]*relStat
+	relStats      sync.Map // *object.Set -> *relStat
 
 	// metrics/tracer are the optional observability hooks (obs.go); em
 	// caches per-metric pointers so operations skip registry lookups.
@@ -251,9 +282,14 @@ func (e *Engine) Invalidate() {
 // anything else forces a full recomputation. Every call bumps the
 // catalog epoch — each corresponds to a change to the universe or rule
 // set, so plans and statistics stamped at an older epoch must revalidate
-// their dependencies before reuse. Callers hold e.mu.
+// their dependencies before reuse. It also drops the published MVCC
+// head: new readers fall into the locked slow path and block on e.mu
+// until the mutation in progress commits (or rolls back), then freeze a
+// fresh snapshot. Readers already pinned to an older version are
+// unaffected — their snapshot is immutable. Callers hold e.mu.
 func (e *Engine) markDirty(monotone bool) {
 	e.epoch++
+	e.invalidateHead()
 	if e.dirty {
 		e.monotoneDirty = e.monotoneDirty && monotone
 	} else {
@@ -264,16 +300,24 @@ func (e *Engine) markDirty(monotone bool) {
 
 // Stats returns a copy of the evaluator counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	return e.stats
 }
 
 // ResetStats zeroes the evaluator counters.
 func (e *Engine) ResetStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	e.stats = Stats{}
+}
+
+// addStats merges one operation's local counters into the engine-wide
+// aggregate. Safe without e.mu.
+func (e *Engine) addStats(local Stats) {
+	e.statsMu.Lock()
+	e.stats.add(local)
+	e.statsMu.Unlock()
 }
 
 // LastRecompute reports the work done by the most recent view
@@ -385,6 +429,14 @@ func (e *Engine) Query(q *ast.Query) (*Answer, error) {
 // and deadlines, with checks amortized so the enumeration hot path
 // stays fast. A cancelled query returns ctx.Err().
 //
+// Reads are snapshot-isolated: the query pins the newest committed
+// version of the effective universe (version.go) and evaluates against
+// it without holding the engine mutex, so concurrent queries share the
+// machine instead of a lock queue. The mutex is taken only when no
+// fresh snapshot is published (the first read after a mutation freezes
+// one), under Options.SerialReads, or when a tracer is attached
+// (per-conjunct probes are not concurrency-safe).
+//
 // Unless the planner is bypassed (NoSchedule, Interpret, or a traced
 // run), evaluation goes through a compiled plan from the epoch-keyed
 // plan cache; the answer's Plan field reports the cache outcome.
@@ -392,15 +444,33 @@ func (e *Engine) QueryCtx(ctx context.Context, q *ast.Query) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if ast.HasUpdate(q.Body) {
 		return nil, fmt.Errorf("core: query contains update expressions; use Execute")
 	}
+	if v := e.pinHead(); v != nil {
+		if v.opts.SerialReads || v.tracer != nil {
+			v.unpin()
+		} else {
+			defer v.unpin()
+			return e.runSnapshot(cancellable(ctx), ctx, q, v, nil, nil)
+		}
+	}
+	return e.queryLocked(ctx, q)
+}
+
+// queryLocked is the mutex-guarded read path: refresh the effective
+// universe, publish a fresh snapshot for subsequent lock-free readers,
+// and evaluate under the lock (pre-MVCC semantics).
+func (e *Engine) queryLocked(ctx context.Context, q *ast.Query) (*Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	cctx := cancellable(ctx)
 	rounds := e.fixpointRounds
 	if _, err := e.refreshEffective(cctx); err != nil {
 		return nil, err
+	}
+	if !e.opts.SerialReads {
+		e.publishHeadLocked()
 	}
 	ans, err := e.runPlanned(cctx, ctx, q, nil, nil)
 	if ans != nil {
@@ -447,7 +517,7 @@ func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Qu
 	default:
 		if pl == nil {
 			var state string
-			pl, state = e.planFor(q, eff)
+			pl, state = e.planFor(q, eff, e.epoch, e.opts, e.em)
 			info = &PlanInfo{Cache: state}
 			if state == "miss" || state == "cold" {
 				info.CompileNS = pl.compileNS
@@ -483,7 +553,7 @@ func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Qu
 	if e.opts.Workers > 1 && span == nil {
 		var chunks [][]Row
 		var ok bool
-		chunks, ok, err = e.parallelEnumerate(cctx, body, eff, vars, &local, an)
+		chunks, ok, err = e.parallelEnumerate(cctx, body, eff, vars, &local, an, e.opts, e.em)
 		if ok {
 			ran = true
 			if err == nil {
@@ -508,7 +578,7 @@ func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Qu
 			return nil
 		})
 	}
-	e.stats.add(local)
+	e.addStats(local)
 	if obsOn {
 		if e.em != nil {
 			e.em.record(&e.em.query, start, local, err)
@@ -520,6 +590,93 @@ func (e *Engine) runPlanned(cctx context.Context, ctx context.Context, q *ast.Qu
 			attachConjunctSpans(span, q.Body.Conjuncts, probes)
 			span.End()
 		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	ans.Plan = info
+	ans.Resources = resourcesFrom(local, ans.Len())
+	return ans, nil
+}
+
+// runSnapshot evaluates a pure query against a pinned immutable version
+// with NO engine lock held — the MVCC fast path. It mirrors runPlanned:
+// the same plan acquisition (from the planMu-guarded cache, keyed by the
+// version's epoch), the same cost ranks, the same parallel-partition
+// path, so answers — including raw row order — are byte-identical to the
+// locked path at the same epoch. Shared state it touches is individually
+// synchronized: the plan cache under planMu, the index cache's sharded
+// read locks, the statistics sync.Map, and the aggregate counters under
+// statsMu. pl, when non-nil, is a prepared query's revalidated plan.
+func (e *Engine) runSnapshot(cctx context.Context, ctx context.Context, q *ast.Query, v *version, pl *queryPlan, info *PlanInfo) (*Answer, error) {
+	eff := v.eff
+	em := v.em
+	var start time.Time
+	if em != nil {
+		start = time.Now()
+	}
+	body := q.Body
+	var vars []string
+	var an *bodyAnalysis
+	switch {
+	case v.opts.NoSchedule:
+		vars = ast.PositiveVars(q.Body)
+	case v.opts.Interpret:
+		vars = ast.PositiveVars(q.Body)
+		an = e.analyzeBody(q.Body, eff, nil)
+	default:
+		if pl == nil {
+			var state string
+			pl, state = e.planFor(q, eff, v.epoch, v.opts, em)
+			info = &PlanInfo{Cache: state}
+			if state == "miss" || state == "cold" {
+				info.CompileNS = pl.compileNS
+			}
+		}
+		body = pl.q.Body
+		vars = pl.vars
+		an = pl.an
+	}
+	ans := newAnswer(vars)
+	var local Stats
+	ev := &evaluator{env: NewEnv(), indexes: e.indexes, useIndex: v.opts.UseIndex, noSchedule: v.opts.NoSchedule, stats: &local, ctx: cctx}
+	if an != nil {
+		ev.consumedCache = an.consumed
+		ev.ranks = an.ranks
+	}
+	var err error
+	ran := false
+	if v.opts.Workers > 1 {
+		var chunks [][]Row
+		var ok bool
+		chunks, ok, err = e.parallelEnumerate(cctx, body, eff, vars, &local, an, v.opts, em)
+		if ok {
+			ran = true
+			if err == nil {
+				var mergeStart time.Time
+				if em != nil {
+					mergeStart = time.Now()
+				}
+				for _, rows := range chunks {
+					for _, r := range rows {
+						ans.add(r)
+					}
+				}
+				if em != nil {
+					em.mergeLatency.Observe(time.Since(mergeStart))
+				}
+			}
+		}
+	}
+	if !ran {
+		err = ev.satisfy(body, eff, func() error {
+			ans.add(ev.env.Snapshot(vars))
+			return nil
+		})
+	}
+	e.addStats(local)
+	if em != nil {
+		em.record(&em.query, start, local, err)
 	}
 	if err != nil {
 		return nil, err
@@ -572,11 +729,12 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q *ast.Query) (*ExecResult, err
 		result: &ExecResult{},
 		span:   span,
 	}
+	u.cow = e.cowSetUndo(u)
 	err := e.execBody(q.Body, u, map[string]object.Object{}, map[*compiledClause]bool{})
 	if err == nil {
 		err = e.validate(u)
 	}
-	e.stats.add(local)
+	e.addStats(local)
 	if obsOn {
 		if e.em != nil {
 			e.em.record(&e.em.exec, start, local, err)
@@ -646,11 +804,12 @@ func (e *Engine) CallCtx(ctx context.Context, db, name string, params map[string
 		result: &ExecResult{},
 		span:   span,
 	}
+	u.cow = e.cowSetUndo(u)
 	err := e.invokeProgramDirect(p, params, u, map[*compiledClause]bool{})
 	if err == nil {
 		err = e.validate(u)
 	}
-	e.stats.add(local)
+	e.addStats(local)
 	if obsOn {
 		if e.em != nil {
 			e.em.record(&e.em.call, start, local, err)
@@ -777,6 +936,13 @@ func (e *Engine) refreshEffective(ctx context.Context) (*object.Tuple, error) {
 		})
 		return true
 	})
+	// Sets shared into retained MVCC snapshots stay live too: in-flight
+	// readers may still probe their indexes and statistics.
+	for _, v := range e.versions {
+		for _, set := range v.sets {
+			live[set] = true
+		}
+	}
 	e.indexes.retain(live)
 	e.pruneStats(live)
 	e.dirty = false

@@ -162,7 +162,7 @@ func (e *Engine) ExplainAnalyzeQuery(ctx context.Context, q *ast.Query) (*Explai
 		return nil
 	})
 	total := time.Since(start)
-	e.stats.add(local)
+	e.addStats(local)
 	if e.em != nil {
 		e.em.record(&e.em.query, start, local, err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"unsafe"
 
 	"idl/internal/object"
 )
@@ -9,16 +10,27 @@ import (
 // indexCache holds lazily built per-(set, attribute) hash indexes mapping
 // attribute values to the elements carrying them. An index is rebuilt when
 // its set's version counter moves (the update evaluator bumps versions by
-// removing and re-adding mutated elements).
+// removing and re-adding mutated elements; the MVCC COW path replaces the
+// set pointer outright, which reads as a miss here).
 //
 // The cache is owned by an Engine and shared across its evaluations,
-// including the worker goroutines of parallel evaluation (parallel.go):
-// a mutex serializes lookups, so concurrent workers share one build of
-// each index instead of building per-worker copies. The critical section
-// is a map probe (plus the build on a miss); the uncontended lock is
-// noise next to the candidate enumeration it guards.
+// including the worker goroutines of parallel evaluation (parallel.go)
+// and, since the MVCC refactor, fully concurrent snapshot readers. It is
+// sharded by set pointer with a read/write mutex per shard: once an index
+// is built, concurrent readers take only a shard read-lock — the hot
+// lookup path no longer serializes parallel workers on one mutex. A miss
+// upgrades to the shard write-lock and double-checks before building, so
+// concurrent workers still share one build of each index.
 type indexCache struct {
-	mu sync.Mutex
+	shards [indexShards]indexShard
+}
+
+// indexShards is the shard count; a small power of two keeps the
+// pointer-hash cheap while spreading relations across locks.
+const indexShards = 16
+
+type indexShard struct {
+	mu sync.RWMutex
 	m  map[indexKey]*setIndex
 }
 
@@ -33,21 +45,41 @@ type setIndex struct {
 }
 
 func newIndexCache() *indexCache {
-	return &indexCache{m: make(map[indexKey]*setIndex)}
+	c := &indexCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[indexKey]*setIndex)
+	}
+	return c
+}
+
+// shardFor picks the shard for a set by mixing its pointer bits.
+func (c *indexCache) shardFor(set *object.Set) *indexShard {
+	// Fibonacci hash of the pointer; low bits of Go pointers are aligned
+	// zeros, so mix before masking.
+	h := uint64(uintptr(unsafe.Pointer(set))) * 0x9e3779b97f4a7c15
+	return &c.shards[(h>>59)&(indexShards-1)]
 }
 
 // lookup returns the elements of set whose attr equals val (candidates:
 // hash collisions are filtered by the caller's full evaluation).
 func (c *indexCache) lookup(set *object.Set, attr string, val object.Object, stats *Stats) []object.Object {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shardFor(set)
 	key := indexKey{set: set, attr: attr}
-	idx, ok := c.m[key]
-	if !ok || idx.version != set.Version() {
+	ver := set.Version()
+	sh.mu.RLock()
+	idx, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok && idx.version == ver {
+		return idx.byValue[val.Hash()]
+	}
+	sh.mu.Lock()
+	idx, ok = sh.m[key]
+	if !ok || idx.version != ver {
 		idx = buildIndex(set, attr)
-		c.m[key] = idx
+		sh.m[key] = idx
 		stats.IndexBuilds++
 	}
+	sh.mu.Unlock()
 	return idx.byValue[val.Hash()]
 }
 
@@ -70,18 +102,21 @@ func buildIndex(set *object.Set, attr string) *setIndex {
 }
 
 // retain drops every index whose set is not in the live set — the
-// relations reachable from the (just rebuilt) effective universe — and
-// keeps the rest. Per-relation invalidation instead of a wholesale wipe:
-// an update to one relation no longer discards every other relation's
-// index. Retention is always safe: lookup re-checks the set's version
-// and rebuilds on mismatch, so a retained index over a mutated set
-// simply rebuilds on next use.
+// relations reachable from the (just rebuilt) effective universe and any
+// retained MVCC snapshot — and keeps the rest. Per-relation invalidation
+// instead of a wholesale wipe: an update to one relation no longer
+// discards every other relation's index. Retention is always safe:
+// lookup re-checks the set's version and rebuilds on mismatch, so a
+// retained index over a mutated set simply rebuilds on next use.
 func (c *indexCache) retain(live map[*object.Set]bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for key := range c.m {
-		if !live[key.set] {
-			delete(c.m, key)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key := range sh.m {
+			if !live[key.set] {
+				delete(sh.m, key)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }

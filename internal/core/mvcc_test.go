@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"idl/internal/ast"
+	"idl/internal/object"
+	"idl/internal/parser"
+)
+
+// renderAnswer flattens an answer — variables, then every row in raw
+// order — into one byte-comparable string.
+func renderAnswer(ans *Answer) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(ans.Vars, ","))
+	for _, r := range ans.Rows {
+		b.WriteString("\n")
+		for _, v := range ans.Vars {
+			fmt.Fprintf(&b, "%s=%v;", v, r[v])
+		}
+	}
+	return b.String()
+}
+
+// pinnedAnswer evaluates src against one pinned snapshot version.
+func pinnedAnswer(t testing.TB, e *Engine, v *version, src string) string {
+	t.Helper()
+	query, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	ctx := context.Background()
+	ans, err := e.runSnapshot(cancellable(ctx), ctx, query, v, nil, nil)
+	if err != nil {
+		t.Fatalf("snapshot query %q: %v", src, err)
+	}
+	return renderAnswer(ans)
+}
+
+// TestMVCCRepeatableRead is the snapshot-isolation oracle: a reader that
+// pins a version sees byte-identical answers no matter how many
+// mutations, DDL statements, or rule registrations commit after the pin.
+func TestMVCCRepeatableRead(t *testing.T) {
+	e := newStockEngine(t)
+	queries := []string{
+		"?.euter.r(.stkCode=S, .clsPrice>200)",
+		"?.euter.r(.date=D, .stkCode=hp, .clsPrice=P)",
+		"?.chwab.r(.date=D, .hp=P)",
+		"?.ource.S(.clsPrice>200)",
+	}
+	// A first read publishes the head; then pin it.
+	q(t, e, queries[0])
+	v := e.pinHead()
+	if v == nil {
+		t.Fatal("no head published after a query")
+	}
+	defer v.unpin()
+	want := make([]string, len(queries))
+	for i, src := range queries {
+		want[i] = pinnedAnswer(t, e, v, src)
+	}
+
+	// Churn everything the snapshot must be isolated from: element
+	// updates on every schema, new relations, and rule registrations.
+	for i := 0; i < 8; i++ {
+		exec(t, e, fmt.Sprintf("?.euter.r+(.date=3/%d/85,.stkCode=w%d,.clsPrice=%d)", 10+i, i, 300+i))
+		exec(t, e, "?.chwab.r(.date=3/1/85,.hp-=1)")
+		exec(t, e, fmt.Sprintf("?.ource.hp+(.date=3/%d/85,.clsPrice=%d)", 10+i, 400+i))
+		mustRule(t, e, fmt.Sprintf(".dbI.v%d(.stk=S) <- .euter.r(.stkCode=S)", i))
+		// Interleave reads so fresh versions are frozen and the retention
+		// window slides past the pinned snapshot.
+		q(t, e, queries[0])
+		for qi, src := range queries {
+			if got := pinnedAnswer(t, e, v, src); got != want[qi] {
+				t.Fatalf("round %d: pinned answer for %q changed:\n got %s\nwant %s", i, src, got, want[qi])
+			}
+		}
+	}
+
+	st := e.MVCCStats()
+	if st.PinnedReaders == 0 || len(st.PinnedEpochs) == 0 {
+		t.Fatalf("pinned snapshot invisible in stats: %+v", st)
+	}
+	if st.PinnedEpochs[0] != v.epoch {
+		t.Fatalf("pinned epoch %d, stats report %v", v.epoch, st.PinnedEpochs)
+	}
+	if st.Collected == 0 {
+		t.Fatalf("retention never collected despite %d freezes: %+v", st.Freezes, st)
+	}
+	if st.COWClones == 0 {
+		t.Fatal("writers never copy-on-wrote a published set")
+	}
+}
+
+// TestMVCCRetentionBound pins the GC policy: unpinned versions beyond
+// MaxRevisions are collected at each freeze, and the head plus pinned
+// versions always survive.
+func TestMVCCRetentionBound(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxRevisions = 2
+	e := NewEngineWithOptions(opts)
+	buildStockBase(t, e)
+	for i := 0; i < 10; i++ {
+		exec(t, e, fmt.Sprintf("?.euter.r+(.date=3/%d/85,.stkCode=g%d,.clsPrice=1)", 1+i%28, i))
+		q(t, e, "?.euter.r(.clsPrice>200)") // freezes a fresh version
+	}
+	st := e.MVCCStats()
+	if st.LiveVersions > 2 {
+		t.Fatalf("%d live versions exceed MaxRevisions=2: %+v", st.LiveVersions, st)
+	}
+	if !st.HeadPublished || st.HeadEpoch == 0 {
+		t.Fatalf("no published head after reads: %+v", st)
+	}
+	if st.Collected < 5 {
+		t.Fatalf("collected %d versions across 10 freeze cycles: %+v", st.Collected, st)
+	}
+	if st.RetainedBytes <= 0 {
+		t.Fatalf("retained-bytes estimate empty: %+v", st)
+	}
+}
+
+// TestMVCCSerialReadsMode: under Options.SerialReads every query takes
+// the locked path and no snapshot is ever published.
+func TestMVCCSerialReadsMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SerialReads = true
+	e := NewEngineWithOptions(opts)
+	buildStockBase(t, e)
+	for i := 0; i < 3; i++ {
+		q(t, e, "?.euter.r(.stkCode=S, .clsPrice>200)")
+	}
+	if st := e.MVCCStats(); st.HeadPublished || st.LiveVersions != 0 || st.Freezes != 0 {
+		t.Fatalf("SerialReads engine published snapshots: %+v", st)
+	}
+}
+
+// TestMVCCConcurrentChurn is the -race stress: unsynchronized readers
+// against a writer flipping one tuple in and out, a DDL/member-install
+// churner, and a rule registrar. Every reader answer must equal one of
+// the two serializable states, and the stable part of the fixture must
+// read back byte-identically throughout.
+func TestMVCCConcurrentChurn(t *testing.T) {
+	e := newStockEngine(t)
+
+	churnQ := "?.euter.r(.stkCode=churn, .clsPrice=P)"
+	stableQ := "?.euter.r(.stkCode=S, .clsPrice>200)"
+	absent := renderAnswer(q(t, e, churnQ))
+	stable := renderAnswer(q(t, e, stableQ))
+	exec(t, e, "?.euter.r+(.date=3/9/85,.stkCode=churn,.clsPrice=5)")
+	present := renderAnswer(q(t, e, churnQ))
+	exec(t, e, "?.euter.r-(.stkCode=churn)")
+	if absent == present {
+		t.Fatal("oracle states indistinguishable")
+	}
+
+	parse := func(src string) *ast.Query {
+		query, err := parser.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return query
+	}
+	churnAST, stableAST := parse(churnQ), parse(stableQ)
+
+	const writerRounds = 120
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Writer: flip the churn tuple in and out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		ins := parse("?.euter.r+(.date=3/9/85,.stkCode=churn,.clsPrice=5)")
+		del := parse("?.euter.r-(.stkCode=churn)")
+		for i := 0; i < writerRounds; i++ {
+			if _, err := e.Execute(ins); err != nil {
+				errs <- fmt.Errorf("writer insert: %w", err)
+				return
+			}
+			if _, err := e.Execute(del); err != nil {
+				errs <- fmt.Errorf("writer delete: %w", err)
+				return
+			}
+		}
+	}()
+
+	// DDL / member-snapshot churner: install and remove a scratch
+	// database through the same UpdateBase path Sync uses.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			i++
+			rel := object.NewSet()
+			rel.Add(object.TupleOf("k", i))
+			scratch := object.NewTuple()
+			scratch.Put("t", rel)
+			e.UpdateBase(func(base *object.Tuple) bool {
+				base.Put("scratch", scratch)
+				return true
+			})
+			e.UpdateBase(func(base *object.Tuple) bool {
+				return base.Delete("scratch")
+			})
+		}
+	}()
+
+	// Rule registrar: epoch churn from registration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r, err := parser.ParseRule(fmt.Sprintf(".dbI.churn%d(.stk=S) <- .euter.r(.stkCode=S)", i))
+			if err != nil {
+				errs <- fmt.Errorf("parse rule: %w", err)
+				return
+			}
+			if err := e.AddRule(r); err != nil {
+				errs <- fmt.Errorf("add rule: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: every answer must be a serializable state.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ans, err := e.Query(churnAST)
+				if err != nil {
+					errs <- fmt.Errorf("reader churn query: %w", err)
+					return
+				}
+				if got := renderAnswer(ans); got != absent && got != present {
+					errs <- fmt.Errorf("reader saw a non-serializable state:\n got %s", got)
+					return
+				}
+				ans, err = e.Query(stableAST)
+				if err != nil {
+					errs <- fmt.Errorf("reader stable query: %w", err)
+					return
+				}
+				if got := renderAnswer(ans); got != stable {
+					errs <- fmt.Errorf("stable rows changed under churn:\n got %s\nwant %s", got, stable)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := e.MVCCStats(); st.PinnedReaders != 0 {
+		t.Fatalf("reader pins leaked: %+v", st)
+	}
+}

@@ -57,6 +57,11 @@ type engineMetrics struct {
 	planCacheMiss  *obs.Counter
 	planCacheEvict *obs.Counter
 	planCompile    *obs.Histogram
+
+	// MVCC instruments (version.go): how many snapshot versions are
+	// retained and their estimated logical footprint.
+	mvccLiveVersions  *obs.Gauge
+	mvccRetainedBytes *obs.Gauge
 }
 
 func opMetricsFor(r *obs.Registry, op string) opMetrics {
@@ -96,6 +101,9 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		planCacheMiss:   r.Counter("engine.plan.cache_miss"),
 		planCacheEvict:  r.Counter("engine.plan.evict"),
 		planCompile:     r.Histogram("engine.plan.compile_ns"),
+
+		mvccLiveVersions:  r.Gauge("mvcc.live_versions"),
+		mvccRetainedBytes: r.Gauge("mvcc.retained_bytes"),
 	}
 }
 
@@ -122,12 +130,14 @@ func (em *engineMetrics) evalWork(local Stats) {
 
 // SetMetrics attaches a metrics registry (nil detaches). Operations
 // publish counts, error counts, latency histograms and evaluator work
-// under the engine.* namespace.
+// under the engine.* namespace. The published MVCC head is dropped
+// because snapshots capture the metric hooks they report through.
 func (e *Engine) SetMetrics(r *obs.Registry) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.metrics = r
 	e.em = newEngineMetrics(r)
+	e.invalidateHead()
 }
 
 // Metrics returns the attached registry, possibly nil.
@@ -140,11 +150,14 @@ func (e *Engine) Metrics() *obs.Registry {
 // SetTracer attaches a span tracer (nil detaches). Traced operations
 // build hierarchical spans: queries get per-conjunct children, view
 // materializations per-round children, update requests a program call
-// tree.
+// tree. The published MVCC head is dropped because snapshot readers
+// consult the tracer captured at freeze time to decide whether they must
+// take the serialized (traceable) path.
 func (e *Engine) SetTracer(t *obs.Tracer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tracer = t
+	e.invalidateHead()
 }
 
 // Tracer returns the attached tracer, possibly nil.

@@ -26,10 +26,13 @@ import (
 //     derived facts are then applied strictly in rule order, preserving
 //     the sequential make-true merge sequence.
 //
-// Workers share the engine's index cache (which serializes lookups with
-// a mutex) and the effective universe, which is never mutated during
-// body evaluation. Per-conjunct analyze probes are not parallel-safe, so
-// traced/EXPLAIN ANALYZE queries always evaluate sequentially.
+// Workers share the engine's index cache (sharded, read-locked on hits)
+// and the effective universe, which is never mutated during body
+// evaluation — either the live universe under e.mu or a frozen MVCC
+// snapshot, whose options and metrics are threaded in explicitly so the
+// evaluation matches what the snapshot captured. Per-conjunct analyze
+// probes are not parallel-safe, so traced/EXPLAIN ANALYZE queries always
+// evaluate sequentially.
 
 // minPartition is the smallest scan worth splitting: below this the
 // goroutine fan-out costs more than the scan.
@@ -54,7 +57,7 @@ type partition struct {
 // database or relation name, or a set expression the index would answer
 // (partitioning an index probe would change the candidate enumeration
 // order).
-func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *object.Set {
+func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis, opts Options) *object.Set {
 	switch expr := x.(type) {
 	case *ast.TupleExpr:
 		if len(expr.Conjuncts) == 0 {
@@ -66,7 +69,7 @@ func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *obje
 		// ranks); if none qualifies the scheduler falls back to the first
 		// conjunct.
 		pick := 0
-		if !e.opts.NoSchedule {
+		if !opts.NoSchedule {
 			var consumed [][]string
 			var ranks []float64
 			if an != nil {
@@ -84,7 +87,7 @@ func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *obje
 				pick = 0
 			}
 		}
-		return e.scanTarget(expr.Conjuncts[pick], o, an)
+		return e.scanTarget(expr.Conjuncts[pick], o, an, opts)
 
 	case *ast.AttrExpr:
 		if expr.Sign != ast.SignNone {
@@ -102,7 +105,7 @@ func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *obje
 		if !ok {
 			return nil
 		}
-		return e.scanTarget(expr.Expr, val, an)
+		return e.scanTarget(expr.Expr, val, an, opts)
 
 	case *ast.SetExpr:
 		if expr.Sign != ast.SignNone {
@@ -112,7 +115,7 @@ func (e *Engine) scanTarget(x ast.Expr, o object.Object, an *bodyAnalysis) *obje
 		if !ok {
 			return nil
 		}
-		if e.opts.UseIndex && wouldUseIndex(expr, set) {
+		if opts.UseIndex && wouldUseIndex(expr, set) {
 			// The index path would answer this scan, so the sequential
 			// evaluator never enumerates the full set; leave it alone.
 			return nil
@@ -170,9 +173,9 @@ func splitChunks(elems []object.Object, n int) [][]object.Object {
 // the earliest chunk raised — the same error sequential evaluation would
 // have hit first, since workers fail at the first failing element of
 // their own chunk.
-func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, root *object.Tuple, vars []string, stats *Stats, an *bodyAnalysis) ([][]Row, bool, error) {
-	workers := e.opts.Workers
-	target := e.scanTarget(body, root, an)
+func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, root *object.Tuple, vars []string, stats *Stats, an *bodyAnalysis, opts Options, em *engineMetrics) ([][]Row, bool, error) {
+	workers := opts.Workers
+	target := e.scanTarget(body, root, an, opts)
 	if target == nil || target.Len() < minPartition {
 		return nil, false, nil
 	}
@@ -180,9 +183,9 @@ func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, roo
 	if len(chunks) < 2 {
 		return nil, false, nil
 	}
-	if e.em != nil {
-		e.em.parallelOps.Inc()
-		e.em.partitions.Add(uint64(len(chunks)))
+	if em != nil {
+		em.parallelOps.Inc()
+		em.partitions.Add(uint64(len(chunks)))
 	}
 	rows := make([][]Row, len(chunks))
 	errs := make([]error, len(chunks))
@@ -192,15 +195,15 @@ func (e *Engine) parallelEnumerate(ctx context.Context, body *ast.TupleExpr, roo
 		wg.Add(1)
 		go func(w int, chunk []object.Object) {
 			defer wg.Done()
-			if e.em != nil {
-				e.em.workerBusy.Add(1)
-				defer e.em.workerBusy.Add(-1)
+			if em != nil {
+				em.workerBusy.Add(1)
+				defer em.workerBusy.Add(-1)
 			}
 			ev := &evaluator{
 				env:        NewEnv(),
 				indexes:    e.indexes,
-				useIndex:   e.opts.UseIndex,
-				noSchedule: e.opts.NoSchedule,
+				useIndex:   opts.UseIndex,
+				noSchedule: opts.NoSchedule,
 				stats:      &chunkStats[w],
 				ctx:        ctx,
 				part:       &partition{set: target, elems: chunk},
@@ -278,7 +281,7 @@ func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effec
 	if len(wave) == 1 {
 		rule := wave[0]
 		headVars := ast.Vars(rule.src.Head)
-		chunks, ok, err := e.parallelEnumerate(ctx, rule.src.Body, effective, headVars, stats, ans[0])
+		chunks, ok, err := e.parallelEnumerate(ctx, rule.src.Body, effective, headVars, stats, ans[0], e.opts, e.em)
 		if ok {
 			if err == nil {
 				dedupe := newAnswer(nil)
@@ -320,7 +323,9 @@ func (e *Engine) evalRuleBodies(ctx context.Context, wave []*compiledRule, effec
 }
 
 // SetWorkers sets the degree of intra-operation parallelism (see
-// Options.Workers). Values below zero clamp to zero (sequential).
+// Options.Workers). Values below zero clamp to zero (sequential). The
+// published MVCC head is dropped because snapshots capture the options
+// they evaluate under.
 func (e *Engine) SetWorkers(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -328,6 +333,7 @@ func (e *Engine) SetWorkers(n int) {
 		n = 0
 	}
 	e.opts.Workers = n
+	e.invalidateHead()
 }
 
 // Workers returns the configured parallelism degree.

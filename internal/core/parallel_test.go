@@ -320,14 +320,14 @@ func TestScanTargetSkipsIndexableScans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if target := e.scanTarget(query.Body, eff, nil); target != nil {
+	if target := e.scanTarget(query.Body, eff, nil, e.opts); target != nil {
 		t.Errorf("index-eligible scan: scanTarget = %v, want nil", target)
 	}
 	query2, err := parser.ParseQuery("?.big.r(.stkCode=S, .clsPrice>150)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if target := e.scanTarget(query2.Body, eff, nil); target == nil {
+	if target := e.scanTarget(query2.Body, eff, nil, e.opts); target == nil {
 		t.Error("plain scan: scanTarget = nil, want big.r")
 	} else if target.Len() != 100 {
 		t.Errorf("plain scan: wrong set, len %d", target.Len())
@@ -337,7 +337,7 @@ func TestScanTargetSkipsIndexableScans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if target := e.scanTarget(query3.Body, eff, nil); target != nil {
+	if target := e.scanTarget(query3.Body, eff, nil, e.opts); target != nil {
 		t.Error("negation: scanTarget should be nil")
 	}
 }

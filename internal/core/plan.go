@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"idl/internal/ast"
@@ -65,10 +66,11 @@ func consumedMap(body *ast.TupleExpr) map[*ast.TupleExpr][][]string {
 }
 
 // analyzeBody computes the full execution analysis of a body against the
-// current effective universe: consumed lists plus cost ranks for the
+// given effective universe: consumed lists plus cost ranks for the
 // top-level conjuncts. consumed may be nil (computed here) or a
 // precomputed map shared with the caller (rule bodies reuse theirs across
-// materializations). Callers hold e.mu.
+// materializations). Safe without e.mu when eff is an immutable snapshot
+// (statistics live in a concurrent memo).
 func (e *Engine) analyzeBody(body *ast.TupleExpr, eff *object.Tuple, consumed map[*ast.TupleExpr][][]string) *bodyAnalysis {
 	if consumed == nil {
 		consumed = consumedMap(body)
@@ -122,9 +124,10 @@ type PlanInfo struct {
 	CompileNS int64
 }
 
-// compilePlan builds a plan for q against the current effective universe.
-// Callers hold e.mu.
-func (e *Engine) compilePlan(q *ast.Query, eff *object.Tuple, key planKey) *queryPlan {
+// compilePlan builds a plan for q against the given effective universe,
+// stamped at the given epoch. Safe without e.mu when eff is an immutable
+// snapshot.
+func (e *Engine) compilePlan(q *ast.Query, eff *object.Tuple, key planKey, epoch uint64, em *engineMetrics) *queryPlan {
 	start := time.Now()
 	consumed := consumedMap(q.Body)
 	var deps []planDep
@@ -141,11 +144,11 @@ func (e *Engine) compilePlan(q *ast.Query, eff *object.Tuple, key planKey) *quer
 			ranks:    map[*ast.TupleExpr][]float64{q.Body: ranks},
 		},
 		deps:  deps,
-		epoch: e.epoch,
+		epoch: epoch,
 	}
 	pl.compileNS = time.Since(start).Nanoseconds()
-	if e.em != nil {
-		e.em.planCompile.Observe(time.Duration(pl.compileNS))
+	if em != nil {
+		em.planCompile.Observe(time.Duration(pl.compileNS))
 	}
 	return pl
 }
@@ -175,42 +178,62 @@ func (e *Engine) validatePlan(pl *queryPlan, eff *object.Tuple) bool {
 	return true
 }
 
-// planFor returns a plan for q, consulting the epoch-keyed cache unless
-// caching is disabled, plus the cache outcome ("hit", "stale", "miss",
-// "cold"). Callers hold e.mu and have refreshed the effective universe.
-func (e *Engine) planFor(q *ast.Query, eff *object.Tuple) (*queryPlan, string) {
-	key := planKey{fp: ast.Fingerprint(q), useIndex: e.opts.UseIndex}
-	if e.opts.NoPlanCache {
-		return e.compilePlan(q, eff, key), "cold"
+// planFor returns a plan for q, consulting the fingerprint-keyed cache
+// unless caching is disabled, plus the cache outcome ("hit", "stale",
+// "miss", "cold"). eff must be immutable for the duration of the call —
+// a frozen MVCC snapshot, or the live effective universe with e.mu held.
+// The cache itself is guarded by e.planMu, not e.mu, so lock-free
+// snapshot readers and the locked mutation path share one cache without
+// contending on the engine mutex.
+func (e *Engine) planFor(q *ast.Query, eff *object.Tuple, epoch uint64, opts Options, em *engineMetrics) (*queryPlan, string) {
+	key := planKey{fp: ast.Fingerprint(q), useIndex: opts.UseIndex}
+	if opts.NoPlanCache {
+		return e.compilePlan(q, eff, key, epoch, em), "cold"
 	}
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	if pl := e.plans.get(key); pl != nil {
-		if pl.epoch == e.epoch {
+		if pl.epoch == epoch {
 			e.planHits++
-			if e.em != nil {
-				e.em.planCacheHit.Inc()
+			if em != nil {
+				em.planCacheHit.Inc()
 			}
 			return pl, "hit"
 		}
 		if e.validatePlan(pl, eff) {
 			// Epoch moved but every dependency is unchanged: the change
-			// was elsewhere in the universe. Re-stamp and reuse.
-			pl.epoch = e.epoch
+			// was elsewhere in the universe. Re-stamp — upward only, so a
+			// reader pinned to an older snapshot never drags a fresher
+			// plan's stamp backwards — and reuse.
+			if epoch > pl.epoch {
+				pl.epoch = epoch
+			}
 			e.planHits++
-			if e.em != nil {
-				e.em.planCacheHit.Inc()
+			if em != nil {
+				em.planCacheHit.Inc()
 			}
 			return pl, "stale"
 		}
+		if epoch < pl.epoch {
+			// The cached plan is stamped for a newer universe than this
+			// pinned snapshot; compile a private plan for the snapshot
+			// without evicting the fresher one.
+			e.planMisses++
+			if em != nil {
+				em.planCacheMiss.Inc()
+			}
+			return e.compilePlan(q, eff, key, epoch, em), "miss"
+		}
 	}
 	e.planMisses++
-	if e.em != nil {
-		e.em.planCacheMiss.Inc()
+	if em != nil {
+		em.planCacheMiss.Inc()
 	}
-	pl := e.compilePlan(q, eff, key)
+	pl := e.compilePlan(q, eff, key, epoch, em)
 	if e.plans.put(key, pl) {
 		e.planEvictions++
-		if e.em != nil {
-			e.em.planCacheEvict.Inc()
+		if em != nil {
+			em.planCacheEvict.Inc()
 		}
 	}
 	return pl, "miss"
@@ -387,9 +410,13 @@ func staticGroundEq(c ast.Expr) (string, bool) {
 // execution revalidates the plan against the catalog epoch (recompiling
 // when dependencies moved), so a prepared query never returns stale
 // answers — preparation only amortizes parsing-free analysis, never
-// correctness.
+// correctness. Executions are safe for concurrent use: like ad-hoc
+// queries they pin the MVCC head snapshot and evaluate lock-free; the
+// prepared plan itself is guarded by a small private mutex (held only
+// around revalidation, never during evaluation).
 type PreparedQuery struct {
 	e  *Engine
+	mu sync.Mutex // guards pl: revalidation may restamp or replace it
 	pl *queryPlan
 }
 
@@ -406,7 +433,7 @@ func (e *Engine) Prepare(q *ast.Query) (*PreparedQuery, error) {
 		return nil, err
 	}
 	key := planKey{fp: ast.Fingerprint(q), useIndex: e.opts.UseIndex}
-	return &PreparedQuery{e: e, pl: e.compilePlan(q, eff, key)}, nil
+	return &PreparedQuery{e: e, pl: e.compilePlan(q, eff, key, e.epoch, e.em)}, nil
 }
 
 // Query executes the prepared plan against the current universe.
@@ -414,14 +441,53 @@ func (p *PreparedQuery) Query() (*Answer, error) {
 	return p.QueryCtx(context.Background())
 }
 
+// revalidate brings the prepared plan up to date against eff at epoch and
+// returns the plan to execute plus its cache outcome. A plan stamped for
+// a newer universe than an older pinned snapshot is left untouched and a
+// throwaway plan is compiled for that snapshot.
+func (p *PreparedQuery) revalidate(eff *object.Tuple, epoch uint64, em *engineMetrics) (*queryPlan, *PlanInfo) {
+	e := p.e
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl := p.pl
+	info := &PlanInfo{Cache: "hit"}
+	if pl.epoch == epoch {
+		return pl, info
+	}
+	if e.validatePlan(pl, eff) {
+		if epoch > pl.epoch {
+			pl.epoch = epoch
+		}
+		info.Cache = "stale"
+		return pl, info
+	}
+	fresh := e.compilePlan(pl.q, eff, pl.key, epoch, em)
+	if epoch > pl.epoch {
+		p.pl = fresh
+	}
+	info.Cache = "miss"
+	info.CompileNS = fresh.compileNS
+	return fresh, info
+}
+
 // QueryCtx executes the prepared plan under a context. A stale plan
 // (catalog epoch moved and a dependency changed) is recompiled in place
-// first.
+// first. Like Engine.QueryCtx, it pins the published head snapshot and
+// evaluates without the engine mutex when it can.
 func (p *PreparedQuery) QueryCtx(ctx context.Context) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e := p.e
+	if v := e.pinHead(); v != nil {
+		if v.opts.SerialReads || v.tracer != nil {
+			v.unpin()
+		} else {
+			defer v.unpin()
+			pl, info := p.revalidate(v.eff, v.epoch, v.em)
+			return e.runSnapshot(cancellable(ctx), ctx, pl.q, v, pl, info)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cctx := cancellable(ctx)
@@ -430,18 +496,11 @@ func (p *PreparedQuery) QueryCtx(ctx context.Context) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &PlanInfo{Cache: "hit"}
-	if p.pl.epoch != e.epoch {
-		if e.validatePlan(p.pl, eff) {
-			p.pl.epoch = e.epoch
-			info.Cache = "stale"
-		} else {
-			p.pl = e.compilePlan(p.pl.q, eff, p.pl.key)
-			info.Cache = "miss"
-			info.CompileNS = p.pl.compileNS
-		}
+	if !e.opts.SerialReads {
+		e.publishHeadLocked()
 	}
-	ans, err := e.runPlanned(cctx, ctx, p.pl.q, p.pl, info)
+	pl, info := p.revalidate(eff, e.epoch, e.em)
+	ans, err := e.runPlanned(cctx, ctx, pl.q, pl, info)
 	if ans != nil {
 		ans.Resources.FixpointRounds = e.fixpointRounds - rounds
 	}

@@ -26,7 +26,10 @@ type planKey struct {
 }
 
 // planCache is an LRU map from planKey to compiled plans. It is owned by
-// an Engine and accessed only under e.mu.
+// an Engine and accessed only under e.planMu (a dedicated mutex so the
+// MVCC lock-free read path can consult the cache without touching e.mu;
+// the locked mutation path acquires e.mu first, then e.planMu — never
+// the reverse).
 type planCache struct {
 	cap   int
 	m     map[planKey]*list.Element
@@ -99,31 +102,35 @@ type PlanCacheStats struct {
 // PlanCacheStats reports the plan cache's hit/miss/eviction counters,
 // resident size, and the current catalog epoch.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	epoch := e.Epoch()
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	return PlanCacheStats{
 		Hits:      e.planHits,
 		Misses:    e.planMisses,
 		Evictions: e.planEvictions,
 		Size:      e.plans.len(),
-		Epoch:     e.epoch,
+		Epoch:     epoch,
 	}
 }
 
 // ClearPlanCache empties the plan cache (counters are preserved).
 func (e *Engine) ClearPlanCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	e.plans.clear()
 }
 
 // SetPlanCaching toggles the plan cache at runtime (the setter form of
 // Options.NoPlanCache, for CLIs and tests). Disabling does not clear
-// resident plans; they simply stop being consulted.
+// resident plans; they simply stop being consulted. The published MVCC
+// head is dropped because snapshots capture the options they evaluate
+// under.
 func (e *Engine) SetPlanCaching(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.opts.NoPlanCache = !on
+	e.invalidateHead()
 }
 
 // Epoch returns the catalog epoch: a counter bumped on every change to

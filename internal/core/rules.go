@@ -319,7 +319,7 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 	stats := RecomputeStats{}
 	var evalStats Stats
 	defer func() {
-		e.stats.add(evalStats)
+		e.addStats(evalStats)
 		if e.em != nil {
 			e.em.evalWork(evalStats)
 		}
@@ -402,7 +402,7 @@ func (e *Engine) materializeInto(ctx context.Context, derived *object.Tuple, spa
 							round.End()
 							return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), errs[wi])
 						}
-						n, err := applyRuleSnaps(rule, derived, snaps[wi])
+						n, err := applyRuleSnaps(rule, derived, snaps[wi], e.cowSet)
 						if err != nil {
 							round.End()
 							return stats, fmt.Errorf("core: rule %q: %w", rule.src.String(), err)
@@ -472,7 +472,7 @@ func (e *Engine) runRule(ctx context.Context, rule *compiledRule, effective, der
 	if err != nil {
 		return 0, err
 	}
-	return applyRuleSnaps(rule, derived, envSnaps)
+	return applyRuleSnaps(rule, derived, envSnaps, e.cowSet)
 }
 
 // evalRuleBody is the read-only half of a rule run: it collects the
@@ -503,15 +503,23 @@ func (e *Engine) evalRuleBody(ctx context.Context, rule *compiledRule, effective
 	return envSnaps, nil
 }
 
+// cowBarrier is the engine's copy-on-write hook (version.go): given a
+// set reached under parent.attr, it returns the set safe to mutate —
+// the set itself when no live MVCC snapshot shares it, a re-parented
+// shallow clone otherwise. A nil barrier means mutate in place.
+type cowBarrier func(parent *object.Tuple, attr string, s *object.Set) *object.Set
+
 // applyRuleSnaps is the mutating half of a rule run: it makes the head
 // true once per collected snapshot, in enumeration order (the order
 // make-true merges into host tuples is observable, so it must match the
-// sequential order exactly).
-func applyRuleSnaps(rule *compiledRule, derived *object.Tuple, envSnaps []Row) (int, error) {
+// sequential order exactly). cow guards the incremental path, where the
+// derived overlay being extended may share sets with live snapshots; on
+// a fresh overlay every set is private and the barrier no-ops.
+func applyRuleSnaps(rule *compiledRule, derived *object.Tuple, envSnaps []Row, cow cowBarrier) (int, error) {
 	changed := 0
 	for _, snap := range envSnaps {
 		env := envFrom(snap)
-		n, err := makeTrue(rule.src.Head, derived, env)
+		n, err := makeTrue(rule.src.Head, derived, env, cow)
 		if err != nil {
 			return changed, err
 		}
@@ -524,7 +532,7 @@ func applyRuleSnaps(rule *compiledRule, derived *object.Tuple, envSnaps []Row) (
 // the head expression and insert the decreed fact. It returns the number
 // of overlay changes (0 when the fact already held, which is what lets
 // the fixpoint terminate).
-func makeTrue(e ast.Expr, obj object.Object, env *Env) (int, error) {
+func makeTrue(e ast.Expr, obj object.Object, env *Env, cow cowBarrier) (int, error) {
 	switch x := e.(type) {
 	case *ast.TupleExpr:
 		tup, ok := obj.(*object.Tuple)
@@ -533,7 +541,7 @@ func makeTrue(e ast.Expr, obj object.Object, env *Env) (int, error) {
 		}
 		total := 0
 		for _, c := range x.Conjuncts {
-			n, err := makeTrue(c, tup, env)
+			n, err := makeTrue(c, tup, env, cow)
 			if err != nil {
 				return total, err
 			}
@@ -557,8 +565,12 @@ func makeTrue(e ast.Expr, obj object.Object, env *Env) (int, error) {
 				return 0, fmt.Errorf("core: cannot infer object kind for head expression %q", x.Expr.String())
 			}
 			tup.Put(name, val)
+		} else if s, isSet := val.(*object.Set); isSet && cow != nil {
+			// Descending into a set the decree will extend: copy-on-write
+			// if an MVCC snapshot shares it.
+			val = cow(tup, name, s)
 		}
-		return makeTrue(x.Expr, val, env)
+		return makeTrue(x.Expr, val, env, cow)
 
 	case *ast.SetExpr:
 		set, ok := obj.(*object.Set)
@@ -641,15 +653,18 @@ func makeTrueInSet(set *object.Set, target object.Object) int {
 		return 0
 	}
 	if host != nil {
-		// Re-add under the new hash after extending the element.
+		// Merge into a clone and re-add under the new hash: the original
+		// element is never mutated — an older MVCC snapshot may still
+		// reach it through a pre-COW copy of this set.
 		set.Remove(host)
+		h2, _ := host.Clone().(*object.Tuple)
 		tgt.Each(func(attr string, want object.Object) bool {
-			if !host.Has(attr) {
-				host.Put(attr, want)
+			if !h2.Has(attr) {
+				h2.Put(attr, want)
 			}
 			return true
 		})
-		set.Add(host)
+		set.Add(h2)
 		return 1
 	}
 	set.Add(tgt)

@@ -10,7 +10,15 @@ import (
 // needs a relation's numbers pays for them — and memoized per set
 // pointer, keyed by the set's version counter, so they track updates
 // incrementally: an unchanged relation never recounts, a mutated one
-// recounts once on next use.
+// recounts once on next use. An epoch bump therefore never wipes the
+// memo wholesale: only the relations whose (set, version) actually moved
+// recompute, mirroring the index cache's per-relation invalidation.
+//
+// The memo is a sync.Map so the MVCC lock-free read path can estimate
+// plans concurrently with writers. Entries are immutable once stored;
+// a version mismatch stores a fresh entry. Concurrent computation of the
+// same stale entry is benign — computeRelStat is deterministic, so both
+// racers store equal values.
 
 // statSampleCap bounds the elements examined per relation when
 // estimating distinct counts. The sample is the insertion-order prefix,
@@ -27,17 +35,18 @@ type relStat struct {
 }
 
 // statFor returns (computing if absent or stale) the statistics of a
-// relation set. Callers hold e.mu.
+// relation set. Safe for concurrent use; callers need not hold e.mu, but
+// the set must be immutable while they do (a frozen snapshot's set, or
+// any set while holding e.mu).
 func (e *Engine) statFor(set *object.Set) *relStat {
-	st := e.relStats[set]
-	if st != nil && st.version == set.Version() {
-		return st
+	if v, ok := e.relStats.Load(set); ok {
+		st := v.(*relStat)
+		if st.version == set.Version() {
+			return st
+		}
 	}
-	st = computeRelStat(set)
-	if e.relStats == nil {
-		e.relStats = make(map[*object.Set]*relStat)
-	}
-	e.relStats[set] = st
+	st := computeRelStat(set)
+	e.relStats.Store(set, st)
 	return st
 }
 
@@ -82,12 +91,13 @@ func computeRelStat(set *object.Set) *relStat {
 }
 
 // pruneStats drops statistics for sets no longer reachable from the
-// effective universe, alongside the index cache's retain pass. Callers
-// hold e.mu.
+// effective universe or a retained MVCC snapshot, alongside the index
+// cache's retain pass. Callers hold e.mu.
 func (e *Engine) pruneStats(live map[*object.Set]bool) {
-	for set := range e.relStats {
-		if !live[set] {
-			delete(e.relStats, set)
+	e.relStats.Range(func(k, _ any) bool {
+		if !live[k.(*object.Set)] {
+			e.relStats.Delete(k)
 		}
-	}
+		return true
+	})
 }

@@ -64,6 +64,13 @@ type updater struct {
 	ev     *evaluator
 	undo   *undoLog
 	result *ExecResult
+	// cow, when set, is the engine's copy-on-write barrier (version.go):
+	// called before navigating into a set that may be shared with a live
+	// MVCC snapshot, it returns the writer-private set to mutate (cloning
+	// and re-parenting it if needed, with rollback recorded). Nil when the
+	// updater works on structures no snapshot can see (rule
+	// materialization into fresh derived overlays).
+	cow func(parent *object.Tuple, attr string, s *object.Set) *object.Set
 	// span is the current position in the traced update call tree (nil
 	// when tracing is off); program invocations hang children off it.
 	span *obs.Span
@@ -191,6 +198,12 @@ func (u *updater) execAttr(x *ast.AttrExpr, obj object.Object, sl slot) error {
 			val, ok := tup.Get(name)
 			if !ok {
 				continue
+			}
+			// Navigating into a set with updates below will mutate it:
+			// copy-on-write first if a live snapshot shares it. Tuples need
+			// no barrier — snapshots carry private tuple skeletons.
+			if s, isSet := val.(*object.Set); isSet && u.cow != nil {
+				val = u.cow(tup, name, s)
 			}
 			matched = true
 			mark := u.ev.env.Mark()
@@ -391,10 +404,13 @@ func splitTupleParts(conjuncts []ast.Expr) (queryParts, updateParts []ast.Expr) 
 // execSetElements applies an inner expression containing updates to every
 // element it matches. For each element, the query parts of the inner
 // conjunct list are matched first (binding local variables); the update
-// parts then apply under each local substitution. Mutated elements are
-// removed before mutation and re-added after, keeping the set's hash
-// index coherent and merging any elements that became equal (set
-// semantics).
+// parts then apply under each local substitution. The mutation lands on
+// a deep clone of the element: the original is removed, the clone
+// mutated and re-added — keeping the set's hash index coherent, merging
+// any elements that became equal (set semantics), and, crucially for
+// MVCC, never touching the original element, which readers of an older
+// snapshot may still reach through a pre-COW copy of this set (set
+// clones are shallow; elements are shared by pointer).
 func (u *updater) execSetElements(inner ast.Expr, set *object.Set) error {
 	queryParts, updateParts := splitParts(inner)
 	for _, elem := range set.Elems() {
@@ -415,12 +431,12 @@ func (u *updater) execSetElements(inner ast.Expr, set *object.Set) error {
 		if len(locals) == 0 {
 			continue
 		}
-		pre := elem.Clone()
+		work := elem.Clone()
 		set.Remove(elem)
 		for _, local := range locals {
 			u.ev.env = envFrom(local)
 			for _, part := range updateParts {
-				if err := u.execUpdate(part, elem, noSlot{}); err != nil {
+				if err := u.execUpdate(part, work, noSlot{}); err != nil {
 					u.ev.env = envFrom(base)
 					set.Add(elem)
 					return err
@@ -428,13 +444,13 @@ func (u *updater) execSetElements(inner ast.Expr, set *object.Set) error {
 			}
 		}
 		u.ev.env = envFrom(base)
-		added := set.Add(elem)
-		el, pr := elem, pre
+		added := set.Add(work)
+		el, wk := elem, work
 		u.undo.record(func() {
 			if added {
-				set.Remove(el)
+				set.Remove(wk)
 			}
-			set.Add(pr)
+			set.Add(el)
 		})
 	}
 	return nil

@@ -248,6 +248,33 @@ func (s *Set) Compare(o Object) int {
 	}
 }
 
+// ShallowClone returns a structural copy of the set that shares the
+// element objects: the element slice, hash index and version are copied
+// so the clone can be mutated (Add/Remove) without disturbing the
+// original, but the elements themselves are the same pointers. This is
+// the copy-on-write primitive of the MVCC layer — a writer clones a
+// published relation, mutates the clone, and installs it, while readers
+// keep iterating the original. Mutating a shared element through the
+// clone is NOT safe; element-level updates must deep-clone the element
+// first (remove, clone, mutate, re-add).
+func (s *Set) ShallowClone() *Set {
+	c := &Set{
+		elems:   make([]Object, len(s.elems)),
+		holes:   s.holes,
+		version: s.version,
+	}
+	copy(c.elems, s.elems)
+	if s.index != nil {
+		c.index = make(map[uint64][]int, len(s.index))
+		for h, bucket := range s.index {
+			nb := make([]int, len(bucket))
+			copy(nb, bucket)
+			c.index[h] = nb
+		}
+	}
+	return c
+}
+
 // Clone returns a deep copy of the set.
 func (s *Set) Clone() Object {
 	c := NewSet()

@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idl/internal/object"
+)
+
+// wideUniverse builds a universe with nRel relations of nTup tuples each
+// under one database, plus the relation sets for direct mutation.
+func wideUniverse(nRel, nTup int) (*object.Tuple, []*object.Set) {
+	u := object.NewTuple()
+	db := object.NewTuple()
+	var sets []*object.Set
+	for r := 0; r < nRel; r++ {
+		rel := object.NewSet()
+		for i := 0; i < nTup; i++ {
+			tp := object.NewTuple()
+			tp.Put("rel", object.Int(int64(r)))
+			tp.Put("i", object.Int(int64(i)))
+			tp.Put("pad", object.Str(strings.Repeat("x", 32)))
+			rel.Add(tp)
+		}
+		db.Put(relName(r), rel)
+		sets = append(sets, rel)
+	}
+	u.Put("d", db)
+	return u, sets
+}
+
+func relName(r int) string { return "rel" + string(rune('a'+r)) }
+
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	names, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, name := range names {
+		if strings.HasSuffix(name, suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIncrementalCheckpointReuse pins the tentpole property: a second
+// checkpoint after touching one of many relations rewrites only that
+// relation's segment, reuses the rest by reference, and its written
+// bytes are a small fraction of the full snapshot footprint.
+func TestIncrementalCheckpointReuse(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	u, sets := wideUniverse(8, 50)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.CheckpointSegsWritten != 8 || st.CheckpointSegsReused != 0 {
+		t.Fatalf("first checkpoint wrote %d / reused %d segments, want 8 / 0",
+			st.CheckpointSegsWritten, st.CheckpointSegsReused)
+	}
+
+	// Touch one relation in place: its set version bumps.
+	extra := object.NewTuple()
+	extra.Put("rel", object.Int(2))
+	extra.Put("i", object.Int(999))
+	sets[2].Add(extra)
+
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Status()
+	if st.CheckpointSegsWritten != 1 || st.CheckpointSegsReused != 7 {
+		t.Fatalf("second checkpoint wrote %d / reused %d segments, want 1 / 7",
+			st.CheckpointSegsWritten, st.CheckpointSegsReused)
+	}
+	if st.CheckpointWroteBytes <= 0 || st.CheckpointTotalBytes <= st.CheckpointWroteBytes {
+		t.Fatalf("byte accounting wrote=%d total=%d", st.CheckpointWroteBytes, st.CheckpointTotalBytes)
+	}
+	if ratio := float64(st.CheckpointWroteBytes) / float64(st.CheckpointTotalBytes); ratio > 0.25 {
+		t.Fatalf("incremental ratio %.3f exceeds 0.25 (wrote=%d total=%d)",
+			ratio, st.CheckpointWroteBytes, st.CheckpointTotalBytes)
+	}
+
+	// A checkpoint with nothing changed reuses everything.
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st = l.Status(); st.CheckpointSegsWritten != 0 || st.CheckpointSegsReused != 8 {
+		t.Fatalf("idle checkpoint wrote %d / reused %d segments, want 0 / 8",
+			st.CheckpointSegsWritten, st.CheckpointSegsReused)
+	}
+
+	// Replacing a relation's set wholesale (new pointer) forces a rewrite
+	// even if the version counter happens to match.
+	repl := sets[3].ShallowClone()
+	db, _ := u.Get("d")
+	db.(*object.Tuple).Put(relName(3), repl)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st = l.Status(); st.CheckpointSegsWritten != 1 || st.CheckpointSegsReused != 7 {
+		t.Fatalf("pointer-swap checkpoint wrote %d / reused %d segments, want 1 / 7",
+			st.CheckpointSegsWritten, st.CheckpointSegsReused)
+	}
+}
+
+// TestIncrementalCheckpointRecovery composes manifest + segments + tail
+// back into the original universe across reuse generations.
+func TestIncrementalCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, sets := wideUniverse(4, 20)
+	if _, err := l.Checkpoint(u, []string{"rule1"}, []string{"clause1"}); err != nil {
+		t.Fatal(err)
+	}
+	extra := object.NewTuple()
+	extra.Put("rel", object.Int(0))
+	extra.Put("i", object.Int(1000))
+	sets[0].Add(extra)
+	// The second checkpoint reuses three segments written by the first.
+	if _, err := l.Checkpoint(u, []string{"rule1"}, []string{"clause1"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Status(); st.CheckpointSegsReused != 3 {
+		t.Fatalf("reused %d segments, want 3", st.CheckpointSegsReused)
+	}
+	if _, err := l.Append(TypeExec, []byte("tail-stmt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.SkippedCheckpoints != 0 {
+		t.Fatalf("skipped %d checkpoints on a clean directory", rec.SkippedCheckpoints)
+	}
+	if got, want := universeJSON(t, rec.Universe), universeJSON(t, u); got != want {
+		t.Fatalf("recovered universe diverges:\n got %s\nwant %s", got, want)
+	}
+	if len(rec.Rules) != 1 || rec.Rules[0] != "rule1" || len(rec.Clauses) != 1 {
+		t.Fatalf("recovered sources %v / %v", rec.Rules, rec.Clauses)
+	}
+	// The tail carries the checkpoint's own marker record plus the
+	// post-checkpoint statement.
+	if len(rec.Tail) != 2 || rec.Tail[0].Type != TypeCheckpoint || string(rec.Tail[1].Payload) != "tail-stmt" {
+		t.Fatalf("recovered tail %v", rec.Tail)
+	}
+}
+
+// TestCorruptSegmentFallsBack flips a byte in the newest checkpoint's
+// freshly written segment: recovery must reject that checkpoint wholesale
+// and fall back to the previous one, whose own segment files — including
+// the ones the corrupt manifest shares — must still be on disk.
+func TestCorruptSegmentFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, sets := wideUniverse(3, 10)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := universeJSON(t, u)
+	before, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, n := range before {
+		seen[n] = true
+	}
+
+	extra := object.NewTuple()
+	extra.Put("rel", object.Int(1))
+	extra.Put("i", object.Int(777))
+	sets[1].Add(extra)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The one segment file that is new belongs to the newest checkpoint.
+	after, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh string
+	for _, n := range after {
+		if strings.HasSuffix(n, ".ckseg") && !seen[n] {
+			fresh = n
+		}
+	}
+	if fresh == "" {
+		t.Fatal("second checkpoint wrote no new segment")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, fresh), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.SkippedCheckpoints == 0 {
+		t.Fatal("corrupt segment went unnoticed")
+	}
+	if got := universeJSON(t, rec.Universe); got != want {
+		t.Fatalf("fallback universe diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSegmentGC checks bounded retention for segment files: segments
+// referenced by no surviving manifest — pruned checkpoints' exclusives
+// and orphans from crashed checkpoints — are collected, while shared
+// segments survive as long as any manifest needs them.
+func TestSegmentGC(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{KeepCheckpoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	u, sets := wideUniverse(4, 10)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Plant an orphan, as a crashed checkpoint would leave behind.
+	orphan := filepath.Join(dir, "rel-ffffffffffffffff-0000.ckseg")
+	if err := os.WriteFile(orphan, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	extra := object.NewTuple()
+	extra.Put("rel", object.Int(0))
+	extra.Put("i", object.Int(42))
+	sets[0].Add(extra)
+	if _, err := l.Checkpoint(u, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment survived GC: %v", err)
+	}
+	if n := countFiles(t, dir, ".ckpt"); n != 1 {
+		t.Fatalf("%d checkpoint manifests survive, want 1", n)
+	}
+	// The survivor references exactly 4 segments (1 rewritten + 3 shared);
+	// the first checkpoint's rewritten-relation segment must be gone.
+	if n := countFiles(t, dir, ".ckseg"); n != 4 {
+		t.Fatalf("%d segment files survive, want 4", n)
+	}
+
+	// Recovery still composes from what GC left behind.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.SkippedCheckpoints != 0 {
+		t.Fatalf("skipped %d checkpoints after GC", rec.SkippedCheckpoints)
+	}
+	if got, want := universeJSON(t, rec.Universe), universeJSON(t, u); got != want {
+		t.Fatalf("post-GC recovery diverges:\n got %s\nwant %s", got, want)
+	}
+}

@@ -9,10 +9,14 @@
 // append on commit, so recovery is "load the newest good checkpoint,
 // replay the tail". A crash mid-append leaves a torn trailing record;
 // recovery truncates the log at the first checksum failure and reports
-// it. Checkpoints snapshot the universe through the existing
-// storage.Save envelope plus the registered rule and clause sources, and
-// sealed segments older than a checkpoint are deleted — the same
-// bounded-retention discipline the federation layer applies to history.
+// it. Checkpoints are incremental: each relation set is written to its
+// own rel-*.ckseg file (through the storage/object tagged-JSON codecs),
+// unchanged relations keep their segment file from the previous
+// checkpoint, and the ckpt-*.ckpt manifest carries only the universe
+// skeleton plus the segment references. Recovery composes manifest +
+// segments, verifying every checksum; sealed log segments older than a
+// checkpoint are deleted — the same bounded-retention discipline the
+// federation layer applies to history.
 //
 // All writes go through the FS seam (fs.go) so crash-point fault
 // injection (faults.go) can short-write, fail fsync, or kill the "disk"
@@ -127,6 +131,23 @@ type Log struct {
 	ckptLSN   uint64 // newest checkpoint's LSN
 	ckptCount int    // checkpoints taken by this Log
 	err       error  // sticky write failure
+
+	// lastSegs tracks the relation segments referenced by the newest
+	// checkpoint, keyed by db+"\x00"+rel. A relation whose set pointer
+	// and version are unchanged since then is not rewritten by the next
+	// checkpoint — its manifest references the existing segment file.
+	// Holding the set pointer keeps the old set alive, so a recycled
+	// allocation can never alias a stale (pointer, version) pair. Open
+	// leaves the map empty: the first checkpoint after a restart rewrites
+	// every relation.
+	lastSegs map[string]*segRef
+
+	// Last-checkpoint byte accounting (see Status): what the incremental
+	// checkpoint actually wrote vs. what a full snapshot would occupy.
+	ckptWroteBytes  int64 // manifest + newly written segment bytes
+	ckptTotalBytes  int64 // manifest + every referenced segment's bytes
+	ckptSegsWritten int
+	ckptSegsReused  int
 
 	// Native instrumentation, surfaced through Status even when no
 	// metrics registry is attached.
@@ -553,9 +574,13 @@ func (l *Log) Mode() SyncMode {
 	return l.opts.Mode
 }
 
-// checkpoint is the on-disk checkpoint envelope: a version, a checksum
+// checkpoint is the on-disk checkpoint manifest: a version, a checksum
 // over the body, and the body itself — the covered LSN, the rule and
-// clause sources, and the universe as a storage.Save snapshot.
+// clause sources, and the universe. Version 1 stores the whole universe
+// in Snapshot. Version 2 is incremental: Snapshot holds only the
+// universe *skeleton* (databases and relation attributes, with every
+// relation set replaced by an empty placeholder) and Segments lists one
+// relation-segment file per relation; recovery composes the two.
 type checkpoint struct {
 	Format   string          `json:"format"`
 	Version  int             `json:"version"`
@@ -564,13 +589,52 @@ type checkpoint struct {
 	Rules    []string        `json:"rules,omitempty"`
 	Clauses  []string        `json:"clauses,omitempty"`
 	Snapshot json.RawMessage `json:"snapshot"`
+	Segments []ckptSeg       `json:"segments,omitempty"`
 
 	universe *object.Tuple `json:"-"`
 }
 
+// ckptSeg is one manifest entry referencing a relation-segment file. An
+// unchanged relation's entry points at the file written by an earlier
+// checkpoint — that reference sharing is what makes checkpoints
+// incremental.
+type ckptSeg struct {
+	DB       string `json:"db"`
+	Rel      string `json:"rel"`
+	File     string `json:"file"`
+	Count    int    `json:"count"`
+	Checksum string `json:"checksum"`
+}
+
+// segRef is the in-memory side of a ckptSeg: it remembers which live set
+// (pointer + mutation version) a segment file captured, so the next
+// checkpoint can prove the relation unchanged and reuse the file.
+type segRef struct {
+	ptr      *object.Set
+	version  uint64
+	file     string
+	count    int
+	bytes    int64
+	checksum string
+}
+
+// ckseg is a relation-segment file: one relation's element set as a
+// tagged-JSON object.Set, checksummed independently of any manifest so a
+// half-written or recycled file can never be composed into a recovery.
+type ckseg struct {
+	Format   string          `json:"format"`
+	Checksum string          `json:"checksum"`
+	DB       string          `json:"db"`
+	Rel      string          `json:"rel"`
+	Count    int             `json:"count"`
+	Set      json.RawMessage `json:"set"`
+}
+
 const (
-	ckptFormat  = "idlwal-ckpt"
-	ckptVersion = 1
+	ckptFormat      = "idlwal-ckpt"
+	ckptVersionFull = 1 // whole universe inline (still readable)
+	ckptVersionIncr = 2 // skeleton + relation segments
+	cksegFormat     = "idlwal-ckseg"
 )
 
 func ckptChecksum(lsn uint64, rules, clauses []string, snapshot []byte) string {
@@ -586,10 +650,46 @@ func ckptChecksum(lsn uint64, rules, clauses []string, snapshot []byte) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// ckptChecksumV2 extends the v1 checksum with the segment references, so
+// a manifest paired with the wrong segment file fails validation even
+// before the segment's own checksum is consulted.
+func ckptChecksumV2(lsn uint64, rules, clauses []string, skeleton []byte, segs []ckptSeg) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\n", lsn)
+	for _, r := range rules {
+		fmt.Fprintf(h, "r%s\n", r)
+	}
+	for _, c := range clauses {
+		fmt.Fprintf(h, "c%s\n", c)
+	}
+	h.Write(skeleton)
+	for _, s := range segs {
+		fmt.Fprintf(h, "s%s\x00%s\x00%s\x00%d\x00%s\n", s.DB, s.Rel, s.File, s.Count, s.Checksum)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func segChecksum(db, rel string, set []byte) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\n", db, rel)
+	h.Write(set)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Checkpoint snapshots the given state as covering every record up to
 // the current LSN, installs it atomically, rotates the active segment,
 // and drops the sealed segments and stale checkpoints the new one makes
 // unnecessary. It returns the checkpoint's covered LSN.
+//
+// Checkpoints are incremental: each relation set is written to its own
+// rel-*.ckseg file, and a relation whose set pointer and mutation
+// version are unchanged since the previous checkpoint keeps its existing
+// segment file — the new manifest just references it. The manifest
+// itself carries only the universe skeleton, so a checkpoint after a
+// single-relation update writes that one relation plus a small manifest
+// instead of the whole universe. The caller must keep the universe
+// unmutated for the duration of the call (the engine serializes
+// checkpoints with mutations on its commit path).
 func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint64, error) {
 	start := time.Now()
 	l.mu.Lock()
@@ -603,24 +703,87 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 		return 0, err
 	}
 	lsn := l.nextLSN - 1
+
+	// Walk databases depth-2: write a segment per changed relation, reuse
+	// references for unchanged ones, and build the skeleton (relation
+	// sets replaced by empty placeholders, attribute order preserved).
+	skel := object.NewTuple()
+	var segs []ckptSeg
+	newRefs := make(map[string]*segRef)
+	var wrote, total int64
+	written, reused := 0, 0
+	segIdx := 0
+	var segErr error
+	universe.Each(func(db string, v object.Object) bool {
+		dt, ok := v.(*object.Tuple)
+		if !ok {
+			skel.Put(db, v)
+			return true
+		}
+		nd := object.NewTuple()
+		dt.Each(func(rel string, rv object.Object) bool {
+			s, ok := rv.(*object.Set)
+			if !ok {
+				nd.Put(rel, rv)
+				return true
+			}
+			nd.Put(rel, object.NewSet())
+			key := db + "\x00" + rel
+			if ref := l.lastSegs[key]; ref != nil && ref.ptr == s && ref.version == s.Version() {
+				newRefs[key] = ref
+				segs = append(segs, ckptSeg{DB: db, Rel: rel, File: ref.file, Count: ref.count, Checksum: ref.checksum})
+				total += ref.bytes
+				reused++
+				return true
+			}
+			file := fmt.Sprintf("rel-%016x-%04d.ckseg", lsn, segIdx)
+			segIdx++
+			n, sum, err := l.writeRelSegment(file, db, rel, s)
+			if err != nil {
+				segErr = err
+				return false
+			}
+			ref := &segRef{ptr: s, version: s.Version(), file: file, count: s.Len(), bytes: n, checksum: sum}
+			newRefs[key] = ref
+			segs = append(segs, ckptSeg{DB: db, Rel: rel, File: file, Count: ref.count, Checksum: sum})
+			wrote += n
+			total += n
+			written++
+			return true
+		})
+		skel.Put(db, nd)
+		return segErr == nil
+	})
+	if segErr != nil {
+		return 0, l.fail(segErr)
+	}
+	// Segment files must be durable (contents and directory entries)
+	// before any manifest that references them can be installed.
+	if written > 0 {
+		if err := l.opts.FS.SyncDir(l.dir); err != nil {
+			return 0, l.fail(fmt.Errorf("wal: sync dir: %w", err))
+		}
+	}
+
 	var snap bytes.Buffer
-	if err := storage.Save(&snap, universe); err != nil {
-		return 0, fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	if err := storage.Save(&snap, skel); err != nil {
+		return 0, fmt.Errorf("wal: checkpoint skeleton: %w", err)
 	}
 	// json.Marshal compacts embedded RawMessage, so the checksum must be
 	// computed over the compacted form or it breaks on round-trip.
 	var compact bytes.Buffer
 	if err := json.Compact(&compact, snap.Bytes()); err != nil {
-		return 0, fmt.Errorf("wal: compact checkpoint snapshot: %w", err)
+		return 0, fmt.Errorf("wal: compact checkpoint skeleton: %w", err)
 	}
 	ck := checkpoint{
 		Format:   ckptFormat,
-		Version:  ckptVersion,
-		Checksum: ckptChecksum(lsn, rules, clauses, compact.Bytes()),
+		Version:  ckptVersionIncr,
+		Checksum: ckptChecksumV2(lsn, rules, clauses, compact.Bytes(), segs),
 		LSN:      lsn,
 		Rules:    rules,
 		Clauses:  clauses,
 		Snapshot: compact.Bytes(),
+		Segments: segs,
 	}
 	raw, err := json.Marshal(&ck)
 	if err != nil {
@@ -655,6 +818,11 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 	}
 	l.ckptLSN = lsn
 	l.ckptCount++
+	l.lastSegs = newRefs
+	l.ckptWroteBytes = wrote + int64(len(raw))
+	l.ckptTotalBytes = total + int64(len(raw))
+	l.ckptSegsWritten = written
+	l.ckptSegsReused = reused
 	// The tail restarts in a fresh segment; every sealed segment is now
 	// covered by the checkpoint and can go.
 	if err := l.startSegment(); err != nil {
@@ -664,7 +832,10 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 		l.opts.FS.Remove(filepath.Join(l.dir, s))
 	}
 	l.sealed = nil
-	// Bounded checkpoint retention: newest KeepCheckpoints survive.
+	// Bounded checkpoint retention: newest KeepCheckpoints survive. A
+	// relation segment survives as long as any surviving manifest
+	// references it; the rest (including orphans from crashed
+	// checkpoints) are garbage-collected.
 	if names, err := listDir(l.dir); err == nil {
 		var ckpts []string
 		for _, n := range names {
@@ -677,6 +848,7 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 			l.opts.FS.Remove(filepath.Join(l.dir, ckpts[0]))
 			ckpts = ckpts[1:]
 		}
+		l.collectSegmentsLocked(names, ckpts)
 	}
 	// The marker makes the checkpoint visible in the record stream.
 	if _, err := l.appendLocked(TypeCheckpoint, []byte(name)); err != nil {
@@ -690,6 +862,76 @@ func (l *Log) Checkpoint(universe *object.Tuple, rules, clauses []string) (uint6
 	return lsn, nil
 }
 
+// writeRelSegment writes one relation's segment file durably and returns
+// its size and content checksum.
+func (l *Log) writeRelSegment(name, db, rel string, s *object.Set) (int64, string, error) {
+	raw, err := object.MarshalJSON(s)
+	if err != nil {
+		return 0, "", fmt.Errorf("wal: encode relation %s.%s: %w", db, rel, err)
+	}
+	sum := segChecksum(db, rel, raw)
+	env := ckseg{Format: cksegFormat, Checksum: sum, DB: db, Rel: rel, Count: s.Len(), Set: raw}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return 0, "", fmt.Errorf("wal: encode segment %s: %w", name, err)
+	}
+	f, err := l.opts.FS.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return 0, "", fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return 0, "", fmt.Errorf("wal: write segment %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, "", fmt.Errorf("wal: sync segment %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, "", fmt.Errorf("wal: close segment %s: %w", name, err)
+	}
+	return int64(len(data)), sum, nil
+}
+
+// collectSegmentsLocked removes relation-segment files referenced by no
+// surviving checkpoint manifest: segments of pruned checkpoints and
+// orphans of crashed ones. A manifest that fails to parse is skipped at
+// recovery anyway, so losing its segments changes nothing.
+func (l *Log) collectSegmentsLocked(names, ckpts []string) {
+	referenced := make(map[string]bool)
+	for _, n := range ckpts {
+		for _, seg := range manifestSegs(filepath.Join(l.dir, n)) {
+			referenced[seg] = true
+		}
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "rel-") || !strings.HasSuffix(n, ".ckseg") {
+			continue
+		}
+		if !referenced[n] {
+			l.opts.FS.Remove(filepath.Join(l.dir, n))
+		}
+	}
+}
+
+// manifestSegs returns the segment files a checkpoint manifest
+// references, without validating checksums; nil if it cannot be parsed.
+func manifestSegs(path string) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(ck.Segments))
+	for _, s := range ck.Segments {
+		out = append(out, s.File)
+	}
+	return out
+}
+
 // appendLocked is Append without re-taking the mutex.
 func (l *Log) appendLocked(typ byte, payload []byte) (uint64, error) {
 	l.mu.Unlock()
@@ -697,7 +939,11 @@ func (l *Log) appendLocked(typ byte, payload []byte) (uint64, error) {
 	return l.Append(typ, payload)
 }
 
-// readCheckpoint loads and validates one checkpoint file.
+// readCheckpoint loads and validates one checkpoint file. Version 1
+// manifests hold the whole universe inline; version 2 manifests are
+// composed from the skeleton plus each referenced relation-segment file,
+// and any missing, torn, or mismatched segment fails the whole
+// checkpoint — Open then falls back to an older one.
 func readCheckpoint(path string) (*checkpoint, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -707,18 +953,77 @@ func readCheckpoint(path string) (*checkpoint, error) {
 	if err := json.Unmarshal(raw, &ck); err != nil {
 		return nil, fmt.Errorf("wal: %s: malformed checkpoint: %w", filepath.Base(path), err)
 	}
-	if ck.Format != ckptFormat || ck.Version != ckptVersion {
+	if ck.Format != ckptFormat || (ck.Version != ckptVersionFull && ck.Version != ckptVersionIncr) {
 		return nil, fmt.Errorf("wal: %s: unsupported checkpoint format %q v%d", filepath.Base(path), ck.Format, ck.Version)
 	}
-	if got := ckptChecksum(ck.LSN, ck.Rules, ck.Clauses, ck.Snapshot); got != ck.Checksum {
-		return nil, fmt.Errorf("wal: %s: checkpoint corrupt: checksum %s != %s", filepath.Base(path), got, ck.Checksum)
+	switch ck.Version {
+	case ckptVersionFull:
+		if got := ckptChecksum(ck.LSN, ck.Rules, ck.Clauses, ck.Snapshot); got != ck.Checksum {
+			return nil, fmt.Errorf("wal: %s: checkpoint corrupt: checksum %s != %s", filepath.Base(path), got, ck.Checksum)
+		}
+	case ckptVersionIncr:
+		if got := ckptChecksumV2(ck.LSN, ck.Rules, ck.Clauses, ck.Snapshot, ck.Segments); got != ck.Checksum {
+			return nil, fmt.Errorf("wal: %s: checkpoint corrupt: checksum %s != %s", filepath.Base(path), got, ck.Checksum)
+		}
 	}
 	u, err := storage.Load(bytes.NewReader(ck.Snapshot))
 	if err != nil {
 		return nil, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
 	}
+	if ck.Version == ckptVersionIncr {
+		dir := filepath.Dir(path)
+		for _, seg := range ck.Segments {
+			s, err := readRelSegment(filepath.Join(dir, seg.File), seg)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
+			}
+			dv, ok := u.Get(seg.DB)
+			if !ok {
+				return nil, fmt.Errorf("wal: %s: segment %s: database %q missing from skeleton", filepath.Base(path), seg.File, seg.DB)
+			}
+			dt, ok := dv.(*object.Tuple)
+			if !ok || !dt.Has(seg.Rel) {
+				return nil, fmt.Errorf("wal: %s: segment %s: relation %s.%s missing from skeleton", filepath.Base(path), seg.File, seg.DB, seg.Rel)
+			}
+			dt.Put(seg.Rel, s)
+		}
+	}
 	ck.universe = u
 	return &ck, nil
+}
+
+// readRelSegment loads one relation-segment file and verifies it against
+// its manifest entry.
+func readRelSegment(path string, want ckptSeg) (*object.Set, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: %w", filepath.Base(path), err)
+	}
+	var env ckseg
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("segment %s: malformed: %w", filepath.Base(path), err)
+	}
+	if env.Format != cksegFormat {
+		return nil, fmt.Errorf("segment %s: unsupported format %q", filepath.Base(path), env.Format)
+	}
+	if env.DB != want.DB || env.Rel != want.Rel {
+		return nil, fmt.Errorf("segment %s: holds %s.%s, manifest expects %s.%s", filepath.Base(path), env.DB, env.Rel, want.DB, want.Rel)
+	}
+	if got := segChecksum(env.DB, env.Rel, env.Set); got != env.Checksum || got != want.Checksum {
+		return nil, fmt.Errorf("segment %s: corrupt: checksum %s != %s", filepath.Base(path), got, want.Checksum)
+	}
+	o, err := object.UnmarshalJSON(env.Set)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: decode: %w", filepath.Base(path), err)
+	}
+	s, ok := o.(*object.Set)
+	if !ok {
+		return nil, fmt.Errorf("segment %s: payload is %T, not a set", filepath.Base(path), o)
+	}
+	if s.Len() != want.Count {
+		return nil, fmt.Errorf("segment %s: %d elements, manifest expects %d", filepath.Base(path), s.Len(), want.Count)
+	}
+	return s, nil
 }
 
 // Status describes the log for status commands and banners.
@@ -742,6 +1047,16 @@ type Status struct {
 	RecoveryNS     int64 // Open's scan + tail decode
 	ReplayNS       int64 // caller-reported logical replay (NoteReplay)
 	TruncatedTails uint64
+
+	// Incremental-checkpoint accounting for the newest checkpoint this
+	// process took: bytes actually written (manifest + new segments) vs.
+	// the full footprint (manifest + every referenced segment), and the
+	// segment reuse split. WroteBytes/TotalBytes is the incremental
+	// ratio.
+	CheckpointWroteBytes  int64
+	CheckpointTotalBytes  int64
+	CheckpointSegsWritten int
+	CheckpointSegsReused  int
 }
 
 func (s Status) String() string {
@@ -779,6 +1094,11 @@ func (l *Log) Status() Status {
 		RecoveryNS:     l.recoveryNS,
 		ReplayNS:       l.replayNS,
 		TruncatedTails: l.truncatedTails,
+
+		CheckpointWroteBytes:  l.ckptWroteBytes,
+		CheckpointTotalBytes:  l.ckptTotalBytes,
+		CheckpointSegsWritten: l.ckptSegsWritten,
+		CheckpointSegsReused:  l.ckptSegsReused,
 	}
 }
 

@@ -188,18 +188,31 @@ func buildRecoveryReference(t testing.TB, steps []mutStep) *recoveryRef {
 // runCrashPoint executes the workload under the fault plan, then
 // recovers through the real filesystem and checks the oracle. Returns a
 // description of the matched prefix for logging.
-func runCrashPoint(t testing.TB, steps []mutStep, ref *recoveryRef, plan wal.FaultPlan, mode Durability) {
+// The optional ckptAfter indices take an (incremental) checkpoint after
+// those steps, so crashes can land inside segment writes, manifest
+// installs, or segment GC; a checkpoint never changes logical state, so
+// the oracle is unchanged.
+func runCrashPoint(t testing.TB, steps []mutStep, ref *recoveryRef, plan wal.FaultPlan, mode Durability, ckptAfter ...int) {
 	t.Helper()
 	dir := t.TempDir()
 	ffs := wal.NewFaultFS(wal.OSFS(), plan)
+	ckptAt := make(map[int]bool, len(ckptAfter))
+	for _, i := range ckptAfter {
+		ckptAt[i] = true
+	}
 	ackedSteps := 0
 	db, _, err := openWALFS(dir, WALOptions{Durability: mode}, ffs)
 	if err == nil {
-		for _, s := range steps {
+		for i, s := range steps {
 			if err := s.apply(db); err != nil {
 				break // the crash surfaced; everything after must fail too
 			}
 			ackedSteps++
+			if ckptAt[i] {
+				if _, err := db.Checkpoint(); err != nil {
+					break // crashed inside the checkpoint; log is poisoned
+				}
+			}
 		}
 		db.Close()
 	}
@@ -597,5 +610,38 @@ func FuzzRecovery(f *testing.F) {
 			plan.ShortBytes = int(short)
 		}
 		runCrashPoint(t, steps, ref, plan, DurabilitySync)
+	})
+}
+
+// FuzzCheckpointRecovery fuzzes the incremental-checkpoint crash
+// surface: a seeded workload with checkpoints interleaved at arbitrary
+// steps, and a crash point that can land inside relation-segment writes,
+// the manifest install, segment GC, or the post-checkpoint tail. The
+// recovered state must still equal a committed prefix covering every
+// acknowledged step.
+func FuzzCheckpointRecovery(f *testing.F) {
+	f.Add(uint64(1), uint16(3), uint8(0), false, uint8(0))
+	f.Add(uint64(7), uint16(40), uint8(5), false, uint8(2))
+	f.Add(uint64(42), uint16(80), uint8(255), true, uint8(1))
+	f.Add(uint64(99), uint16(120), uint8(16), false, uint8(6))
+	f.Fuzz(func(t *testing.T, seed uint64, crashOp uint16, short uint8, crashSync bool, ckptAt uint8) {
+		steps := fuzzWorkload(seed)
+		ref := buildRecoveryReference(t, steps)
+		// Checkpoint after two workload-dependent steps; checkpoints cost
+		// extra FS ops, so let the crash index range well past the clean
+		// run's op counts (indices beyond the run simply never fire).
+		ck1 := int(ckptAt) % len(steps)
+		ck2 := (int(ckptAt) + 1 + len(steps)/2) % len(steps)
+		plan := wal.FaultPlan{}
+		if crashSync {
+			if ref.syncs == 0 {
+				t.Skip("workload issued no fsyncs")
+			}
+			plan.CrashAtSync = 1 + int(crashOp)%(4*ref.syncs)
+		} else {
+			plan.CrashAtWrite = 1 + int(crashOp)%(4*ref.writes)
+			plan.ShortBytes = int(short)
+		}
+		runCrashPoint(t, steps, ref, plan, DurabilitySync, ck1, ck2)
 	})
 }

@@ -17,9 +17,15 @@
 #      the bound is tight), a B15 group-commit amortization below
 #      1.5× (DESIGN.md §13; ~8× measured), a B16 windowed-telemetry
 #      tax above 1.03× (DESIGN.md §14: rolling histograms and SLO
-#      trackers must cost ≤3% on a cheap query), or a B17
+#      trackers must cost ≤3% on a cheap query), a B17
 #      statement-digest tax above 1.03× (DESIGN.md §15: fingerprinting
-#      and digest accounting must cost ≤3% per query) fail the build;
+#      and digest accounting must cost ≤3% per query), a B18
+#      during-commit read scaling below 2.5× (DESIGN.md §17: snapshot
+#      readers must keep completing while a writer holds the commit
+#      path; measured in the thousands, serial readers complete ~0),
+#      or a B18 incremental-checkpoint ratio above 0.25 (a
+#      single-relation update must rewrite at most a quarter of the
+#      universe's checkpoint bytes; ~0.05 measured) fail the build;
 #   3. compare it against the committed BENCH_report.json — any
 #      benchmark more than 25% slower fails the build (the
 #      bench-regression gate; a failed compare re-measures once so a
@@ -71,23 +77,31 @@ go test -run '^$' -fuzz '^FuzzRecovery$' -fuzztime 15s .
 # answers through the wire protocol (-check), then drive the pool
 # open-loop for 5 s under SLO gates: minimum achieved QPS, a p99
 # ceiling generous enough for a loaded CI host (measured p99 is ~2 ms),
-# and zero errors. The SIGTERM at the end is itself a gate — the
-# daemon must drain inflight requests, checkpoint, and exit 0.
+# and zero errors. The daemon runs with -debug -mutex-profile so the
+# load run doubles as a lock-contention capture: after the open-loop
+# pass, /debug/pprof/mutex must serve a non-empty profile (the artifact
+# that names the engine's contended locks if the lock-free read path
+# regresses) and /debug/mvcc must report a live snapshot version chain.
+# The SIGTERM at the end is itself a gate — the daemon must drain
+# inflight requests, checkpoint, and exit 0.
 go build -o /tmp/idld ./cmd/idld
 go build -o /tmp/idlload ./cmd/idlload
 rm -f /tmp/server_smoke.idlog /tmp/idld.addr
 go run ./cmd/idl -demo -journal /tmp/server_smoke.idlog -script scripts/server_smoke.idl > /dev/null
-/tmp/idld -demo -addr 127.0.0.1:0 -addr-file /tmp/idld.addr &
+/tmp/idld -demo -addr 127.0.0.1:0 -addr-file /tmp/idld.addr -debug -mutex-profile 5 &
 IDLD_PID=$!
 for i in $(seq 100); do test -s /tmp/idld.addr && break; sleep 0.1; done
 IDLD_ADDR="http://$(cat /tmp/idld.addr)"
 /tmp/idlload -addr "$IDLD_ADDR" -check /tmp/server_smoke.idlog
 /tmp/idlload -addr "$IDLD_ADDR" -qps 200 -duration 5s -min-qps 150 -max-p99 250ms -max-error-rate 0 /tmp/server_smoke.idlog
+curl -sf "$IDLD_ADDR/debug/pprof/mutex?debug=1" > /tmp/idld_mutex.pprof
+test -s /tmp/idld_mutex.pprof
+curl -sf "$IDLD_ADDR/debug/mvcc" | grep -q '"head_epoch"'
 kill -TERM "$IDLD_PID"
 wait "$IDLD_PID"
 
 go run ./cmd/idlbench -short -out BENCH_new.json
-go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5 -max-telemetry-overhead 1.03 -max-insights-overhead 1.03
+go run ./cmd/idlbench -validate BENCH_new.json -max-trace-overhead 3.0 -max-flight-overhead 1.25 -min-parallel-speedup 1.5 -min-plan-cache-hit 0.95 -min-plan-speedup 1.15 -max-wal-overhead 1.15 -min-group-amortize 1.5 -max-telemetry-overhead 1.03 -max-insights-overhead 1.03 -min-read-scaling 2.5 -max-ckpt-ratio 0.25
 # The regression gate, with one confirmation pass: sustained host
 # contention can inflate a whole snapshot run, so a failed compare
 # re-measures once and only fails when the regression reproduces. A
